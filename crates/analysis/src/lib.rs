@@ -1,0 +1,48 @@
+//! Offline analyses over checkpoint-and-communication patterns (CCPs).
+//!
+//! This crate complements [`rdt_ccp`]'s per-query oracles with whole-pattern
+//! analyses used by the evaluation harness and by the paper's surrounding
+//! literature:
+//!
+//! * [`RollbackGraph`] — the *rollback-dependency graph* over checkpoint
+//!   intervals (Wang, *IEEE ToC* 1997). Its undone-interval closure computes
+//!   recovery lines by orphan propagation, independently of the Lemma 1
+//!   characterization, and exhibits the domino effect on non-RDT patterns.
+//! * [`PropagationReport`] — rollback-propagation quantification in the style of
+//!   Agbaria et al. (*SRDS* 2001): how far does a single failure roll the
+//!   system back, per protocol?
+//! * [`CcpStats`] — whole-pattern statistics: zigzag/causal densities, the
+//!   doubling ratio that defines RDT, useless/obsolete counts.
+//! * [`OccupancyTimeline`] — stable-storage occupancy over time, built from
+//!   the simulator's occupancy samples.
+//!
+//! ```
+//! use rdt_analysis::{CcpStats, RollbackGraph};
+//! use rdt_base::ProcessId;
+//! use rdt_ccp::CcpBuilder;
+//!
+//! let mut b = CcpBuilder::new(2);
+//! b.checkpoint(ProcessId::new(0));
+//! b.message(ProcessId::new(0), ProcessId::new(1));
+//! let ccp = b.build();
+//!
+//! let stats = CcpStats::compute(&ccp);
+//! assert!(stats.is_rdt);
+//!
+//! let rg = RollbackGraph::new(&ccp);
+//! let line = rg.recovery_line([ProcessId::new(0)]);
+//! assert_eq!(line, ccp.recovery_line(&[ProcessId::new(0)].into_iter().collect()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod propagation;
+mod rgraph;
+mod stats;
+mod timeline;
+
+pub use propagation::{worst_single_failure, PropagationReport};
+pub use rgraph::{RollbackGraph, UndoneIntervals};
+pub use stats::CcpStats;
+pub use timeline::{OccupancyTimeline, TimelinePoint};

@@ -1,0 +1,160 @@
+//! Rollback-propagation quantification.
+//!
+//! Agbaria, Attiya, Friedman and Vitenberg (*SRDS* 2001) compare domino-free
+//! checkpointing properties by *how far* a failure rolls the system back.
+//! This module quantifies that for a concrete CCP: per-process rollback
+//! distances, totals, and the worst single failure — the numbers behind the
+//! claim that RDT "minimizes the amount of lost work in a distributed
+//! rollback when compared to other domino-free properties" (paper, §1).
+
+use serde::{Deserialize, Serialize};
+
+use rdt_base::ProcessId;
+use rdt_ccp::Ccp;
+
+use crate::rgraph::RollbackGraph;
+
+/// How far one failure set rolls the system back.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropagationReport {
+    /// The faulty processes that seeded the rollback.
+    pub faulty: Vec<ProcessId>,
+    /// General checkpoints rolled back, per process (volatile state counts
+    /// as one).
+    pub rolled_back: Vec<usize>,
+    /// Surviving checkpoint index per process (the recovery line).
+    pub line: Vec<usize>,
+    /// Whether some process returned to its initial checkpoint `s^0`.
+    pub reached_initial: bool,
+}
+
+impl PropagationReport {
+    /// Computes the report for the crash of `faulty` in `ccp`.
+    pub fn compute(ccp: &Ccp, faulty: &[ProcessId]) -> Self {
+        let undone = RollbackGraph::new(ccp).undone(faulty.iter().copied());
+        Self {
+            faulty: faulty.to_vec(),
+            rolled_back: ProcessId::all(ccp.n())
+                .map(|p| undone.rolled_back_count(p))
+                .collect(),
+            line: undone.recovery_line().to_raw(),
+            reached_initial: undone.reaches_initial_state(),
+        }
+    }
+
+    /// Total general checkpoints rolled back.
+    pub fn total(&self) -> usize {
+        self.rolled_back.iter().sum()
+    }
+
+    /// The largest per-process rollback.
+    pub fn max_per_process(&self) -> usize {
+        self.rolled_back.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of processes forced to roll back.
+    pub fn affected_processes(&self) -> usize {
+        self.rolled_back.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+/// Quantifies every single-process failure and returns the report with the
+/// largest total rollback (ties broken by the lowest process id).
+///
+/// Returns `None` for an empty system.
+pub fn worst_single_failure(ccp: &Ccp) -> Option<PropagationReport> {
+    let rg = RollbackGraph::new(ccp);
+    ProcessId::all(ccp.n())
+        .map(|f| {
+            let undone = rg.undone([f]);
+            PropagationReport {
+                faulty: vec![f],
+                rolled_back: ProcessId::all(ccp.n())
+                    .map(|p| undone.rolled_back_count(p))
+                    .collect(),
+                line: undone.recovery_line().to_raw(),
+                reached_initial: undone.reaches_initial_state(),
+            }
+        })
+        .max_by_key(|r| (r.total(), std::cmp::Reverse(r.faulty[0])))
+}
+
+#[cfg(test)]
+mod tests {
+    use rdt_ccp::CcpBuilder;
+
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn single_failure_without_messages_costs_one_checkpoint() {
+        let ccp = CcpBuilder::new(3).build();
+        let r = PropagationReport::compute(&ccp, &[p(0)]);
+        assert_eq!(r.total(), 1);
+        assert_eq!(r.affected_processes(), 1);
+        assert_eq!(r.max_per_process(), 1);
+        assert!(r.reached_initial);
+    }
+
+    #[test]
+    fn propagation_counts_cascading_rollbacks() {
+        // p1 → p2 → p3 causal chain, all receives un-checkpointed: p1's
+        // failure takes everyone's volatile state.
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.message(p(1), p(2));
+        let ccp = b.build();
+        let r = PropagationReport::compute(&ccp, &[p(0)]);
+        assert_eq!(r.affected_processes(), 3);
+        assert_eq!(r.rolled_back, vec![1, 1, 1]);
+        assert_eq!(r.line, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn worst_single_failure_finds_the_most_damaging_process() {
+        // p1's failure orphans p2; p3 is isolated, so failing it costs only
+        // itself.
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        let ccp = b.build();
+        let worst = worst_single_failure(&ccp).expect("non-empty system");
+        assert_eq!(worst.faulty, vec![p(0)]);
+        assert_eq!(worst.total(), 2);
+    }
+
+    #[test]
+    fn checkpointed_receives_stop_the_propagation() {
+        let mut b = CcpBuilder::new(2);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.checkpoint(p(1)); // receive is safely checkpointed
+        let ccp = b.build();
+        let r = PropagationReport::compute(&ccp, &[p(0)]);
+        // p2 loses only its volatile state (the message itself survives in
+        // s_2^1? No: the message was sent in p1's undone volatile interval,
+        // so p2's receive interval 1 is undone — s_2^1 is an orphan).
+        assert_eq!(r.rolled_back, vec![1, 2]);
+
+        // But if p1 checkpoints after the send, the send interval survives
+        // and p2 keeps everything.
+        let mut b = CcpBuilder::new(2);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.checkpoint(p(0)); // send interval is now stable
+        b.checkpoint(p(1));
+        let ccp = b.build();
+        let r = PropagationReport::compute(&ccp, &[p(0)]);
+        assert_eq!(r.rolled_back, vec![1, 0]);
+    }
+
+    #[test]
+    fn worst_single_failure_is_none_only_for_empty_systems() {
+        let ccp = CcpBuilder::new(2).build();
+        assert!(worst_single_failure(&ccp).is_some());
+    }
+}

@@ -1,0 +1,424 @@
+//! The rollback-dependency graph over checkpoint intervals.
+//!
+//! Nodes are checkpoint intervals `I_i^γ` (including each process's current,
+//! volatile interval); there is an edge `I_i^γ → I_j^δ` whenever a message
+//! sent in `I_i^γ` is received in `I_j^δ`. Undoing an interval undoes every
+//! later interval of the same process (checkpoint-granularity rollback) and,
+//! because we do not assume piecewise determinism, orphans every message the
+//! interval sent — whose receive intervals must be undone in turn.
+//!
+//! The fixed point of that propagation, seeded with the volatile intervals
+//! of the faulty processes, is the *maximal orphan-free cut*: exactly the
+//! recovery line. On RD-trackable patterns it coincides with the Lemma 1
+//! characterization (cross-checked by this crate's property tests); on
+//! arbitrary patterns it still yields the operationally correct rollback and
+//! exhibits the domino effect the paper's Figure 2 illustrates.
+
+use std::collections::VecDeque;
+
+use rdt_base::{CheckpointIndex, ProcessId};
+use rdt_ccp::{Ccp, FaultySet, GlobalCheckpoint};
+
+/// The rollback-dependency graph of a [`Ccp`].
+///
+/// Construction is `O(events + messages)`; each closure query is
+/// `O(intervals + edges)`.
+#[derive(Debug, Clone)]
+pub struct RollbackGraph<'a> {
+    ccp: &'a Ccp,
+    /// `volatile_interval[i]` = index of `p_i`'s current interval
+    /// (`last_s(i) + 1`).
+    volatile_interval: Vec<usize>,
+    /// `edges[i][γ]` = receive intervals of the messages sent in `I_i^γ`.
+    /// Entry `0` is unused (interval indices start at 1).
+    edges: Vec<Vec<Vec<(ProcessId, usize)>>>,
+}
+
+impl<'a> RollbackGraph<'a> {
+    /// Builds the graph from a CCP's delivered messages.
+    pub fn new(ccp: &'a Ccp) -> Self {
+        let volatile_interval: Vec<usize> = ccp
+            .processes()
+            .map(|p| ccp.last_stable(p).value() + 1)
+            .collect();
+        let mut edges: Vec<Vec<Vec<(ProcessId, usize)>>> = volatile_interval
+            .iter()
+            .map(|&vol| vec![Vec::new(); vol + 1])
+            .collect();
+        for m in ccp.messages() {
+            let (Some(recv_interval), src) = (m.recv_interval, m.src()) else {
+                continue;
+            };
+            edges[src.index()][m.send_interval.value()]
+                .push((m.dst, recv_interval.value()));
+        }
+        Self {
+            ccp,
+            volatile_interval,
+            edges,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.volatile_interval.len()
+    }
+
+    /// Total number of interval nodes (including volatile intervals).
+    pub fn interval_count(&self) -> usize {
+        self.volatile_interval.iter().sum()
+    }
+
+    /// Total number of message edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+            .iter()
+            .flat_map(|per_interval| per_interval.iter())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Runs the undone-interval closure for the crash of `faulty`.
+    ///
+    /// Seeds: the volatile interval of each faulty process (its volatile
+    /// state is lost). Propagation: undone intervals orphan the messages
+    /// they sent, undoing the receive intervals; undone sets are suffix-
+    /// closed per process.
+    pub fn undone(&self, faulty: impl IntoIterator<Item = ProcessId>) -> UndoneIntervals {
+        // min_undone[i] = lowest undone interval of p_i; the sentinel
+        // vol + 1 means "nothing undone".
+        let mut min_undone: Vec<usize> = self
+            .volatile_interval
+            .iter()
+            .map(|&vol| vol + 1)
+            .collect();
+        let mut work: VecDeque<(ProcessId, usize)> = VecDeque::new();
+        let mark = |p: ProcessId, gamma: usize,
+                        min_undone: &mut Vec<usize>,
+                        work: &mut VecDeque<(ProcessId, usize)>| {
+            let cur = min_undone[p.index()];
+            if gamma < cur {
+                for g in gamma..cur {
+                    work.push_back((p, g));
+                }
+                min_undone[p.index()] = gamma;
+            }
+        };
+        for f in faulty {
+            let vol = self.volatile_interval[f.index()];
+            mark(f, vol, &mut min_undone, &mut work);
+        }
+        while let Some((p, gamma)) = work.pop_front() {
+            for &(q, delta) in &self.edges[p.index()][gamma] {
+                mark(q, delta, &mut min_undone, &mut work);
+            }
+        }
+        UndoneIntervals {
+            volatile_interval: self.volatile_interval.clone(),
+            min_undone,
+        }
+    }
+
+    /// The recovery line for `faulty`, via the undone-interval closure.
+    ///
+    /// On RD-trackable patterns this equals [`Ccp::recovery_line`]
+    /// (Lemma 1); on arbitrary patterns it is the maximal orphan-free cut,
+    /// which may roll processes arbitrarily far back (the domino effect).
+    pub fn recovery_line(&self, faulty: impl IntoIterator<Item = ProcessId>) -> GlobalCheckpoint {
+        self.undone(faulty).recovery_line()
+    }
+
+    /// Convenience: the recovery line for a [`FaultySet`].
+    pub fn recovery_line_for(&self, faulty: &FaultySet) -> GlobalCheckpoint {
+        self.recovery_line(faulty.iter().copied())
+    }
+
+    /// The CCP this graph was built from.
+    pub fn ccp(&self) -> &'a Ccp {
+        self.ccp
+    }
+
+    /// Renders the graph as a Graphviz `dot` digraph: one cluster per
+    /// process, interval nodes in order, message edges between send and
+    /// receive intervals. When `undone` is given (from [`Self::undone`]),
+    /// undone intervals are filled red — the visual of a failure's blast
+    /// radius.
+    pub fn render_dot(&self, undone: Option<&UndoneIntervals>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "digraph rollback {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n",
+        );
+        for p in ProcessId::all(self.n()) {
+            let _ = writeln!(out, "  subgraph cluster_{} {{", p.index());
+            let _ = writeln!(out, "    label=\"{p}\";");
+            let vol = self.volatile_interval[p.index()];
+            for gamma in 1..=vol {
+                let is_undone =
+                    undone.is_some_and(|u| u.min_undone(p).is_some_and(|m| gamma >= m));
+                let style = if is_undone {
+                    ", style=filled, fillcolor=salmon"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "    i{}_{gamma} [label=\"I{}^{gamma}\"{style}];",
+                    p.index(),
+                    p.index() + 1,
+                );
+                if gamma > 1 {
+                    let _ = writeln!(
+                        out,
+                        "    i{}_{} -> i{}_{gamma} [style=dotted];",
+                        p.index(),
+                        gamma - 1,
+                        p.index(),
+                    );
+                }
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for (src, per_interval) in self.edges.iter().enumerate() {
+            for (gamma, targets) in per_interval.iter().enumerate() {
+                for (dst, delta) in targets {
+                    let _ = writeln!(
+                        out,
+                        "  i{src}_{gamma} -> i{}_{delta} [color=blue];",
+                        dst.index(),
+                    );
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Result of a [`RollbackGraph`] closure: which intervals a failure undoes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndoneIntervals {
+    volatile_interval: Vec<usize>,
+    /// Lowest undone interval per process; `volatile + 1` if none.
+    min_undone: Vec<usize>,
+}
+
+impl UndoneIntervals {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.min_undone.len()
+    }
+
+    /// Whether any interval of `p` is undone (i.e. `p` must roll back).
+    pub fn rolls_back(&self, p: ProcessId) -> bool {
+        self.min_undone[p.index()] <= self.volatile_interval[p.index()]
+    }
+
+    /// The lowest undone interval of `p`, if any.
+    pub fn min_undone(&self, p: ProcessId) -> Option<usize> {
+        self.rolls_back(p).then_some(self.min_undone[p.index()])
+    }
+
+    /// The checkpoint `p` survives at: `min_undone − 1`, or the volatile
+    /// index when nothing is undone.
+    pub fn surviving_checkpoint(&self, p: ProcessId) -> CheckpointIndex {
+        CheckpointIndex::new(if self.rolls_back(p) {
+            self.min_undone[p.index()] - 1
+        } else {
+            self.volatile_interval[p.index()]
+        })
+    }
+
+    /// Number of general checkpoints `p` rolls back: the volatile one plus
+    /// every stable checkpoint with a higher index than the surviving one.
+    /// Zero when `p` does not roll back.
+    pub fn rolled_back_count(&self, p: ProcessId) -> usize {
+        if self.rolls_back(p) {
+            // Volatile index = volatile_interval; surviving = min_undone - 1.
+            self.volatile_interval[p.index()] + 1 - self.min_undone[p.index()]
+        } else {
+            0
+        }
+    }
+
+    /// Total general checkpoints rolled back across all processes — the
+    /// quantity Definition 5 minimizes.
+    pub fn total_rolled_back(&self) -> usize {
+        ProcessId::all(self.n())
+            .map(|p| self.rolled_back_count(p))
+            .sum()
+    }
+
+    /// Whether some process is rolled all the way back to its initial
+    /// checkpoint `s^0` — the signature of the domino effect.
+    pub fn reaches_initial_state(&self) -> bool {
+        ProcessId::all(self.n()).any(|p| self.surviving_checkpoint(p) == CheckpointIndex::ZERO)
+    }
+
+    /// The induced recovery line (one component per process; volatile
+    /// components for processes that do not roll back).
+    pub fn recovery_line(&self) -> GlobalCheckpoint {
+        GlobalCheckpoint::new(
+            ProcessId::all(self.n())
+                .map(|p| self.surviving_checkpoint(p))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rdt_ccp::CcpBuilder;
+
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// p1 checkpoints, then messages p2; p2 checkpoints after the receive.
+    fn chain() -> Ccp {
+        let mut b = CcpBuilder::new(2);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.checkpoint(p(1));
+        b.build()
+    }
+
+    #[test]
+    fn empty_pattern_rolls_back_only_the_faulty_volatile() {
+        let ccp = CcpBuilder::new(3).build();
+        let rg = RollbackGraph::new(&ccp);
+        let undone = rg.undone([p(1)]);
+        assert!(undone.rolls_back(p(1)));
+        assert!(!undone.rolls_back(p(0)));
+        assert_eq!(undone.rolled_back_count(p(1)), 1); // volatile only
+        assert_eq!(undone.total_rolled_back(), 1);
+        assert_eq!(
+            undone.surviving_checkpoint(p(1)),
+            CheckpointIndex::ZERO
+        );
+    }
+
+    #[test]
+    fn orphan_message_propagates_the_rollback() {
+        let ccp = chain();
+        let rg = RollbackGraph::new(&ccp);
+        // p1 fails: its volatile interval (2) is undone. The message was
+        // sent in interval 2 (after s_1^1), so p2's receive interval (1) is
+        // undone, costing p2 its checkpoint s_2^1 and volatile state.
+        let undone = rg.undone([p(0)]);
+        assert!(undone.rolls_back(p(1)));
+        assert_eq!(undone.surviving_checkpoint(p(0)).value(), 1);
+        assert_eq!(undone.surviving_checkpoint(p(1)).value(), 0);
+        assert_eq!(undone.rolled_back_count(p(1)), 2); // s_2^1 + volatile
+    }
+
+    #[test]
+    fn failure_after_checkpointed_receive_does_not_propagate() {
+        let ccp = chain();
+        let rg = RollbackGraph::new(&ccp);
+        // p2 fails: rolls back to s_2^1; p1 received nothing from p2, so p1
+        // keeps its volatile state.
+        let undone = rg.undone([p(1)]);
+        assert!(!undone.rolls_back(p(0)));
+        assert_eq!(undone.surviving_checkpoint(p(1)).value(), 1);
+        assert_eq!(undone.total_rolled_back(), 1);
+    }
+
+    #[test]
+    fn closure_matches_lemma_1_on_an_rdt_pattern() {
+        let ccp = chain();
+        assert!(ccp.is_rdt());
+        let rg = RollbackGraph::new(&ccp);
+        for faulty_bits in 1u32..4 {
+            let faulty: FaultySet = (0..2)
+                .filter(|i| faulty_bits & (1 << i) != 0)
+                .map(ProcessId::new)
+                .collect();
+            assert_eq!(
+                rg.recovery_line_for(&faulty),
+                ccp.recovery_line(&faulty),
+                "faulty = {faulty:?}"
+            );
+        }
+    }
+
+    /// The paper's Figure 2: crossing messages with no forced checkpoints.
+    /// A single failure of p1 dominoes both processes to the initial state.
+    #[test]
+    fn domino_effect_on_figure_2_pattern() {
+        let mut b = CcpBuilder::new(2);
+        // m1: p2 → p1 received before s_1^1; m2: p1 → p2 sent after s_1^1,
+        // received before s_2^1; m3: p2 → p1 after s_2^1 received before
+        // s_1^2; m4: p1 → p2 after s_1^2.
+        let m1 = b.send(p(1), p(0));
+        b.deliver(m1);
+        b.checkpoint(p(0));
+        let m2 = b.send(p(0), p(1));
+        b.deliver(m2);
+        b.checkpoint(p(1));
+        let m3 = b.send(p(1), p(0));
+        b.deliver(m3);
+        b.checkpoint(p(0));
+        let m4 = b.send(p(0), p(1));
+        b.deliver(m4);
+        let ccp = b.build();
+        assert!(!ccp.is_rdt());
+
+        let rg = RollbackGraph::new(&ccp);
+        let undone = rg.undone([p(0)]);
+        assert!(undone.reaches_initial_state());
+        assert_eq!(undone.surviving_checkpoint(p(0)), CheckpointIndex::ZERO);
+        assert_eq!(undone.surviving_checkpoint(p(1)), CheckpointIndex::ZERO);
+    }
+
+    #[test]
+    fn multiple_faulty_processes_union_their_closures() {
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        b.checkpoint(p(1));
+        b.checkpoint(p(2));
+        let ccp = b.build();
+        let rg = RollbackGraph::new(&ccp);
+        let undone = rg.undone([p(0), p(2)]);
+        assert!(undone.rolls_back(p(0)));
+        assert!(!undone.rolls_back(p(1)));
+        assert!(undone.rolls_back(p(2)));
+        assert_eq!(undone.total_rolled_back(), 2);
+    }
+
+    #[test]
+    fn graph_counts_reflect_the_pattern() {
+        let ccp = chain();
+        let rg = RollbackGraph::new(&ccp);
+        // p1: intervals 1, 2; p2: intervals 1, 2 → 4 nodes, 1 edge.
+        assert_eq!(rg.n(), 2);
+        assert_eq!(rg.interval_count(), 4);
+        assert_eq!(rg.edge_count(), 1);
+    }
+
+    #[test]
+    fn dot_rendering_marks_undone_intervals() {
+        let ccp = chain();
+        let rg = RollbackGraph::new(&ccp);
+        let plain = rg.render_dot(None);
+        assert!(plain.starts_with("digraph rollback {"));
+        assert!(plain.contains("color=blue"), "message edge present");
+        assert!(!plain.contains("salmon"));
+        let undone = rg.undone([p(0)]);
+        let marked = rg.render_dot(Some(&undone));
+        assert!(marked.contains("salmon"), "undone intervals highlighted");
+        assert!(marked.ends_with("}\n"));
+    }
+
+    #[test]
+    fn undelivered_messages_create_no_edges() {
+        let mut b = CcpBuilder::new(2);
+        b.send(p(0), p(1)); // in transit, never delivered
+        let ccp = b.build();
+        let rg = RollbackGraph::new(&ccp);
+        assert_eq!(rg.edge_count(), 0);
+        let undone = rg.undone([p(0)]);
+        assert!(!undone.rolls_back(p(1)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Whole-pattern statistics over a CCP.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rdt_ccp::Ccp;
+
+/// Summary statistics of a checkpoint-and-communication pattern.
+///
+/// The densities are measured over ordered pairs of *distinct general
+/// checkpoints* `(a, b)` with `a ≠ b`: `causal_pairs` counts causal
+/// precedence `a → b` (which includes local program order);
+/// `zigzag_pairs` counts `a ⇝ b` (zigzag paths are non-empty *message*
+/// sequences, so local order alone never creates one). A zigzag pair that
+/// is not also causal is *undoubled* — Definition 4 says a pattern is
+/// RD-trackable exactly when no undoubled pair (and no zigzag cycle)
+/// exists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CcpStats {
+    /// Number of processes.
+    pub n: usize,
+    /// Stable checkpoints in the pattern.
+    pub stable_checkpoints: usize,
+    /// Delivered messages.
+    pub delivered_messages: usize,
+    /// Sent-but-undelivered (lost or in-transit) messages.
+    pub undelivered_messages: usize,
+    /// Ordered distinct general-checkpoint pairs examined.
+    pub ordered_pairs: usize,
+    /// Pairs related by causal precedence (`a → b`).
+    pub causal_pairs: usize,
+    /// Pairs related by a zigzag path (`a ⇝ b`).
+    pub zigzag_pairs: usize,
+    /// Zigzag pairs *not* doubled by causal precedence — the untrackable
+    /// dependencies. Zero on RD-trackable patterns.
+    pub undoubled_zigzag_pairs: usize,
+    /// Useless checkpoints (on a zigzag cycle).
+    pub useless_checkpoints: usize,
+    /// Theorem-1 obsolete stable checkpoints.
+    pub obsolete: usize,
+    /// Theorem-2 (causally identifiable) obsolete stable checkpoints.
+    pub causally_identifiable_obsolete: usize,
+    /// Whether the pattern is RD-trackable.
+    pub is_rdt: bool,
+}
+
+impl CcpStats {
+    /// Computes all statistics for `ccp`.
+    ///
+    /// Cost: `O(C²)` reachability queries over `C` general checkpoints
+    /// (on top of one zigzag-analysis precomputation), plus the obsolete
+    /// oracles.
+    pub fn compute(ccp: &Ccp) -> Self {
+        let zz = ccp.zigzag();
+        let checkpoints: Vec<_> = ccp.general_checkpoints().collect();
+        let mut ordered_pairs = 0usize;
+        let mut causal_pairs = 0usize;
+        let mut zigzag_pairs = 0usize;
+        let mut undoubled_zigzag_pairs = 0usize;
+        for &a in &checkpoints {
+            for &b in &checkpoints {
+                if a == b {
+                    continue;
+                }
+                ordered_pairs += 1;
+                let causal = ccp.precedes(a, b);
+                let zigzag = zz.zigzag_reaches(a, b);
+                causal_pairs += usize::from(causal);
+                zigzag_pairs += usize::from(zigzag);
+                undoubled_zigzag_pairs += usize::from(zigzag && !causal);
+            }
+        }
+        let total_messages = ccp.messages().count();
+        let delivered = ccp.delivered_count();
+        Self {
+            n: ccp.n(),
+            stable_checkpoints: ccp.stable_count(),
+            delivered_messages: delivered,
+            undelivered_messages: total_messages - delivered,
+            ordered_pairs,
+            causal_pairs,
+            zigzag_pairs,
+            undoubled_zigzag_pairs,
+            useless_checkpoints: ccp.useless_checkpoints().len(),
+            obsolete: ccp.obsolete_set().len(),
+            causally_identifiable_obsolete: ccp.causally_identifiable_obsolete_set().len(),
+            is_rdt: ccp.is_rdt(),
+        }
+    }
+
+    /// Fraction of ordered pairs related causally.
+    pub fn causal_density(&self) -> f64 {
+        ratio(self.causal_pairs, self.ordered_pairs)
+    }
+
+    /// Fraction of ordered pairs related by a zigzag path.
+    pub fn zigzag_density(&self) -> f64 {
+        ratio(self.zigzag_pairs, self.ordered_pairs)
+    }
+
+    /// Fraction of zigzag pairs that are *doubled* by causal precedence —
+    /// `1.0` on RD-trackable patterns (every zigzag dependency is
+    /// trackable). Defined as `1.0` when there are no zigzag pairs at all.
+    pub fn doubling_ratio(&self) -> f64 {
+        if self.zigzag_pairs == 0 {
+            1.0
+        } else {
+            ratio(
+                self.zigzag_pairs - self.undoubled_zigzag_pairs,
+                self.zigzag_pairs,
+            )
+        }
+    }
+
+    /// Obsolete checkpoints the asynchronous (Theorem 2) condition misses —
+    /// the price of causal-only knowledge (zero when everything identifiable
+    /// is identified).
+    pub fn optimality_gap(&self) -> usize {
+        self.obsolete - self.causally_identifiable_obsolete
+    }
+}
+
+impl fmt::Display for CcpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} stable={} delivered={} rdt={} causal-density={:.3} \
+             zigzag-density={:.3} useless={} obsolete={} (causal-id {})",
+            self.n,
+            self.stable_checkpoints,
+            self.delivered_messages,
+            self.is_rdt,
+            self.causal_density(),
+            self.zigzag_density(),
+            self.useless_checkpoints,
+            self.obsolete,
+            self.causally_identifiable_obsolete,
+        )
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rdt_base::ProcessId;
+    use rdt_ccp::CcpBuilder;
+
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn empty_pattern_has_only_local_precedence() {
+        let stats = CcpStats::compute(&CcpBuilder::new(2).build());
+        assert_eq!(stats.stable_checkpoints, 2);
+        assert_eq!(stats.delivered_messages, 0);
+        // 4 general checkpoints → 12 ordered pairs; the only related pairs
+        // are s^0 → v per process (local order), which no message sequence
+        // mirrors — zigzag paths need messages.
+        assert_eq!(stats.ordered_pairs, 12);
+        assert_eq!(stats.causal_pairs, 2);
+        assert_eq!(stats.zigzag_pairs, 0);
+        assert_eq!(stats.undoubled_zigzag_pairs, 0);
+        assert!(stats.is_rdt);
+        assert!((stats.doubling_ratio() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn zigzag_density_exceeds_causal_on_non_rdt_patterns() {
+        // Crossing messages (Figure 2 core): a Z-path that is not doubled.
+        let mut b = CcpBuilder::new(2);
+        let m1 = b.send(p(1), p(0));
+        b.deliver(m1);
+        b.checkpoint(p(0));
+        let m2 = b.send(p(0), p(1));
+        b.deliver(m2);
+        b.checkpoint(p(1));
+        let m3 = b.send(p(1), p(0));
+        b.deliver(m3);
+        b.checkpoint(p(0));
+        let m4 = b.send(p(0), p(1));
+        b.deliver(m4);
+        let stats = CcpStats::compute(&b.build());
+        assert!(!stats.is_rdt);
+        assert!(stats.undoubled_zigzag_pairs > 0);
+        assert!(stats.doubling_ratio() < 1.0);
+        assert!(stats.useless_checkpoints > 0);
+    }
+
+    #[test]
+    fn undelivered_messages_are_counted_separately() {
+        let mut b = CcpBuilder::new(2);
+        b.send(p(0), p(1)); // never delivered
+        b.message(p(0), p(1)); // delivered
+        let stats = CcpStats::compute(&b.build());
+        assert_eq!(stats.delivered_messages, 1);
+        assert_eq!(stats.undelivered_messages, 1);
+    }
+
+    #[test]
+    fn optimality_gap_measures_the_price_of_causal_knowledge() {
+        // Ping-pong where p2 never hears of p1's second checkpoint: s_2^0
+        // is Theorem-1 obsolete but not causally identifiable — the same
+        // phenomenon as s_2^1 in the paper's Figure 4.
+        let mut b = CcpBuilder::new(2);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.checkpoint(p(1));
+        b.message(p(1), p(0));
+        b.checkpoint(p(0));
+        let stats = CcpStats::compute(&b.build());
+        assert_eq!(stats.optimality_gap(), 1);
+
+        // Once p1's news reaches p2, the gap closes.
+        let mut b = CcpBuilder::new(2);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.checkpoint(p(1));
+        b.message(p(1), p(0));
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        let stats = CcpStats::compute(&b.build());
+        assert_eq!(stats.optimality_gap(), 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = CcpStats::compute(&CcpBuilder::new(2).build());
+        let out = s.to_string();
+        assert!(out.contains("rdt=true"));
+        assert!(out.contains("n=2"));
+    }
+}

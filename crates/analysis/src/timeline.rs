@@ -1,0 +1,200 @@
+//! Stable-storage occupancy over time.
+//!
+//! The simulator can record one `(time, process, retained)` sample per
+//! processed event (see `rdt_sim::SimConfig::record_occupancy`); this module
+//! turns that series into the curves the storage experiments plot: global
+//! occupancy over time, per-process peaks, and the transient-peak detection
+//! behind the paper's `n(n+1)` bound (Section 4.5).
+
+use serde::{Deserialize, Serialize};
+
+use rdt_base::ProcessId;
+
+/// One occupancy sample: process `process` held `retained` stable
+/// checkpoints at simulation time `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Simulation time of the sample.
+    pub time: u64,
+    /// The sampled process.
+    pub process: ProcessId,
+    /// Stable checkpoints retained at that instant.
+    pub retained: usize,
+}
+
+/// An occupancy timeline for an `n`-process run.
+///
+/// Samples must be supplied in non-decreasing time order (the simulator's
+/// natural order); [`OccupancyTimeline::new`] validates this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyTimeline {
+    n: usize,
+    points: Vec<TimelinePoint>,
+}
+
+impl OccupancyTimeline {
+    /// Builds a timeline from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if samples are not in non-decreasing time order or reference a
+    /// process `≥ n`.
+    pub fn new(n: usize, points: Vec<TimelinePoint>) -> Self {
+        for w in points.windows(2) {
+            assert!(w[0].time <= w[1].time, "samples out of time order");
+        }
+        assert!(
+            points.iter().all(|p| p.process.index() < n),
+            "sample references an out-of-range process"
+        );
+        Self { n, points }
+    }
+
+    /// Builds from the simulator's raw tuples.
+    pub fn from_raw(n: usize, raw: impl IntoIterator<Item = (u64, ProcessId, usize)>) -> Self {
+        Self::new(
+            n,
+            raw.into_iter()
+                .map(|(time, process, retained)| TimelinePoint {
+                    time,
+                    process,
+                    retained,
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// All samples, in time order.
+    pub fn points(&self) -> &[TimelinePoint] {
+        &self.points
+    }
+
+    /// The samples of one process, in time order.
+    pub fn process_series(&self, p: ProcessId) -> impl Iterator<Item = TimelinePoint> + '_ {
+        self.points.iter().copied().filter(move |s| s.process == p)
+    }
+
+    /// The peak retention of one process.
+    pub fn process_peak(&self, p: ProcessId) -> usize {
+        self.process_series(p).map(|s| s.retained).max().unwrap_or(0)
+    }
+
+    /// Global occupancy over time: after each sample, the sum of the latest
+    /// known retention of every process. Starts from one checkpoint per
+    /// process (`s^0` is stored at construction).
+    pub fn global_series(&self) -> Vec<(u64, usize)> {
+        let mut latest = vec![1usize; self.n];
+        let mut out = Vec::with_capacity(self.points.len());
+        for s in &self.points {
+            latest[s.process.index()] = s.retained;
+            out.push((s.time, latest.iter().sum()));
+        }
+        out
+    }
+
+    /// The peak of the global series and when it first occurred; `(0, 0)`
+    /// for an empty timeline.
+    pub fn global_peak(&self) -> (u64, usize) {
+        self.global_series()
+            .into_iter()
+            .max_by_key(|&(time, total)| (total, std::cmp::Reverse(time)))
+            .unwrap_or((0, 0))
+    }
+
+    /// The final global occupancy (the steady state the run settled into).
+    pub fn final_global(&self) -> usize {
+        self.global_series().last().map(|&(_, t)| t).unwrap_or(self.n)
+    }
+
+    /// Time-averaged global occupancy, weighting each observed level by the
+    /// time until the next sample. Returns the final level for single-sample
+    /// timelines.
+    pub fn time_averaged_global(&self) -> f64 {
+        let series = self.global_series();
+        let Some((&first, rest)) = series.split_first() else {
+            return self.n as f64;
+        };
+        let mut weighted = 0.0f64;
+        let mut span = 0.0f64;
+        let mut prev = first;
+        for &(time, total) in rest {
+            let dt = (time - prev.0) as f64;
+            weighted += prev.1 as f64 * dt;
+            span += dt;
+            prev = (time, total);
+        }
+        if span == 0.0 {
+            prev.1 as f64
+        } else {
+            weighted / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(time: u64, process: usize, retained: usize) -> TimelinePoint {
+        TimelinePoint {
+            time,
+            process: ProcessId::new(process),
+            retained,
+        }
+    }
+
+    #[test]
+    fn global_series_tracks_latest_per_process() {
+        let tl = OccupancyTimeline::new(2, vec![pt(0, 0, 2), pt(5, 1, 3), pt(9, 0, 1)]);
+        // Start (1,1); p1→2 ⇒ 3; p2→3 ⇒ 5; p1→1 ⇒ 4.
+        assert_eq!(tl.global_series(), vec![(0, 3), (5, 5), (9, 4)]);
+        assert_eq!(tl.global_peak(), (5, 5));
+        assert_eq!(tl.final_global(), 4);
+    }
+
+    #[test]
+    fn per_process_peaks() {
+        let tl = OccupancyTimeline::new(2, vec![pt(0, 0, 2), pt(1, 0, 4), pt(2, 1, 1)]);
+        assert_eq!(tl.process_peak(ProcessId::new(0)), 4);
+        assert_eq!(tl.process_peak(ProcessId::new(1)), 1);
+        assert_eq!(tl.process_series(ProcessId::new(0)).count(), 2);
+    }
+
+    #[test]
+    fn time_averaged_weights_by_duration() {
+        // Level 3 for 10 ticks, then level 5 observed at the very end.
+        let tl = OccupancyTimeline::new(2, vec![pt(0, 0, 2), pt(10, 1, 3)]);
+        assert!((tl.time_averaged_global() - 3.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn empty_timeline_defaults_to_initial_occupancy() {
+        let tl = OccupancyTimeline::new(3, Vec::new());
+        assert_eq!(tl.final_global(), 3);
+        assert_eq!(tl.global_peak(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_samples_are_rejected() {
+        let _ = OccupancyTimeline::new(2, vec![pt(5, 0, 1), pt(0, 0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_process_is_rejected() {
+        let _ = OccupancyTimeline::new(1, vec![pt(0, 3, 1)]);
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        let tl = OccupancyTimeline::from_raw(2, vec![(1, ProcessId::new(0), 2)]);
+        assert_eq!(tl.points().len(), 1);
+        assert_eq!(tl.points()[0], pt(1, 0, 2));
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests: the rollback-dependency-graph closure agrees with the
+//! paper's Lemma 1 characterization on RD-trackable patterns, and with the
+//! brute-force Definition 5 search everywhere it applies.
+
+use proptest::prelude::*;
+use rdt_analysis::{CcpStats, PropagationReport, RollbackGraph};
+use rdt_base::ProcessId;
+use rdt_ccp::{Ccp, CcpBuilder, FaultySet};
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: u8,
+    a: usize,
+    b: usize,
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..6, 0usize..64, 0usize..64).prop_map(|(kind, a, b)| Op { kind, a, b }),
+        0..max,
+    )
+}
+
+/// Builds an arbitrary CCP: checkpoints, sends, out-of-order deliveries and
+/// losses. No protocol discipline — RDT may or may not hold.
+fn arbitrary_ccp(n: usize, ops: &[Op]) -> Ccp {
+    let mut b = CcpBuilder::new(n);
+    let mut in_flight = Vec::new();
+    for op in ops {
+        let p = ProcessId::new(op.a % n);
+        match op.kind {
+            0 => {
+                b.checkpoint(p);
+            }
+            1 | 2 => {
+                let q = ProcessId::new((op.a + 1 + op.b % (n - 1)) % n);
+                in_flight.push(b.send(p, q));
+            }
+            3 => {
+                if !in_flight.is_empty() {
+                    let id = in_flight.remove(op.b % in_flight.len());
+                    b.deliver(id);
+                }
+            }
+            _ => {
+                if !in_flight.is_empty() && op.b % 3 == 0 {
+                    let id = in_flight.remove(op.b % in_flight.len());
+                    b.drop_message(id).expect("known in-flight message");
+                } else if !in_flight.is_empty() {
+                    let id = in_flight.remove(op.b % in_flight.len());
+                    b.deliver(id);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Builds a CCP under the checkpoint-before-receive discipline (forced
+/// checkpoint before every delivery) — always RD-trackable.
+fn cbr_ccp(n: usize, ops: &[Op]) -> Ccp {
+    let mut b = CcpBuilder::new(n);
+    let mut in_flight = Vec::new();
+    for op in ops {
+        let p = ProcessId::new(op.a % n);
+        match op.kind {
+            0 => {
+                b.checkpoint(p);
+            }
+            1 | 2 => {
+                let q = ProcessId::new((op.a + 1 + op.b % (n - 1)) % n);
+                in_flight.push((b.send(p, q), q));
+            }
+            _ => {
+                if !in_flight.is_empty() {
+                    let (id, dst) = in_flight.remove(op.b % in_flight.len());
+                    b.checkpoint(dst);
+                    b.deliver(id);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+fn all_faulty_sets(n: usize) -> impl Iterator<Item = FaultySet> {
+    (1u32..(1 << n)).map(move |bits| {
+        (0..n)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(ProcessId::new)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On RD-trackable patterns the closure equals Lemma 1 for every faulty
+    /// set.
+    #[test]
+    fn closure_equals_lemma_1_on_rdt_patterns(n in 2usize..4, ops in ops(36)) {
+        let ccp = cbr_ccp(n, &ops);
+        prop_assert!(ccp.is_rdt());
+        let rg = RollbackGraph::new(&ccp);
+        for faulty in all_faulty_sets(n) {
+            prop_assert_eq!(
+                rg.recovery_line_for(&faulty),
+                ccp.recovery_line(&faulty),
+                "faulty = {:?}", faulty
+            );
+        }
+    }
+
+    /// On *arbitrary* patterns the closure equals the brute-force
+    /// Definition 5 search (which maximizes surviving checkpoints over all
+    /// causally-consistent global checkpoints).
+    #[test]
+    fn closure_equals_brute_force_on_arbitrary_patterns(n in 2usize..4, ops in ops(24)) {
+        let ccp = arbitrary_ccp(n, &ops);
+        let rg = RollbackGraph::new(&ccp);
+        for faulty in all_faulty_sets(n) {
+            let brute = ccp.brute_force_recovery_line(&faulty);
+            prop_assume!(brute.is_some());
+            prop_assert_eq!(
+                rg.recovery_line_for(&faulty),
+                brute.unwrap(),
+                "faulty = {:?}", faulty
+            );
+        }
+    }
+
+    /// The closure's recovery line is always a consistent global checkpoint
+    /// that excludes the faulty processes' volatile states.
+    #[test]
+    fn closure_line_is_consistent(n in 2usize..5, ops in ops(36)) {
+        let ccp = arbitrary_ccp(n, &ops);
+        let rg = RollbackGraph::new(&ccp);
+        for faulty in all_faulty_sets(n) {
+            let line = rg.recovery_line_for(&faulty);
+            prop_assert!(ccp.is_consistent_global(&line));
+            for &f in &faulty {
+                prop_assert!(line.component(f).index < ccp.volatile(f).index);
+            }
+        }
+    }
+
+    /// Propagation monotonicity: a superset of faulty processes never rolls
+    /// back fewer checkpoints.
+    #[test]
+    fn propagation_is_monotone_in_the_faulty_set(n in 2usize..4, ops in ops(36)) {
+        let ccp = arbitrary_ccp(n, &ops);
+        let single = PropagationReport::compute(&ccp, &[ProcessId::new(0)]);
+        let all: Vec<ProcessId> = ProcessId::all(n).collect();
+        let everyone = PropagationReport::compute(&ccp, &all);
+        prop_assert!(everyone.total() >= single.total());
+        for p in ProcessId::all(n) {
+            prop_assert!(
+                everyone.rolled_back[p.index()] >= single.rolled_back[p.index()]
+            );
+        }
+    }
+
+    /// RDT patterns have doubling ratio 1 and no useless checkpoints; the
+    /// stats module must agree with the `is_rdt` oracle.
+    #[test]
+    fn stats_agree_with_rdt_oracle(n in 2usize..4, ops in ops(28)) {
+        let ccp = arbitrary_ccp(n, &ops);
+        let stats = CcpStats::compute(&ccp);
+        prop_assert_eq!(stats.is_rdt, ccp.is_rdt());
+        if stats.is_rdt {
+            prop_assert_eq!(stats.undoubled_zigzag_pairs, 0);
+            prop_assert_eq!(stats.useless_checkpoints, 0);
+        }
+        prop_assert!(stats.undoubled_zigzag_pairs <= stats.zigzag_pairs);
+        prop_assert!(stats.causally_identifiable_obsolete <= stats.obsolete);
+    }
+
+    /// A failure's rollback is bounded by the paper's guarantee on RDT
+    /// patterns: each process rolls back at most to the faulty processes'
+    /// knowledge horizon — and never below checkpoint 0.
+    #[test]
+    fn rollback_counts_are_sane(n in 2usize..5, ops in ops(36)) {
+        let ccp = arbitrary_ccp(n, &ops);
+        let rg = RollbackGraph::new(&ccp);
+        for f in ProcessId::all(n) {
+            let undone = rg.undone([f]);
+            for p in ProcessId::all(n) {
+                let survive = undone.surviving_checkpoint(p);
+                prop_assert!(survive.value() <= ccp.volatile(p).index.value());
+                let rolled = undone.rolled_back_count(p);
+                prop_assert!(rolled <= ccp.volatile(p).index.value() + 1);
+            }
+            prop_assert!(undone.rolls_back(f), "faulty always loses volatile state");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration: simulator-produced occupancy samples and traces feed the
+//! timeline and propagation analyses.
+
+use rdt_analysis::{CcpStats, OccupancyTimeline, PropagationReport, RollbackGraph};
+use rdt_base::ProcessId;
+use rdt_ccp::CcpBuilder;
+use rdt_core::GcKind;
+use rdt_protocols::ProtocolKind;
+use rdt_sim::SimulationBuilder;
+use rdt_workloads::WorkloadSpec;
+
+fn run_with_occupancy(gc: GcKind) -> (usize, OccupancyTimeline) {
+    let n = 4;
+    let spec = WorkloadSpec::uniform_random(n, 300)
+        .with_seed(11)
+        .with_checkpoint_prob(0.3);
+    let report = SimulationBuilder::new(spec)
+        .protocol(ProtocolKind::Fdas)
+        .garbage_collector(gc)
+        .record_occupancy()
+        .run()
+        .expect("simulation runs");
+    let samples = report.occupancy.expect("occupancy recording was enabled");
+    (n, OccupancyTimeline::from_raw(n, samples))
+}
+
+#[test]
+fn lgc_timeline_stays_within_the_paper_bound() {
+    let (n, tl) = run_with_occupancy(GcKind::RdtLgc);
+    for p in ProcessId::all(n) {
+        assert!(
+            tl.process_peak(p) <= n + 1,
+            "{p} peaked at {}",
+            tl.process_peak(p)
+        );
+    }
+    let (_, peak) = tl.global_peak();
+    assert!(peak <= n * (n + 1), "global peak {peak} exceeds n(n+1)");
+}
+
+#[test]
+fn no_gc_timeline_diverges_past_every_lgc_level() {
+    let (_, lgc) = run_with_occupancy(GcKind::RdtLgc);
+    let (_, none) = run_with_occupancy(GcKind::None);
+    assert!(none.global_peak().1 > lgc.global_peak().1);
+    assert!(none.final_global() > lgc.final_global());
+    assert!(none.time_averaged_global() > lgc.time_averaged_global());
+}
+
+#[test]
+fn occupancy_is_not_recorded_unless_requested() {
+    let spec = WorkloadSpec::uniform_random(3, 50).with_seed(1);
+    let report = SimulationBuilder::new(spec).run().expect("simulation runs");
+    assert!(report.occupancy.is_none());
+}
+
+#[test]
+fn sim_trace_replays_into_the_propagation_analysis() {
+    let n = 4;
+    let spec = WorkloadSpec::uniform_random(n, 250)
+        .with_seed(23)
+        .with_checkpoint_prob(0.25);
+    let report = SimulationBuilder::new(spec)
+        .protocol(ProtocolKind::Fdas)
+        .record_trace()
+        .run()
+        .expect("simulation runs");
+    let trace = report.trace.expect("trace recording was enabled");
+    let ccp = CcpBuilder::from_trace(n, &trace)
+        .expect("crash-free trace replays")
+        .build();
+    assert!(ccp.is_rdt(), "FDAS produces RD-trackable patterns");
+
+    let stats = CcpStats::compute(&ccp);
+    assert!(stats.is_rdt);
+    assert_eq!(stats.undoubled_zigzag_pairs, 0);
+
+    // Every single failure's propagation is finite and consistent with the
+    // Lemma 1 oracle.
+    let rg = RollbackGraph::new(&ccp);
+    for f in ProcessId::all(n) {
+        let line = rg.recovery_line([f]);
+        assert_eq!(line, ccp.recovery_line(&[f].into_iter().collect()));
+        let report = PropagationReport::compute(&ccp, &[f]);
+        assert!(report.total() >= 1);
+    }
+}
+
+#[test]
+fn rdt_protocol_bounds_propagation_tighter_than_no_forced() {
+    // Identical traffic under FDAS vs NoForced: the RDT pattern's worst
+    // single failure rolls back no more checkpoints than the unconstrained
+    // one on average across seeds.
+    let mut fdas_total = 0usize;
+    let mut raw_total = 0usize;
+    for seed in 0..8u64 {
+        let n = 3;
+        let spec = WorkloadSpec::uniform_random(n, 150)
+            .with_seed(seed)
+            .with_checkpoint_prob(0.25);
+        for (protocol, acc) in [
+            (ProtocolKind::Fdas, &mut fdas_total),
+            (ProtocolKind::NoForced, &mut raw_total),
+        ] {
+            let report = SimulationBuilder::new(spec.clone())
+                .protocol(protocol)
+                .record_trace()
+                .run()
+                .expect("simulation runs");
+            let ccp = CcpBuilder::from_trace(n, &report.trace.unwrap())
+                .expect("crash-free")
+                .build();
+            let worst = rdt_analysis::worst_single_failure(&ccp).unwrap();
+            *acc += worst.total();
+        }
+    }
+    assert!(
+        fdas_total <= raw_total,
+        "FDAS worst-case propagation {fdas_total} exceeded NoForced {raw_total}"
+    );
+}

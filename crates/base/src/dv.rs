@@ -1,0 +1,338 @@
+//! Transitive dependency vectors (Section 4.2 of the paper).
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CheckpointIndex, Error, IntervalIndex, ProcessId, Result};
+
+/// A transitive dependency vector `DV` as maintained by every process of an
+/// RDT checkpointing protocol and piggybacked on every application message.
+///
+/// Semantics (paper, Section 4.2):
+///
+/// * `DV[i]` — for the owner `p_i` — is the index of the checkpoint interval
+///   `p_i` currently executes in. It starts at `0` and is incremented
+///   immediately after each checkpoint is stored.
+/// * `DV[j]`, `j ≠ i`, is the highest interval index of `p_j` upon which the
+///   owner causally depends; it is updated whenever a message with a greater
+///   entry arrives.
+/// * The vector stored together with checkpoint `c_i^γ` satisfies
+///   `DV(c_i^γ)[i] = γ`.
+///
+/// Equation 2 (`c_a^α → c_b^β ⟺ α < DV(c_b^β)[a]`) is exposed as
+/// [`dominates_checkpoint`](Self::dominates_checkpoint), and Equation 3
+/// (`last_k_i(j) = DV(v_i)[j] − 1`) as
+/// [`last_known`](Self::last_known).
+///
+/// # Example
+///
+/// ```
+/// use rdt_base::{DependencyVector, ProcessId};
+///
+/// let p0 = ProcessId::new(0);
+/// let mut dv = DependencyVector::new(2);
+/// assert_eq!(dv.entry(p0).value(), 0);
+/// dv.begin_next_interval(p0); // checkpoint s_0^0 stored
+/// assert_eq!(dv.entry(p0).value(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DependencyVector {
+    entries: Vec<IntervalIndex>,
+}
+
+impl DependencyVector {
+    /// Creates the all-zero vector `(0, …, 0)` of a system with `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`; a system needs at least one process.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a system needs at least one process");
+        Self {
+            entries: vec![IntervalIndex::ZERO; n],
+        }
+    }
+
+    /// Builds a vector from raw interval indices.
+    ///
+    /// ```
+    /// use rdt_base::DependencyVector;
+    /// let dv = DependencyVector::from_raw(vec![1, 4, 2]);
+    /// assert_eq!(dv.len(), 3);
+    /// ```
+    pub fn from_raw(raw: Vec<usize>) -> Self {
+        assert!(!raw.is_empty(), "a system needs at least one process");
+        Self {
+            entries: raw.into_iter().map(IntervalIndex::new).collect(),
+        }
+    }
+
+    /// The number of processes `n` this vector covers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always `false`: vectors cover at least one process.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The entry for process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for this system size.
+    pub fn entry(&self, p: ProcessId) -> IntervalIndex {
+        self.entries[p.index()]
+    }
+
+    /// Fallible variant of [`entry`](Self::entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProcessOutOfRange`] if `p.index() >= n`.
+    pub fn try_entry(&self, p: ProcessId) -> Result<IntervalIndex> {
+        self.entries
+            .get(p.index())
+            .copied()
+            .ok_or(Error::ProcessOutOfRange {
+                process: p,
+                n: self.len(),
+            })
+    }
+
+    /// Iterates over `(process, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, IntervalIndex)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (ProcessId::new(i), v))
+    }
+
+    /// Raw entries as interval indices, in process order.
+    pub fn as_slice(&self) -> &[IntervalIndex] {
+        &self.entries
+    }
+
+    /// Raw entries as plain integers, in process order.
+    pub fn to_raw(&self) -> Vec<usize> {
+        self.entries.iter().map(|e| e.value()).collect()
+    }
+
+    /// Increments the owner's entry: called by `p_i` immediately after it
+    /// stores a checkpoint ("On taking checkpoint", Algorithm 2, line 4).
+    ///
+    /// Returns the interval the process now executes in.
+    pub fn begin_next_interval(&mut self, owner: ProcessId) -> IntervalIndex {
+        let e = &mut self.entries[owner.index()];
+        *e = e.next();
+        *e
+    }
+
+    /// Merges the vector piggybacked on a received message
+    /// ("On receiving m", Algorithm 2, lines 1–3): every entry of `other`
+    /// that is greater replaces the local entry.
+    ///
+    /// Returns the processes whose entries were updated, i.e. those bringing
+    /// *new causal information* — exactly the set for which RDT-LGC must
+    /// `release`/`link` (Algorithm 2, lines 4–5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn merge_from(&mut self, other: &DependencyVector) -> Vec<ProcessId> {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "dependency vectors must cover the same system"
+        );
+        let mut updated = Vec::new();
+        for (i, (mine, theirs)) in self
+            .entries
+            .iter_mut()
+            .zip(other.entries.iter())
+            .enumerate()
+        {
+            if theirs > mine {
+                *mine = *theirs;
+                updated.push(ProcessId::new(i));
+            }
+        }
+        updated
+    }
+
+    /// Whether merging `other` would bring new causal information, without
+    /// performing the merge. FDAS uses this to decide whether a forced
+    /// checkpoint is required before processing a receive.
+    pub fn would_learn_from(&self, other: &DependencyVector) -> bool {
+        assert_eq!(self.len(), other.len());
+        self.entries
+            .iter()
+            .zip(other.entries.iter())
+            .any(|(mine, theirs)| theirs > mine)
+    }
+
+    /// Equation 2 of the paper: does checkpoint `c_a^α` causally precede the
+    /// state (volatile or checkpointed) whose dependency vector is `self`?
+    ///
+    /// `c_a^α → state ⟺ α < DV(state)[a]`.
+    pub fn dominates_checkpoint(&self, a: ProcessId, alpha: CheckpointIndex) -> bool {
+        alpha.value() < self.entry(a).value()
+    }
+
+    /// Equation 3 of the paper: the last checkpoint of `p_j` known here,
+    /// `last_k(j) = DV[j] − 1`, or `None` if no checkpoint of `p_j` is known.
+    pub fn last_known(&self, j: ProcessId) -> Option<CheckpointIndex> {
+        self.entry(j).last_known_checkpoint()
+    }
+
+    /// Component-wise maximum of two vectors (the result of a merge, without
+    /// mutating either operand).
+    pub fn join(&self, other: &DependencyVector) -> DependencyVector {
+        assert_eq!(self.len(), other.len());
+        DependencyVector {
+            entries: self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .map(|(a, b)| (*a).max(*b))
+                .collect(),
+        }
+    }
+
+    /// Whether `self ≤ other` component-wise (causal-history containment).
+    pub fn le(&self, other: &DependencyVector) -> bool {
+        assert_eq!(self.len(), other.len());
+        self.entries
+            .iter()
+            .zip(other.entries.iter())
+            .all(|(a, b)| a <= b)
+    }
+}
+
+impl Index<ProcessId> for DependencyVector {
+    type Output = IntervalIndex;
+
+    fn index(&self, p: ProcessId) -> &IntervalIndex {
+        &self.entries[p.index()]
+    }
+}
+
+impl fmt::Display for DependencyVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn new_vector_is_all_zero() {
+        let dv = DependencyVector::new(4);
+        assert!(dv.iter().all(|(_, e)| e == IntervalIndex::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_process_system_is_rejected() {
+        let _ = DependencyVector::new(0);
+    }
+
+    #[test]
+    fn begin_next_interval_increments_owner_only() {
+        let mut dv = DependencyVector::new(3);
+        let now = dv.begin_next_interval(p(1));
+        assert_eq!(now, IntervalIndex::new(1));
+        assert_eq!(dv.to_raw(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max_and_reports_updates() {
+        let mut a = DependencyVector::from_raw(vec![2, 0, 5]);
+        let b = DependencyVector::from_raw(vec![1, 3, 5]);
+        let updated = a.merge_from(&b);
+        assert_eq!(a.to_raw(), vec![2, 3, 5]);
+        assert_eq!(updated, vec![p(1)]);
+    }
+
+    #[test]
+    fn merge_with_no_news_reports_nothing() {
+        let mut a = DependencyVector::from_raw(vec![2, 3, 5]);
+        let b = DependencyVector::from_raw(vec![2, 1, 0]);
+        assert!(a.merge_from(&b).is_empty());
+        assert_eq!(a.to_raw(), vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn would_learn_matches_merge_behaviour() {
+        let a = DependencyVector::from_raw(vec![2, 3, 5]);
+        let higher = DependencyVector::from_raw(vec![0, 4, 0]);
+        let lower = DependencyVector::from_raw(vec![2, 3, 5]);
+        assert!(a.would_learn_from(&higher));
+        assert!(!a.would_learn_from(&lower));
+    }
+
+    #[test]
+    fn equation_2_checkpoint_domination() {
+        // DV(state)[a] = 3 means checkpoints 0,1,2 of p_a precede the state.
+        let dv = DependencyVector::from_raw(vec![3, 0]);
+        assert!(dv.dominates_checkpoint(p(0), CheckpointIndex::new(2)));
+        assert!(!dv.dominates_checkpoint(p(0), CheckpointIndex::new(3)));
+        assert!(!dv.dominates_checkpoint(p(1), CheckpointIndex::new(0)));
+    }
+
+    #[test]
+    fn equation_3_last_known() {
+        let dv = DependencyVector::from_raw(vec![0, 4]);
+        assert_eq!(dv.last_known(p(0)), None);
+        assert_eq!(dv.last_known(p(1)), Some(CheckpointIndex::new(3)));
+    }
+
+    #[test]
+    fn join_is_commutative_max() {
+        let a = DependencyVector::from_raw(vec![2, 0, 5]);
+        let b = DependencyVector::from_raw(vec![1, 3, 5]);
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.join(&b).to_raw(), vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn le_is_componentwise() {
+        let a = DependencyVector::from_raw(vec![1, 2, 3]);
+        let b = DependencyVector::from_raw(vec![1, 3, 3]);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.le(&a));
+    }
+
+    #[test]
+    fn display_matches_paper_tuple_notation() {
+        let dv = DependencyVector::from_raw(vec![1, 4, 2]);
+        assert_eq!(dv.to_string(), "(1, 4, 2)");
+    }
+
+    #[test]
+    fn try_entry_rejects_out_of_range() {
+        let dv = DependencyVector::new(2);
+        assert!(dv.try_entry(p(1)).is_ok());
+        assert!(matches!(
+            dv.try_entry(p(2)),
+            Err(Error::ProcessOutOfRange { n: 2, .. })
+        ));
+    }
+}

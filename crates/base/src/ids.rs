@@ -1,0 +1,272 @@
+//! Typed indices for processes, checkpoints and checkpoint intervals.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process `p_i` in the system `Π = {p_1, …, p_n}`.
+///
+/// Internally zero-based (`0 ..= n-1`); the [`fmt::Display`] impl renders the
+/// paper's one-based notation (`p1`, `p2`, …).
+///
+/// ```
+/// use rdt_base::ProcessId;
+/// let p = ProcessId::new(0);
+/// assert_eq!(p.to_string(), "p1");
+/// assert_eq!(p.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process id from a zero-based index.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The zero-based index, suitable for indexing vectors of length `n`.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all process ids of a system with `n` processes.
+    ///
+    /// ```
+    /// use rdt_base::ProcessId;
+    /// let all: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(all, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl ExactSizeIterator<Item = ProcessId> {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// Index `γ` of a checkpoint `c_i^γ` within a single process.
+///
+/// Index `0` is the mandatory initial stable checkpoint `s_i^0` the paper
+/// requires every process to store before executing (Section 2.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CheckpointIndex(usize);
+
+impl CheckpointIndex {
+    /// The initial checkpoint index (`γ = 0`).
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a checkpoint index.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The raw index `γ`.
+    pub const fn value(self) -> usize {
+        self.0
+    }
+
+    /// The index of the checkpoint that follows this one (`γ + 1`).
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+
+    /// The index of the checkpoint preceding this one, or `None` for `γ = 0`.
+    pub fn prev(self) -> Option<Self> {
+        self.0.checked_sub(1).map(Self)
+    }
+
+    /// The interval `I_i^{γ+1}` that *starts* at this checkpoint.
+    ///
+    /// A process that has just stored checkpoint `γ` is executing in interval
+    /// `γ + 1`; equivalently, `DV[i] = γ + 1` (Section 4.2).
+    pub const fn interval_after(self) -> IntervalIndex {
+        IntervalIndex(self.0 + 1)
+    }
+}
+
+impl fmt::Display for CheckpointIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for CheckpointIndex {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// Index of a checkpoint interval `I_i^γ`: the events between `c_i^{γ-1}`
+/// (inclusive) and `c_i^γ` (exclusive).
+///
+/// Interval indices are exactly the values stored in dependency-vector
+/// entries: `DV[i]` is the interval `p_i` currently executes in, and
+/// `DV(v_i)[j]` is the highest interval of `p_j` that `p_i` depends upon.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct IntervalIndex(usize);
+
+impl IntervalIndex {
+    /// Interval `0`: execution before any knowledge of the process exists.
+    ///
+    /// A dependency-vector entry `DV[j] = 0` means "no checkpoint of `p_j`
+    /// is known", i.e. `last_k_i(j) = −1` in the paper's notation.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates an interval index.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The raw index.
+    pub const fn value(self) -> usize {
+        self.0
+    }
+
+    /// The next interval.
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+
+    /// The checkpoint whose storage *opened* this interval, i.e. the last
+    /// checkpoint known when a dependency-vector entry holds this value.
+    ///
+    /// Implements Equation 3 of the paper: `last_k_i(j) = DV(v_i)[j] − 1`.
+    /// Returns `None` when the interval is `0` (no checkpoint known).
+    pub fn last_known_checkpoint(self) -> Option<CheckpointIndex> {
+        self.0.checked_sub(1).map(CheckpointIndex)
+    }
+
+    /// Interprets this interval index as the checkpoint index it equals
+    /// numerically.
+    ///
+    /// Useful when a checkpoint is stored: the checkpoint `c_i^γ` is stored
+    /// while `DV[i] = γ`, so the current self-entry *is* the new checkpoint's
+    /// index.
+    pub const fn as_checkpoint(self) -> CheckpointIndex {
+        CheckpointIndex(self.0)
+    }
+}
+
+impl fmt::Display for IntervalIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for IntervalIndex {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// Fully-qualified checkpoint identifier: process plus per-process index,
+/// i.e. the paper's `c_i^γ`.
+///
+/// ```
+/// use rdt_base::{CheckpointId, CheckpointIndex, ProcessId};
+/// let c = CheckpointId::new(ProcessId::new(1), CheckpointIndex::new(3));
+/// assert_eq!(c.to_string(), "c_p2^3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CheckpointId {
+    /// The process that took the checkpoint.
+    pub process: ProcessId,
+    /// The per-process checkpoint index `γ`.
+    pub index: CheckpointIndex,
+}
+
+impl CheckpointId {
+    /// Creates a checkpoint identifier.
+    pub const fn new(process: ProcessId, index: CheckpointIndex) -> Self {
+        Self { process, index }
+    }
+
+    /// The initial checkpoint `s_i^0` of a process.
+    pub const fn initial(process: ProcessId) -> Self {
+        Self {
+            process,
+            index: CheckpointIndex::ZERO,
+        }
+    }
+}
+
+impl fmt::Display for CheckpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c_{}^{}", self.process, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_display_is_one_based() {
+        assert_eq!(ProcessId::new(0).to_string(), "p1");
+        assert_eq!(ProcessId::new(9).to_string(), "p10");
+    }
+
+    #[test]
+    fn process_all_enumerates_in_order() {
+        let ids: Vec<_> = ProcessId::all(4).map(|p| p.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn checkpoint_next_prev_roundtrip() {
+        let c = CheckpointIndex::new(5);
+        assert_eq!(c.next().prev(), Some(c));
+        assert_eq!(CheckpointIndex::ZERO.prev(), None);
+    }
+
+    #[test]
+    fn interval_after_checkpoint_matches_paper_convention() {
+        // After storing checkpoint γ the process runs in interval γ+1.
+        assert_eq!(
+            CheckpointIndex::new(3).interval_after(),
+            IntervalIndex::new(4)
+        );
+    }
+
+    #[test]
+    fn last_known_checkpoint_is_dv_minus_one() {
+        // Equation 3: last_k_i(j) = DV(v_i)[j] − 1.
+        assert_eq!(IntervalIndex::ZERO.last_known_checkpoint(), None);
+        assert_eq!(
+            IntervalIndex::new(4).last_known_checkpoint(),
+            Some(CheckpointIndex::new(3))
+        );
+    }
+
+    #[test]
+    fn checkpoint_id_display() {
+        let c = CheckpointId::new(ProcessId::new(2), CheckpointIndex::new(7));
+        assert_eq!(c.to_string(), "c_p3^7");
+    }
+
+    #[test]
+    fn checkpoint_id_ordering_is_process_major() {
+        let a = CheckpointId::new(ProcessId::new(0), CheckpointIndex::new(9));
+        let b = CheckpointId::new(ProcessId::new(1), CheckpointIndex::new(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn initial_checkpoint_has_index_zero() {
+        let c = CheckpointId::initial(ProcessId::new(1));
+        assert_eq!(c.index, CheckpointIndex::ZERO);
+    }
+}

@@ -1,0 +1,138 @@
+//! A common exchange format for executions.
+//!
+//! Workload generators produce scripts of [`TraceEvent`]s, the simulators
+//! consume and re-emit them (enriched with forced checkpoints, drops and
+//! failures), and the offline [`rdt-ccp`] oracle replays them into a
+//! checkpoint-and-communication pattern for validation.
+//!
+//! [`rdt-ccp`]: https://docs.rs/rdt-ccp
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CheckpointIndex, MessageId, ProcessId};
+
+/// One step of a distributed execution, in a global order that respects
+/// causality (a [`TraceEvent::Deliver`] never precedes its
+/// [`TraceEvent::Send`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Process `process` stores a stable checkpoint.
+    ///
+    /// `forced` distinguishes protocol-induced checkpoints from basic
+    /// (autonomous) ones; the offline model treats them identically.
+    Checkpoint {
+        /// The checkpointing process.
+        process: ProcessId,
+        /// Whether the checkpoint was forced by the protocol.
+        forced: bool,
+    },
+    /// Process `from` sends message `id` to process `to`.
+    Send {
+        /// The message id (sender + per-sender sequence).
+        id: MessageId,
+        /// Destination process.
+        to: ProcessId,
+    },
+    /// The destination of `id` receives it.
+    Deliver {
+        /// The message being delivered.
+        id: MessageId,
+    },
+    /// Message `id` is dropped by the network (never delivered).
+    Drop {
+        /// The lost message.
+        id: MessageId,
+    },
+    /// Process `process` eliminates stable checkpoint `index` (garbage
+    /// collection). Does not affect the CCP's dependency structure; recorded
+    /// so offline auditors can check each elimination against the
+    /// Theorem-1 oracle at the cut where it happened.
+    Collect {
+        /// The collecting process.
+        process: ProcessId,
+        /// The eliminated checkpoint's index.
+        index: CheckpointIndex,
+    },
+    /// Process crashes, losing its volatile state.
+    Crash {
+        /// The crashed process.
+        process: ProcessId,
+    },
+    /// Process restores checkpoint `to` during a recovery session and resumes
+    /// execution from it (later checkpoints are discarded).
+    Restore {
+        /// The recovering process.
+        process: ProcessId,
+        /// The checkpoint index restored.
+        to: CheckpointIndex,
+    },
+}
+
+impl TraceEvent {
+    /// The process whose local history this event extends, if any.
+    ///
+    /// `Drop` happens in the network and belongs to no process.
+    pub fn process(&self) -> Option<ProcessId> {
+        match self {
+            TraceEvent::Checkpoint { process, .. } => Some(*process),
+            TraceEvent::Send { id, .. } => Some(id.sender),
+            TraceEvent::Deliver { .. } => None, // destination resolved via the Send
+            TraceEvent::Drop { .. } => None,
+            TraceEvent::Collect { process, .. } => Some(*process),
+            TraceEvent::Crash { process } => Some(*process),
+            TraceEvent::Restore { process, .. } => Some(*process),
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Checkpoint { process, forced } => {
+                write!(f, "ckpt {process}{}", if *forced { " (forced)" } else { "" })
+            }
+            TraceEvent::Send { id, to } => write!(f, "send {id} → {to}"),
+            TraceEvent::Deliver { id } => write!(f, "deliver {id}"),
+            TraceEvent::Drop { id } => write!(f, "drop {id}"),
+            TraceEvent::Collect { process, index } => write!(f, "collect {process} s^{index}"),
+            TraceEvent::Crash { process } => write!(f, "crash {process}"),
+            TraceEvent::Restore { process, to } => write!(f, "restore {process} → {to}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceEvent::Send {
+            id: MessageId::new(ProcessId::new(0), 3),
+            to: ProcessId::new(1),
+        };
+        assert_eq!(e.to_string(), "send m(p1#3) → p2");
+    }
+
+    #[test]
+    fn process_attribution() {
+        let p = ProcessId::new(2);
+        assert_eq!(
+            TraceEvent::Checkpoint {
+                process: p,
+                forced: false
+            }
+            .process(),
+            Some(p)
+        );
+        assert_eq!(
+            TraceEvent::Drop {
+                id: MessageId::new(p, 0)
+            }
+            .process(),
+            None
+        );
+    }
+}

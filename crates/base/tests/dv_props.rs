@@ -1,0 +1,88 @@
+//! Property tests for dependency-vector algebra.
+
+use proptest::prelude::*;
+use rdt_base::{DependencyVector, ProcessId};
+
+fn raw_vec(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..32, n)
+}
+
+proptest! {
+    /// Merging is idempotent: merging the same vector twice changes nothing
+    /// the second time.
+    #[test]
+    fn merge_is_idempotent(a in raw_vec(5), b in raw_vec(5)) {
+        let mut x = DependencyVector::from_raw(a);
+        let b = DependencyVector::from_raw(b);
+        x.merge_from(&b);
+        let snapshot = x.clone();
+        let updated = x.merge_from(&b);
+        prop_assert!(updated.is_empty());
+        prop_assert_eq!(x, snapshot);
+    }
+
+    /// `join` is the least upper bound: both operands are ≤ the join, and the
+    /// join is ≤ any other common upper bound.
+    #[test]
+    fn join_is_least_upper_bound(a in raw_vec(4), b in raw_vec(4)) {
+        let a = DependencyVector::from_raw(a);
+        let b = DependencyVector::from_raw(b);
+        let j = a.join(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+        // Any common upper bound dominates the join.
+        let ub = DependencyVector::from_raw(
+            a.to_raw().iter().zip(b.to_raw()).map(|(x, y)| (*x).max(y) + 1).collect(),
+        );
+        prop_assert!(j.le(&ub));
+    }
+
+    /// `merge_from` makes the receiver equal to the join.
+    #[test]
+    fn merge_equals_join(a in raw_vec(6), b in raw_vec(6)) {
+        let mut x = DependencyVector::from_raw(a.clone());
+        let a = DependencyVector::from_raw(a);
+        let b = DependencyVector::from_raw(b);
+        x.merge_from(&b);
+        prop_assert_eq!(x, a.join(&b));
+    }
+
+    /// `would_learn_from` is true exactly when a merge would update entries.
+    #[test]
+    fn would_learn_predicts_merge(a in raw_vec(5), b in raw_vec(5)) {
+        let a = DependencyVector::from_raw(a);
+        let b = DependencyVector::from_raw(b);
+        let mut x = a.clone();
+        let updated = x.merge_from(&b);
+        prop_assert_eq!(a.would_learn_from(&b), !updated.is_empty());
+    }
+
+    /// Equation 2 and Equation 3 agree: the last known checkpoint of `p_j` is
+    /// dominated, and the next one is not.
+    #[test]
+    fn eq2_eq3_agree(raw in raw_vec(5), j in 0usize..5) {
+        let dv = DependencyVector::from_raw(raw);
+        let j = ProcessId::new(j);
+        match dv.last_known(j) {
+            Some(last) => {
+                prop_assert!(dv.dominates_checkpoint(j, last));
+                prop_assert!(!dv.dominates_checkpoint(j, last.next()));
+            }
+            None => {
+                // No checkpoint of p_j precedes this state.
+                prop_assert!(!dv.dominates_checkpoint(j, rdt_base::CheckpointIndex::ZERO));
+            }
+        }
+    }
+
+    /// `le` is a partial order: reflexive and antisymmetric on these samples.
+    #[test]
+    fn le_partial_order(a in raw_vec(4), b in raw_vec(4)) {
+        let a = DependencyVector::from_raw(a);
+        let b = DependencyVector::from_raw(b);
+        prop_assert!(a.le(&a));
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

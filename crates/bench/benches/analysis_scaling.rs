@@ -1,0 +1,80 @@
+//! Ablation: scaling of the offline analyses with system size.
+//!
+//! * `rollback_graph_build` — `RollbackGraph::new` is linear in events +
+//!   messages (one pass over the message table).
+//! * `rollback_graph_closure` — one undone-interval closure is linear in
+//!   intervals + edges.
+//! * `dv_merge` — a dependency-vector merge is `O(n)`, the per-event cost
+//!   Section 4.5 claims for the whole middleware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdt_analysis::RollbackGraph;
+use rdt_base::{DependencyVector, ProcessId};
+use rdt_ccp::{Ccp, CcpBuilder};
+use rdt_core::GcKind;
+use rdt_protocols::ProtocolKind;
+use rdt_sim::SimulationBuilder;
+use rdt_workloads::WorkloadSpec;
+
+/// Builds a protocol-generated CCP with `n` processes and `steps` ops.
+fn ccp_for(n: usize, steps: usize) -> Ccp {
+    let spec = WorkloadSpec::uniform_random(n, steps)
+        .with_seed(7)
+        .with_checkpoint_prob(0.2);
+    let report = SimulationBuilder::new(spec)
+        .protocol(ProtocolKind::Fdas)
+        .garbage_collector(GcKind::None)
+        .record_trace()
+        .run()
+        .expect("simulation runs");
+    CcpBuilder::from_trace(n, &report.trace.unwrap())
+        .expect("crash-free")
+        .build()
+}
+
+fn bench_rollback_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback_graph_build");
+    for n in [2usize, 4, 8, 16] {
+        let ccp = ccp_for(n, 200 * n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ccp, |b, ccp| {
+            b.iter(|| RollbackGraph::new(std::hint::black_box(ccp)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("rollback_graph_closure");
+    for n in [2usize, 4, 8, 16] {
+        let ccp = ccp_for(n, 200 * n);
+        let rg = RollbackGraph::new(&ccp);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rg, |b, rg| {
+            b.iter(|| rg.undone([ProcessId::new(0)]));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dv_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dv_merge");
+    for n in [4usize, 16, 64, 256] {
+        let mut a = DependencyVector::new(n);
+        let mut b = DependencyVector::new(n);
+        for i in 0..n {
+            let p = ProcessId::new(i);
+            if i % 2 == 0 {
+                a.begin_next_interval(p);
+            } else {
+                b.begin_next_interval(p);
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut dst = a.clone();
+                dst.merge_from(std::hint::black_box(&b))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollback_graph, bench_dv_merge);
+criterion_main!(benches);

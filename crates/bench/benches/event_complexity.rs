@@ -1,0 +1,73 @@
+//! Section 4.5 complexity claim: every RDT-LGC event handler is O(n).
+//!
+//! Measures the amortized cost of processing a news-bearing receive and of
+//! taking a checkpoint, as the system size n grows. The per-event cost
+//! should scale linearly in n (dependency-vector merge dominates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rdt_base::{DependencyVector, Payload, ProcessId};
+use rdt_core::GcKind;
+use rdt_protocols::{Middleware, Piggyback, ProtocolKind};
+
+/// Processes `events` receives on a fresh middleware, each bringing fresh
+/// causal information from a rotating peer.
+fn run_receives(n: usize, events: usize) -> u64 {
+    let mut mw = Middleware::new(ProcessId::new(0), n, ProtocolKind::Fdas, GcKind::RdtLgc);
+    let mut peer_dv = DependencyVector::new(n);
+    let mut acc = 0u64;
+    for k in 0..events {
+        let j = 1 + (k % (n - 1));
+        peer_dv.begin_next_interval(ProcessId::new(j));
+        let report = mw
+            .receive_piggyback(&Piggyback {
+                dv: peer_dv.clone(),
+                index: 0,
+            })
+            .expect("alive");
+        acc += report.updated.len() as u64;
+    }
+    acc
+}
+
+/// Takes `events` basic checkpoints on a fresh middleware.
+fn run_checkpoints(n: usize, events: usize) -> u64 {
+    let mut mw = Middleware::new(ProcessId::new(0), n, ProtocolKind::Fdas, GcKind::RdtLgc);
+    let mut acc = 0u64;
+    for _ in 0..events {
+        acc += mw.basic_checkpoint().expect("alive").eliminated.len() as u64;
+    }
+    acc
+}
+
+/// Sends `events` messages (piggyback construction is the O(n) part).
+fn run_sends(n: usize, events: usize) -> u64 {
+    let mut mw = Middleware::new(ProcessId::new(0), n, ProtocolKind::Fdas, GcKind::RdtLgc);
+    let mut acc = 0u64;
+    for _ in 0..events {
+        let msg = mw.send(ProcessId::new(1), Payload::empty());
+        acc += msg.meta.dv.len() as u64;
+    }
+    acc
+}
+
+fn bench_events(c: &mut Criterion) {
+    const EVENTS: usize = 512;
+    let mut group = c.benchmark_group("event_complexity");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for n in [4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("receive", n), &n, |b, &n| {
+            b.iter(|| run_receives(n, EVENTS));
+        });
+        group.bench_with_input(BenchmarkId::new("checkpoint", n), &n, |b, &n| {
+            b.iter(|| run_checkpoints(n, EVENTS));
+        });
+        group.bench_with_input(BenchmarkId::new("send", n), &n, |b, &n| {
+            b.iter(|| run_sends(n, EVENTS));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

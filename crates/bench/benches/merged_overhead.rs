@@ -1,0 +1,49 @@
+//! Section 4.5: merging RDT-LGC into FDAS adds no asymptotic cost — the
+//! dependency-vector propagation both already perform dominates.
+//!
+//! Compares plain FDAS (no collector) against the merged FDAS + RDT-LGC
+//! (Algorithm 4) on identical event streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rdt_base::{DependencyVector, ProcessId};
+use rdt_core::GcKind;
+use rdt_protocols::{Middleware, Piggyback, ProtocolKind};
+
+/// A mixed stream: receive fresh info, occasionally checkpoint.
+fn run_stream(n: usize, events: usize, gc: GcKind) -> usize {
+    let mut mw = Middleware::new(ProcessId::new(0), n, ProtocolKind::Fdas, gc);
+    let mut peer_dv = DependencyVector::new(n);
+    for k in 0..events {
+        if k % 7 == 0 {
+            mw.basic_checkpoint().expect("alive");
+        } else {
+            let j = 1 + (k % (n - 1));
+            peer_dv.begin_next_interval(ProcessId::new(j));
+            mw.receive_piggyback(&Piggyback {
+                dv: peer_dv.clone(),
+                index: 0,
+            })
+            .expect("alive");
+        }
+    }
+    mw.store().len()
+}
+
+fn bench_merged(c: &mut Criterion) {
+    const EVENTS: usize = 512;
+    let mut group = c.benchmark_group("merged_overhead");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for n in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("fdas_plain", n), &n, |b, &n| {
+            b.iter(|| run_stream(n, EVENTS, GcKind::None));
+        });
+        group.bench_with_input(BenchmarkId::new("fdas_with_lgc", n), &n, |b, &n| {
+            b.iter(|| run_stream(n, EVENTS, GcKind::RdtLgc));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merged);
+criterion_main!(benches);

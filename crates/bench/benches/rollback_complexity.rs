@@ -1,0 +1,55 @@
+//! Section 4.5 complexity claim: Algorithm 3 (rollback garbage collection)
+//! runs in O(n log s) for n processes and s stored checkpoints, thanks to
+//! the binary search over the monotone dependency-vector entries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use rdt_base::{CheckpointIndex, DependencyVector, ProcessId};
+use rdt_core::{CheckpointStore, GarbageCollector, LastIntervals, RdtLgc};
+
+/// Builds a store holding `s` checkpoints of a process in an `n`-system,
+/// with dependency entries growing over time (the realistic monotone shape).
+fn build_store(n: usize, s: usize) -> (CheckpointStore, DependencyVector, LastIntervals) {
+    let owner = ProcessId::new(0);
+    let mut store = CheckpointStore::new(owner);
+    let mut dv = DependencyVector::new(n);
+    for k in 0..s {
+        // Knowledge of peers advances every few checkpoints.
+        if k % 3 == 0 {
+            for j in 1..n {
+                if (k / 3) % j.max(1) == 0 {
+                    dv.begin_next_interval(ProcessId::new(j));
+                }
+            }
+        }
+        store.insert(CheckpointIndex::new(k), dv.clone());
+        dv.begin_next_interval(owner);
+    }
+    let li = LastIntervals::from_dv(&dv);
+    (store, dv, li)
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback_complexity");
+    for n in [8usize, 64] {
+        for s in [16usize, 128, 1024] {
+            let (store, dv, li) = build_store(n, s);
+            let ri = CheckpointIndex::new(s - 1);
+            group.bench_with_input(
+                BenchmarkId::new(format!("algorithm3_n{n}"), s),
+                &s,
+                |b, _| {
+                    b.iter_batched(
+                        || (RdtLgc::new(ProcessId::new(0), n), store.clone()),
+                        |(mut gc, mut store)| gc.after_rollback(&mut store, ri, Some(&li), &dv),
+                        BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollback);
+criterion_main!(benches);

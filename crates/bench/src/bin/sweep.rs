@@ -1,0 +1,181 @@
+//! Free-form exploration CLI: run one simulation with parameters from the
+//! command line and print the full report.
+//!
+//! ```sh
+//! cargo run --release -p rdt-bench --bin sweep -- \
+//!     n=8 steps=5000 seed=3 protocol=fdas gc=rdt-lgc pattern=ring \
+//!     ckpt=0.3 crash=0.005 loss=0.1 state-size=4096
+//! ```
+//!
+//! Unknown keys abort with the list of valid ones.
+
+use rdt_core::GcKind;
+use rdt_protocols::ProtocolKind;
+use rdt_recovery::RecoveryMode;
+use rdt_sim::{ChannelConfig, SimConfig, SimulationBuilder};
+use rdt_workloads::{Pattern, WorkloadSpec};
+
+#[derive(Debug)]
+struct Args {
+    n: usize,
+    steps: usize,
+    seed: u64,
+    protocol: ProtocolKind,
+    gc: GcKind,
+    pattern: Pattern,
+    ckpt: f64,
+    crash: f64,
+    loss: f64,
+    state_size: usize,
+    control_every: Option<u64>,
+    mode: RecoveryMode,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            n: 6,
+            steps: 2_000,
+            seed: 0,
+            protocol: ProtocolKind::Fdas,
+            gc: GcKind::RdtLgc,
+            pattern: Pattern::UniformRandom,
+            ckpt: 0.25,
+            crash: 0.0,
+            loss: 0.0,
+            state_size: 0,
+            control_every: None,
+            mode: RecoveryMode::Coordinated,
+        }
+    }
+}
+
+fn parse_protocol(v: &str) -> ProtocolKind {
+    match v {
+        "no-forced" => ProtocolKind::NoForced,
+        "cbr" => ProtocolKind::Cbr,
+        "fdi" => ProtocolKind::Fdi,
+        "fdas" => ProtocolKind::Fdas,
+        "bcs" => ProtocolKind::Bcs,
+        other => die(&format!("unknown protocol '{other}' (no-forced|cbr|fdi|fdas|bcs)")),
+    }
+}
+
+fn parse_gc(v: &str) -> GcKind {
+    match v {
+        "rdt-lgc" => GcKind::RdtLgc,
+        "none" | "no-gc" => GcKind::None,
+        "simple" | "simple-coordinated" => GcKind::SimpleCoordinated,
+        "wang" | "wang-global" => GcKind::WangGlobal,
+        other => die(&format!("unknown gc '{other}' (rdt-lgc|none|simple|wang)")),
+    }
+}
+
+fn parse_pattern(v: &str, n: usize) -> Pattern {
+    match v {
+        "uniform" | "uniform-random" => Pattern::UniformRandom,
+        "ring" => Pattern::Ring,
+        "client-server" => Pattern::ClientServer {
+            servers: (n / 4).max(1),
+        },
+        "bursty" => Pattern::Bursty { burst: 8 },
+        "token-ring" => Pattern::TokenRing,
+        other => die(&format!(
+            "unknown pattern '{other}' (uniform|ring|client-server|bursty|token-ring)"
+        )),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sweep: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut pattern_raw: Option<String> = None;
+    for raw in std::env::args().skip(1) {
+        let Some((key, value)) = raw.split_once('=') else {
+            die(&format!("expected key=value, got '{raw}'"));
+        };
+        match key {
+            "n" => args.n = value.parse().unwrap_or_else(|_| die("n must be an integer")),
+            "steps" => args.steps = value.parse().unwrap_or_else(|_| die("steps must be an integer")),
+            "seed" => args.seed = value.parse().unwrap_or_else(|_| die("seed must be an integer")),
+            "protocol" => args.protocol = parse_protocol(value),
+            "gc" => args.gc = parse_gc(value),
+            "pattern" => pattern_raw = Some(value.to_string()),
+            "ckpt" => args.ckpt = value.parse().unwrap_or_else(|_| die("ckpt must be a float")),
+            "crash" => args.crash = value.parse().unwrap_or_else(|_| die("crash must be a float")),
+            "loss" => args.loss = value.parse().unwrap_or_else(|_| die("loss must be a float")),
+            "state-size" => {
+                args.state_size = value.parse().unwrap_or_else(|_| die("state-size must be an integer"));
+            }
+            "control-every" => {
+                args.control_every =
+                    Some(value.parse().unwrap_or_else(|_| die("control-every must be an integer")));
+            }
+            "mode" => {
+                args.mode = match value {
+                    "coordinated" => RecoveryMode::Coordinated,
+                    "uncoordinated" => RecoveryMode::Uncoordinated,
+                    other => die(&format!("unknown mode '{other}'")),
+                }
+            }
+            other => die(&format!(
+                "unknown key '{other}' (n steps seed protocol gc pattern ckpt crash loss state-size control-every mode)"
+            )),
+        }
+    }
+    if let Some(p) = pattern_raw {
+        args.pattern = parse_pattern(&p, args.n);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!("{args:#?}");
+
+    let spec = WorkloadSpec::uniform_random(args.n, args.steps)
+        .with_pattern(args.pattern)
+        .with_seed(args.seed)
+        .with_checkpoint_prob(args.ckpt)
+        .with_crash_prob(args.crash);
+    let config = SimConfig {
+        channel: ChannelConfig::lossy(args.loss),
+        control_every: args.control_every,
+        state_size: args.state_size,
+        ..SimConfig::default()
+    };
+    let report = SimulationBuilder::new(spec)
+        .protocol(args.protocol)
+        .garbage_collector(args.gc)
+        .config(config)
+        .recovery_mode(args.mode)
+        .run()
+        .expect("simulation runs");
+
+    println!();
+    println!("ticks: {}", report.metrics.ticks);
+    println!(
+        "checkpoints: {} basic + {} forced, {} collected",
+        report.metrics.total_basic(),
+        report.metrics.total_forced(),
+        report.metrics.total_collected()
+    );
+    println!(
+        "messages delivered: {}",
+        report.metrics.total_delivered()
+    );
+    println!(
+        "retention: avg {:.2} / max {} per process (bound n+1 = {})",
+        report.metrics.avg_retained(),
+        report.metrics.max_retained_per_process(),
+        args.n + 1
+    );
+    println!("recovery sessions: {}", report.recovery_sessions.len());
+    for (i, retained) in report.final_retained.iter().enumerate() {
+        println!("  p{} retains {retained:?}", i + 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Synthetic Table S5 — rollback propagation by protocol (Agbaria et al.,
+//! SRDS 2001 style): how far does a single failure roll the system back?
+//!
+//! For each protocol, identical crash-free traffic is run through the
+//! simulator, the trace is replayed into an offline CCP, and every single
+//! failure's rollback is quantified through the rollback-dependency graph
+//! (`rdt-analysis`). The paper's §1 claim is visible in the shape: RDT
+//! protocols bound the propagation, BCS (domino-free, not RDT) sits close,
+//! and no-forced checkpointing suffers unbounded cascades.
+
+use rdt_analysis::PropagationReport;
+use rdt_base::ProcessId;
+use rdt_bench::{header, mean_pm};
+use rdt_ccp::CcpBuilder;
+use rdt_core::GcKind;
+use rdt_protocols::ProtocolKind;
+use rdt_sim::SimulationBuilder;
+use rdt_workloads::WorkloadSpec;
+
+fn main() {
+    let n = 6;
+    let steps = 1_500;
+    let seeds = 5u64;
+    header(
+        "table_propagation (S5)",
+        "single-failure rollback propagation by protocol",
+        &format!("n = {n}, {steps} ops, ckpt prob 0.15, {seeds} seeds, all single failures"),
+    );
+    println!(
+        "{:<10} {:>14} {:>10} {:>10} {:>10} {:>6}",
+        "protocol", "avg rolled", "worst", "affected", "domino%", "RDT"
+    );
+
+    for protocol in [
+        ProtocolKind::NoForced,
+        ProtocolKind::Bcs,
+        ProtocolKind::Cas,
+        ProtocolKind::Casbr,
+        ProtocolKind::Cbr,
+        ProtocolKind::Mrs,
+        ProtocolKind::Fdi,
+        ProtocolKind::Fdas,
+    ] {
+        let mut totals = Vec::new();
+        let mut worst = 0usize;
+        let mut affected = Vec::new();
+        let mut domino = 0usize;
+        let mut cases = 0usize;
+        for seed in 0..seeds {
+            let spec = WorkloadSpec::uniform_random(n, steps)
+                .with_seed(seed)
+                .with_checkpoint_prob(0.15);
+            let report = SimulationBuilder::new(spec)
+                .protocol(protocol)
+                .garbage_collector(GcKind::None)
+                .record_trace()
+                .run()
+                .expect("simulation runs");
+            let ccp = CcpBuilder::from_trace(n, &report.trace.unwrap())
+                .expect("crash-free trace replays")
+                .build();
+            for f in ProcessId::all(n) {
+                let r = PropagationReport::compute(&ccp, &[f]);
+                totals.push(r.total() as f64);
+                worst = worst.max(r.total());
+                affected.push(r.affected_processes() as f64);
+                domino += usize::from(r.reached_initial);
+                cases += 1;
+            }
+        }
+        println!(
+            "{:<10} {:>14} {:>10} {:>10} {:>9.1}% {:>6}",
+            protocol.to_string(),
+            mean_pm(&totals),
+            worst,
+            mean_pm(&affected),
+            100.0 * domino as f64 / cases as f64,
+            protocol.ensures_rdt(),
+        );
+    }
+    println!(
+        "\nshape: no-forced cascades (large rolled-back counts, frequent dominoes\n\
+         to the initial state); every RDT protocol and BCS stay bounded — the\n\
+         denser the forced checkpointing, the shallower the rollback."
+    );
+}

@@ -1,0 +1,97 @@
+//! Synthetic Table S6 — garbage-collection **safety** under the Theorem-1
+//! oracle: the cost of replacing causal knowledge with time assumptions.
+//!
+//! Every elimination the simulator performs is audited at its own cut by
+//! `rdt_ccp::collection_safety_violations`. RDT-LGC (Theorem 4) and the
+//! coordinated collectors are provably safe; the time-based collector of
+//! Manivannan & Singhal \[14\] is safe only while its real-time assumption
+//! holds — shrink the horizon or slow the channel and it collects
+//! checkpoints future recovery lines still need.
+
+use rdt_bench::header;
+use rdt_ccp::collection_safety_violations;
+use rdt_core::GcKind;
+use rdt_protocols::ProtocolKind;
+use rdt_sim::{ChannelConfig, SimConfig, SimulationBuilder};
+use rdt_workloads::WorkloadSpec;
+
+fn main() {
+    let n = 4;
+    let steps = 400;
+    let seeds = 6u64;
+    header(
+        "table_safety (S6)",
+        "GC safety violations vs the Theorem-1 oracle (audited per elimination)",
+        &format!("n = {n}, {steps} ops, ckpt prob 0.15, {seeds} seeds, FDAS"),
+    );
+    println!(
+        "{:<18} {:<12} {:>10} {:>12} {:>12}",
+        "collector", "channel", "collected", "violations", "avg stored"
+    );
+
+    let channels = [
+        ("fast(1-20)", ChannelConfig::reliable()),
+        (
+            "slow(50-400)",
+            ChannelConfig {
+                min_delay: 50,
+                max_delay: 400,
+                loss_rate: 0.0,
+            },
+        ),
+    ];
+    let collectors = [
+        GcKind::RdtLgc,
+        GcKind::TimeBased { horizon: 2_000 },
+        GcKind::TimeBased { horizon: 500 },
+        GcKind::TimeBased { horizon: 60 },
+    ];
+
+    for gc in collectors {
+        for (label, channel) in channels {
+            let mut collected = 0usize;
+            let mut violations = 0usize;
+            let mut avg_stored = 0.0;
+            for seed in 0..seeds {
+                let spec = WorkloadSpec::uniform_random(n, steps)
+                    .with_seed(seed)
+                    .with_checkpoint_prob(0.15);
+                let config = SimConfig {
+                    channel,
+                    ..SimConfig::default()
+                };
+                let report = SimulationBuilder::new(spec)
+                    .protocol(ProtocolKind::Fdas)
+                    .garbage_collector(gc)
+                    .config(config)
+                    .record_trace()
+                    .run()
+                    .expect("simulation runs");
+                collected += report.metrics.total_collected();
+                avg_stored += report.metrics.avg_retained();
+                violations += collection_safety_violations(n, &report.trace.unwrap())
+                    .expect("crash-free trace replays")
+                    .len();
+            }
+            println!(
+                "{:<18} {:<12} {:>10} {:>12} {:>12.2}",
+                gc.to_string(),
+                label,
+                collected,
+                violations,
+                avg_stored / seeds as f64,
+            );
+            if gc == GcKind::RdtLgc {
+                assert_eq!(violations, 0, "Theorem 4: RDT-LGC is safe");
+            }
+        }
+    }
+    println!(
+        "\nshape: RDT-LGC collects aggressively with zero violations on every\n\
+         channel and holds storage near the optimum. The time-based collector\n\
+         must pick a horizon blind: far above the real checkpoint cadence it is\n\
+         safe but hoards storage; at or below the cadence it matches RDT-LGC's\n\
+         storage only by destroying non-obsolete checkpoints. Causal knowledge\n\
+         is what makes 'aggressive' compatible with 'safe'."
+    );
+}

@@ -1,0 +1,122 @@
+//! Causal precedence between checkpoints (Definition 1 + Equation 2).
+
+use rdt_base::{CheckpointId, ProcessId};
+
+use crate::model::{Ccp, GeneralCheckpoint};
+
+impl Ccp {
+    /// Whether checkpoint `a` causally precedes general checkpoint `b`
+    /// (`a → b` in the paper's notation).
+    ///
+    /// Implemented with Equation 2: `c_a^α → c_b^β ⟺ α < DV(c_b^β)[a]`.
+    /// Transitive dependency vectors are exact vector clocks over checkpoint
+    /// intervals, so this holds for *any* CCP, not only RD-trackable ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` does not exist in this CCP; `a` need not exist (a
+    /// checkpoint never taken precedes nothing).
+    pub fn precedes(&self, a: GeneralCheckpoint, b: GeneralCheckpoint) -> bool {
+        let dv_b = self.dv(b).expect("precedes: target checkpoint must exist");
+        dv_b.dominates_checkpoint(a.process, a.index)
+    }
+
+    /// Whether stable checkpoint `a` causally precedes the volatile state of
+    /// process `p` (i.e. `a → v_p`).
+    pub fn precedes_volatile(&self, a: CheckpointId, p: ProcessId) -> bool {
+        self.volatile_dv(p).dominates_checkpoint(a.process, a.index)
+    }
+
+    /// Whether two general checkpoints are *consistent*: not causally related
+    /// in either direction (Section 2.2).
+    pub fn consistent_pair(&self, a: GeneralCheckpoint, b: GeneralCheckpoint) -> bool {
+        !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// The paper's `s_f^last → c_i^γ` test used throughout Lemma 1 and
+    /// Theorem 1: does the *last stable checkpoint* of `f` causally precede
+    /// general checkpoint `c`?
+    pub fn last_stable_precedes(&self, f: ProcessId, c: GeneralCheckpoint) -> bool {
+        self.precedes(GeneralCheckpoint::new(f, self.last_stable(f)), c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rdt_base::CheckpointIndex;
+
+    use super::*;
+    use crate::CcpBuilder;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn g(i: usize, idx: usize) -> GeneralCheckpoint {
+        GeneralCheckpoint::new(p(i), CheckpointIndex::new(idx))
+    }
+
+    /// Build the chain: p1 ckpt s1^1, m: p1→p2, p2 ckpt s2^1, m: p2→p3.
+    fn chain() -> Ccp {
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.checkpoint(p(1));
+        b.message(p(1), p(2));
+        b.build()
+    }
+
+    #[test]
+    fn local_order_is_causal() {
+        let ccp = chain();
+        assert!(ccp.precedes(g(0, 0), g(0, 1)));
+        assert!(!ccp.precedes(g(0, 1), g(0, 0)));
+    }
+
+    #[test]
+    fn message_creates_cross_process_precedence() {
+        let ccp = chain();
+        // s_1^1 precedes s_2^1 through the message.
+        assert!(ccp.precedes(g(0, 1), g(1, 1)));
+        assert!(!ccp.precedes(g(1, 1), g(0, 1)));
+    }
+
+    #[test]
+    fn precedence_is_transitive_through_two_messages() {
+        let ccp = chain();
+        // s_1^1 → s_2^1 → v_3 (volatile of p3 is index 1).
+        assert!(ccp.precedes(g(0, 1), ccp.volatile(p(2))));
+        assert!(ccp.precedes_volatile(
+            CheckpointId::new(p(0), CheckpointIndex::new(1)),
+            p(2)
+        ));
+    }
+
+    #[test]
+    fn unrelated_checkpoints_are_consistent() {
+        let ccp = chain();
+        // s_3^0 and s_1^1 are concurrent.
+        assert!(ccp.consistent_pair(g(2, 0), g(0, 1)));
+    }
+
+    #[test]
+    fn causally_related_checkpoints_are_inconsistent() {
+        let ccp = chain();
+        assert!(!ccp.consistent_pair(g(0, 1), g(1, 1)));
+    }
+
+    #[test]
+    fn initial_checkpoints_precede_own_volatile_only_without_messages() {
+        let ccp = CcpBuilder::new(2).build();
+        assert!(ccp.precedes(g(0, 0), ccp.volatile(p(0))));
+        assert!(!ccp.precedes(g(0, 0), ccp.volatile(p(1))));
+    }
+
+    #[test]
+    fn last_stable_precedes_matches_manual_query() {
+        let ccp = chain();
+        // last stable of p1 is s_1^1 which precedes p2's volatile.
+        assert!(ccp.last_stable_precedes(p(0), ccp.volatile(p(1))));
+        assert!(!ccp.last_stable_precedes(p(2), ccp.volatile(p(0))));
+    }
+}

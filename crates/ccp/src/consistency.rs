@@ -1,0 +1,177 @@
+//! Global checkpoints and consistency (Section 2.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rdt_base::{CheckpointIndex, ProcessId};
+
+use crate::model::{Ccp, GeneralCheckpoint};
+
+/// A global checkpoint: one general checkpoint per process.
+///
+/// It is *consistent* iff all members are pairwise consistent — equivalently,
+/// iff it includes the sending of every received message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalCheckpoint {
+    components: Vec<CheckpointIndex>,
+}
+
+impl GlobalCheckpoint {
+    /// Creates a global checkpoint from one index per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    pub fn new(components: Vec<CheckpointIndex>) -> Self {
+        assert!(!components.is_empty(), "needs at least one process");
+        Self { components }
+    }
+
+    /// Creates from raw indices.
+    pub fn from_raw(raw: Vec<usize>) -> Self {
+        Self::new(raw.into_iter().map(CheckpointIndex::new).collect())
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The component of process `p`.
+    pub fn component(&self, p: ProcessId) -> GeneralCheckpoint {
+        GeneralCheckpoint::new(p, self.components[p.index()])
+    }
+
+    /// All members, in process order.
+    pub fn members(&self) -> impl Iterator<Item = GeneralCheckpoint> + '_ {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| GeneralCheckpoint::new(ProcessId::new(i), c))
+    }
+
+    /// Raw indices, in process order.
+    pub fn to_raw(&self) -> Vec<usize> {
+        self.components.iter().map(|c| c.value()).collect()
+    }
+
+    /// Sum of indices — the quantity maximized by a recovery line (fewer
+    /// general checkpoints rolled back).
+    pub fn total_progress(&self) -> usize {
+        self.components.iter().map(|c| c.value()).sum()
+    }
+}
+
+impl fmt::Display for GlobalCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "c_{}^{}", ProcessId::new(i), c)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl Ccp {
+    /// Whether a global checkpoint exists in this CCP and is consistent
+    /// (all members pairwise consistent).
+    pub fn is_consistent_global(&self, gc: &GlobalCheckpoint) -> bool {
+        if gc.n() != self.n() {
+            return false;
+        }
+        let members: Vec<GeneralCheckpoint> = gc.members().collect();
+        if members.iter().any(|&m| !self.exists(m)) {
+            return false;
+        }
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                if !self.consistent_pair(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The global checkpoint made of every process's volatile state — always
+    /// consistent for the CCP of a consistent cut.
+    pub fn volatile_global(&self) -> GlobalCheckpoint {
+        GlobalCheckpoint::new(self.processes().map(|p| self.volatile(p).index).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CcpBuilder;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// The paper's Figure 1 consistency examples: `{v1, s_2^1, s_3^1}` is
+    /// consistent while `{s_1^0, s_2^1, s_3^1}` is not (`s_1^0 → s_2^1`).
+    fn fig1_like() -> Ccp {
+        let mut b = CcpBuilder::new(3);
+        // m1: p1 → p2 after s_1^0, received before s_2^1.
+        b.message(p(0), p(1));
+        b.checkpoint(p(1)); // s_2^1
+        b.checkpoint(p(2)); // s_3^1
+        b.build()
+    }
+
+    #[test]
+    fn volatile_global_is_consistent() {
+        let ccp = fig1_like();
+        let gc = ccp.volatile_global();
+        assert!(ccp.is_consistent_global(&gc));
+    }
+
+    #[test]
+    fn paper_consistent_example() {
+        let ccp = fig1_like();
+        // {v1, s_2^1, s_3^1}: v1 has index 1 (p1 took only s_1^0).
+        let gc = GlobalCheckpoint::from_raw(vec![1, 1, 1]);
+        assert!(ccp.is_consistent_global(&gc));
+    }
+
+    #[test]
+    fn paper_inconsistent_example() {
+        let ccp = fig1_like();
+        // {s_1^0, s_2^1, s_3^1} is inconsistent: s_1^0 → s_2^1 via m1.
+        let gc = GlobalCheckpoint::from_raw(vec![0, 1, 1]);
+        assert!(!ccp.is_consistent_global(&gc));
+    }
+
+    #[test]
+    fn nonexistent_member_is_inconsistent() {
+        let ccp = fig1_like();
+        let gc = GlobalCheckpoint::from_raw(vec![9, 0, 0]);
+        assert!(!ccp.is_consistent_global(&gc));
+    }
+
+    #[test]
+    fn wrong_size_is_inconsistent() {
+        let ccp = fig1_like();
+        let gc = GlobalCheckpoint::from_raw(vec![0, 0]);
+        assert!(!ccp.is_consistent_global(&gc));
+    }
+
+    #[test]
+    fn total_progress_sums_indices() {
+        let gc = GlobalCheckpoint::from_raw(vec![1, 4, 2]);
+        assert_eq!(gc.total_progress(), 7);
+        assert_eq!(gc.to_string(), "{c_p1^1, c_p2^4, c_p3^2}");
+    }
+
+    #[test]
+    fn all_initial_is_always_consistent() {
+        let ccp = fig1_like();
+        let gc = GlobalCheckpoint::from_raw(vec![0, 0, 0]);
+        assert!(ccp.is_consistent_global(&gc));
+    }
+}

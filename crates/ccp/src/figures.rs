@@ -1,0 +1,355 @@
+//! The paper's worked figures as concrete, oracle-checkable CCPs.
+
+use rdt_base::{MessageId, ProcessId};
+
+use crate::builder::CcpBuilder;
+use crate::model::Ccp;
+
+/// Figure 1 of the paper: the running example CCP on three processes.
+///
+/// Reconstructed from the relations the text states:
+/// `[m1, m2]` and `[m1, m4]` are C-paths, `[m5, m4]` is a Z-path, the CCP is
+/// RD-trackable, and *without `m3`* it is not (`[m5, m4]` becomes an
+/// undoubled Z-path from `s_1^1` to `s_3^2`).
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The CCP itself.
+    pub ccp: Ccp,
+    /// The same CCP with `m3` removed (lost) — no longer RD-trackable.
+    pub ccp_without_m3: Ccp,
+    /// Message ids `m1..m5`, in paper order.
+    pub messages: [MessageId; 5],
+}
+
+/// Builds [`Figure1`].
+pub fn figure1() -> Figure1 {
+    let [p1, p2, p3] = [ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)];
+
+    let build = |with_m3: bool| -> (Ccp, [MessageId; 5]) {
+        let mut b = CcpBuilder::new(3);
+        let m1 = b.message(p1, p2); // sent after s_1^0, received in I_2^1
+        let m2 = b.message(p2, p3); // sent after receipt of m1: [m1,m2] C-path
+        b.checkpoint(p1); // s_1^1
+        b.checkpoint(p2); // s_2^1
+        b.checkpoint(p3); // s_3^1
+        let m4 = b.send(p2, p3); // sent in I_2^2 BEFORE receiving m5
+        let m5 = b.send(p1, p2); // sent after s_1^1
+        b.deliver(m5); // received in I_2^2: [m5,m4] is a Z-path
+        let m3 = b.send(p1, p3); // doubles [m5,m4] causally
+        b.deliver(m4);
+        if with_m3 {
+            b.deliver(m3);
+        } else {
+            b.drop_message(m3).expect("m3 in transit");
+        }
+        b.checkpoint(p3); // s_3^2
+        (b.build(), [m1, m2, m3, m4, m5])
+    };
+
+    let (ccp, messages) = build(true);
+    let (ccp_without_m3, _) = build(false);
+    Figure1 {
+        ccp,
+        ccp_without_m3,
+        messages,
+    }
+}
+
+/// Figure 2 of the paper: useless checkpoints and the domino effect.
+///
+/// Two processes exchange crossing messages `m1..m4` placed so that every
+/// stable checkpoint except the initial ones lies on a zigzag cycle — e.g.
+/// `[m2, m1]` connects `s_1^1` to itself — and a single failure forces a
+/// rollback to the initial global state.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// The CCP.
+    pub ccp: Ccp,
+    /// Message ids `m1..m4`, in paper order.
+    pub messages: [MessageId; 4],
+}
+
+/// Builds [`Figure2`].
+pub fn figure2() -> Figure2 {
+    let [p1, p2] = [ProcessId::new(0), ProcessId::new(1)];
+    let mut b = CcpBuilder::new(2);
+    // m1: p2 → p1, received before s_1^1.
+    let m1 = b.message(p2, p1);
+    b.checkpoint(p1); // s_1^1
+    // m2: p1 → p2 sent after s_1^1, received in the same interval m1 was
+    // sent in ⇒ [m2, m1] is a Z-path from s_1^1 to s_1^1.
+    let m2 = b.message(p1, p2);
+    b.checkpoint(p2); // s_2^1
+    // m3: p2 → p1 sent after s_2^1, received before s_1^2.
+    let m3 = b.message(p2, p1);
+    b.checkpoint(p1); // s_1^2
+    // m4: p1 → p2 sent after s_1^2 ⇒ [m4, m3] cycles s_1^2 and s_2^1.
+    let m4 = b.message(p1, p2);
+    Figure2 {
+        ccp: b.build(),
+        messages: [m1, m2, m3, m4],
+    }
+}
+
+/// Figure 3 of the paper: recovery-line determination on four processes,
+/// `F = {p2, p3}`.
+///
+/// The figure is drawn as a *window* of a longer execution (checkpoint
+/// indices 6–11). We realize it as a finite CCP with full histories and
+/// messages chosen so that:
+///
+/// * `R_F` is the last checkpoint of each process not causally preceded by
+///   `s_2^last` or `s_3^last` (Lemma 1);
+/// * `s_3^last` itself is **not** in `R_F` because `s_2^last → s_3^last`;
+/// * the obsolete checkpoints in the shown window are the paper's five,
+///   `{c_2^7, c_2^9, c_3^8, c_4^6, c_4^8}`, **plus `c_1^8`**.
+///
+/// The extra `c_1^8` is unavoidable: retaining it requires a process whose
+/// *final* checkpoint causally precedes `c_1^9`, and chasing that
+/// requirement around all four processes of the figure yields a causal
+/// cycle — in every linearization some process's pin would have to be sent
+/// by a process that finishes checkpointing even earlier, ad infinitum. The
+/// published figure is in this respect illustrative rather than realizable;
+/// see EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct Figure3 {
+    /// The CCP.
+    pub ccp: Ccp,
+    /// The faulty set of the example: `{p2, p3}`.
+    pub faulty: crate::recovery_line::FaultySet,
+    /// First in-window checkpoint index per process (`c_1^8`, `c_2^7`,
+    /// `c_3^7`, `c_4^6`).
+    pub window_start: [usize; 4],
+}
+
+/// Builds [`Figure3`].
+pub fn figure3() -> Figure3 {
+    let [p1, p2, p3, p4] = [
+        ProcessId::new(0),
+        ProcessId::new(1),
+        ProcessId::new(2),
+        ProcessId::new(3),
+    ];
+    let mut b = CcpBuilder::new(4);
+
+    // p1 takes checkpoints up to c_1^9 = s_1^last, then pins one checkpoint
+    // of every other process with its final knowledge. Each message is the
+    // FIRST contact of s_1^last with its destination, so it pins exactly the
+    // latest checkpoint preceding the delivery interval.
+    for _ in 0..9 {
+        b.checkpoint(p1);
+    }
+    let pin_c74 = b.send(p1, p4); // → p4's interval 8, pins c_4^7
+    let pin_c82 = b.send(p1, p2); // → p2's interval 9, pins c_2^8
+    let pin_c73 = b.send(p1, p3); // → p3's interval 8, pins c_3^7
+
+    // p4 runs to interval 8 (checkpoints c_4^1..c_4^7) and meets p1's pin.
+    for _ in 0..7 {
+        b.checkpoint(p4);
+    }
+    b.deliver(pin_c74);
+    b.checkpoint(p4); // c_4^8
+    b.checkpoint(p4); // c_4^9
+
+    // p2 runs to interval 9, meets p1's pin, finishes at s_2^last = c_2^10,
+    // and then pins the interval-10 checkpoints of p4 and p3.
+    for _ in 0..8 {
+        b.checkpoint(p2);
+    }
+    b.deliver(pin_c82);
+    b.checkpoint(p2); // c_2^9
+    b.checkpoint(p2); // c_2^10 = s_2^last
+    let pin_c94 = b.send(p2, p4); // → p4's interval 10, pins c_4^9
+    let pin_c93 = b.send(p2, p3); // → p3's interval 10, pins c_3^9 and
+                                  //   establishes s_2^last → s_3^last
+
+    b.deliver(pin_c94);
+    b.checkpoint(p4); // c_4^10 = s_4^last
+
+    // p3 runs to interval 8, meets p1's pin, then p2's in interval 10.
+    for _ in 0..7 {
+        b.checkpoint(p3);
+    }
+    b.deliver(pin_c73);
+    b.checkpoint(p3); // c_3^8
+    b.checkpoint(p3); // c_3^9
+    b.deliver(pin_c93);
+    b.checkpoint(p3); // c_3^10 = s_3^last
+
+    // NOTE: no message may reach p1 after its pin sends — p1 sent in
+    // interval 10, so any same-interval receive would create an undoubled
+    // Z-path and break RDT. Consequently p1's recovery-line component is
+    // its volatile state.
+    let _ = (pin_c74, pin_c94, pin_c82, pin_c73, pin_c93);
+
+    Figure3 {
+        ccp: b.build(),
+        faulty: [p2, p3].into_iter().collect(),
+        window_start: [8, 7, 7, 6],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use rdt_base::{CheckpointId, CheckpointIndex};
+
+    use super::*;
+    use crate::model::GeneralCheckpoint;
+
+    fn g(i: usize, idx: usize) -> GeneralCheckpoint {
+        GeneralCheckpoint::new(ProcessId::new(i), CheckpointIndex::new(idx))
+    }
+
+    fn s(i: usize, idx: usize) -> CheckpointId {
+        CheckpointId::new(ProcessId::new(i), CheckpointIndex::new(idx))
+    }
+
+    #[test]
+    fn figure1_paths_classify_as_in_the_paper() {
+        let fig = figure1();
+        let zz = fig.ccp.zigzag();
+        let [m1, m2, m3, m4, m5] = fig.messages;
+
+        // [m1, m2] and [m1, m4] are C-paths (from s_1^0).
+        assert!(zz.is_causal_path(g(0, 0), &[m1, m2], g(2, 2)));
+        assert!(zz.is_causal_path(g(0, 0), &[m1, m4], g(2, 2)));
+        // [m5, m4] is a zigzag but not a causal path (from s_1^1).
+        assert!(zz.is_zigzag_path(g(0, 1), &[m5, m4], g(2, 2)));
+        assert!(!zz.is_causal_path(g(0, 1), &[m5, m4], g(2, 2)));
+        // m3 doubles it causally.
+        assert!(zz.is_causal_path(g(0, 1), &[m3], g(2, 2)));
+    }
+
+    #[test]
+    fn figure1_is_rdt_and_breaks_without_m3() {
+        let fig = figure1();
+        assert!(fig.ccp.is_rdt());
+        assert!(!fig.ccp_without_m3.is_rdt());
+
+        // Without m3: s_1^1 ⤳ s_3^2 but s_1^1 ↛ s_3^2.
+        let zz = fig.ccp_without_m3.zigzag();
+        assert!(zz.zigzag_reaches(g(0, 1), g(2, 2)));
+        assert!(!fig.ccp_without_m3.precedes(g(0, 1), g(2, 2)));
+    }
+
+    #[test]
+    fn figure1_consistency_examples() {
+        let fig = figure1();
+        // {v1, s_2^1, s_3^1}: v1 = c_1^2.
+        use crate::consistency::GlobalCheckpoint;
+        assert!(fig
+            .ccp
+            .is_consistent_global(&GlobalCheckpoint::from_raw(vec![2, 1, 1])));
+        // {s_1^0, s_2^1, s_3^1} inconsistent: s_1^0 → s_2^1.
+        assert!(!fig
+            .ccp
+            .is_consistent_global(&GlobalCheckpoint::from_raw(vec![0, 1, 1])));
+        assert!(fig.ccp.precedes(g(0, 0), g(1, 1)));
+    }
+
+    #[test]
+    fn figure2_all_non_initial_checkpoints_are_useless() {
+        let fig = figure2();
+        let useless: BTreeSet<_> = fig.ccp.useless_checkpoints().into_iter().collect();
+        let expected: BTreeSet<_> = [s(0, 1), s(0, 2), s(1, 1)].into_iter().collect();
+        assert_eq!(useless, expected);
+        assert!(!fig.ccp.is_rdt());
+    }
+
+    #[test]
+    fn figure2_z_path_m2_m1_cycles_s11() {
+        let fig = figure2();
+        let zz = fig.ccp.zigzag();
+        let [m1, m2, _, _] = fig.messages;
+        assert!(zz.is_zigzag_path(g(0, 1), &[m2, m1], g(0, 1)));
+        assert!(!zz.is_causal_path(g(0, 1), &[m2, m1], g(0, 1)));
+    }
+
+    #[test]
+    fn figure2_single_failure_is_a_domino_to_the_initial_state() {
+        let fig = figure2();
+        for f in 0..2 {
+            let faulty = [ProcessId::new(f)].into_iter().collect();
+            let rl = fig
+                .ccp
+                .brute_force_recovery_line(&faulty)
+                .expect("recovery line exists");
+            assert_eq!(rl.to_raw(), vec![0, 0], "failure of p{}", f + 1);
+        }
+    }
+
+    #[test]
+    fn figure3_is_rdt() {
+        assert!(figure3().ccp.is_rdt());
+    }
+
+    #[test]
+    fn figure3_recovery_line_matches_lemma_1_and_brute_force() {
+        let fig = figure3();
+        let rl = fig.ccp.recovery_line(&fig.faulty);
+        let brute = fig.ccp.brute_force_recovery_line(&fig.faulty).unwrap();
+        assert_eq!(rl, brute);
+        // p1 keeps its volatile (depends on no faulty slast); p2 keeps
+        // s_2^last = c_2^10; p3 rolls to c_3^9 (s_2^last → s_3^last);
+        // p4 — although non-faulty — rolls to c_4^9 because s_2^last
+        // causally precedes both its volatile state and s_4^last.
+        assert_eq!(rl.to_raw(), vec![10, 10, 9, 9]);
+    }
+
+    #[test]
+    fn figure3_slast3_is_not_in_the_recovery_line() {
+        let fig = figure3();
+        let p3 = ProcessId::new(2);
+        let slast3 = GeneralCheckpoint::new(p3, fig.ccp.last_stable(p3));
+        let slast2 = GeneralCheckpoint::new(ProcessId::new(1), fig.ccp.last_stable(ProcessId::new(1)));
+        assert!(fig.ccp.precedes(slast2, slast3));
+        let rl = fig.ccp.recovery_line(&fig.faulty);
+        assert_ne!(rl.component(p3), slast3);
+    }
+
+    #[test]
+    fn figure3_window_obsolete_set_is_the_papers_plus_c18() {
+        let fig = figure3();
+        let window_obsolete: BTreeSet<CheckpointId> = fig
+            .ccp
+            .obsolete_set()
+            .into_iter()
+            .filter(|c| c.index.value() >= fig.window_start[c.process.index()])
+            .collect();
+        let expected: BTreeSet<CheckpointId> = [
+            s(1, 7), // c_2^7
+            s(1, 9), // c_2^9
+            s(2, 8), // c_3^8
+            s(3, 6), // c_4^6
+            s(3, 8), // c_4^8
+            s(0, 8), // c_1^8 — unrealizable pin, see module docs
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(window_obsolete, expected);
+    }
+
+    #[test]
+    fn figure3_pre_window_checkpoints_are_all_obsolete() {
+        let fig = figure3();
+        for c in fig.ccp.stable_checkpoints() {
+            if c.index.value() < fig.window_start[c.process.index()] && c.index.value() > 0 {
+                assert!(fig.ccp.is_obsolete(c), "{c} should be obsolete");
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_needlessness_agrees_with_theorem_1() {
+        let fig = figure3();
+        for c in fig.ccp.stable_checkpoints() {
+            assert_eq!(
+                fig.ccp.is_obsolete(c),
+                fig.ccp.is_needless_single_failures(c),
+                "{c}"
+            );
+        }
+    }
+}

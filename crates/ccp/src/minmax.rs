@@ -1,0 +1,219 @@
+//! Wang's minimum and maximum consistent global checkpoints containing a
+//! given set of local checkpoints (reference [20] of the paper).
+//!
+//! These are the decentralized recovery-line calculations the RDT property
+//! enables: because every dependency is causal and tracked by the stored
+//! dependency vectors, both extremes are computed componentwise with no
+//! extra coordination.
+
+use rdt_base::CheckpointIndex;
+
+use crate::consistency::GlobalCheckpoint;
+use crate::model::{Ccp, GeneralCheckpoint};
+
+impl Ccp {
+    /// The **maximum** consistent global checkpoint containing `targets`:
+    /// every non-target component is the latest general checkpoint not
+    /// causally following any target.
+    ///
+    /// Returns `None` if the targets are mutually inconsistent (no such
+    /// global checkpoint exists) or reference missing checkpoints.
+    ///
+    /// Requires an RD-trackable CCP (dependencies must be causal for the
+    /// componentwise construction to be consistent).
+    pub fn max_consistent_containing(
+        &self,
+        targets: &[GeneralCheckpoint],
+    ) -> Option<GlobalCheckpoint> {
+        if !self.targets_usable(targets) {
+            return None;
+        }
+        let components = self
+            .processes()
+            .map(|i| {
+                if let Some(t) = targets.iter().find(|t| t.process == i) {
+                    return t.index;
+                }
+                let mut k = self.volatile(i).index;
+                loop {
+                    let c = GeneralCheckpoint::new(i, k);
+                    if !targets.iter().any(|&t| self.precedes(t, c)) {
+                        break k;
+                    }
+                    k = k.prev().expect("s_i^0 follows nothing");
+                }
+            })
+            .collect();
+        Some(GlobalCheckpoint::new(components))
+    }
+
+    /// The **minimum** consistent global checkpoint containing `targets`:
+    /// every non-target component is the earliest general checkpoint not
+    /// causally preceding any target, i.e. `max_t DV(t)[i]`.
+    ///
+    /// Returns `None` under the same conditions as
+    /// [`max_consistent_containing`](Self::max_consistent_containing).
+    pub fn min_consistent_containing(
+        &self,
+        targets: &[GeneralCheckpoint],
+    ) -> Option<GlobalCheckpoint> {
+        if !self.targets_usable(targets) {
+            return None;
+        }
+        let components = self
+            .processes()
+            .map(|i| {
+                if let Some(t) = targets.iter().find(|t| t.process == i) {
+                    return t.index;
+                }
+                let k = targets
+                    .iter()
+                    .map(|t| self.dv(*t).expect("target exists").entry(i).value())
+                    .max()
+                    .unwrap_or(0);
+                CheckpointIndex::new(k)
+            })
+            .collect();
+        Some(GlobalCheckpoint::new(components))
+    }
+
+    /// Targets exist, are one-per-process at most, and pairwise consistent.
+    fn targets_usable(&self, targets: &[GeneralCheckpoint]) -> bool {
+        if targets.iter().any(|&t| !self.exists(t)) {
+            return false;
+        }
+        for (k, &a) in targets.iter().enumerate() {
+            for &b in &targets[k + 1..] {
+                if a.process == b.process && a.index != b.index {
+                    return false;
+                }
+                if !self.consistent_pair(a, b) && a != b {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rdt_base::ProcessId;
+
+    use super::*;
+    use crate::CcpBuilder;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn g(i: usize, idx: usize) -> GeneralCheckpoint {
+        GeneralCheckpoint::new(p(i), CheckpointIndex::new(idx))
+    }
+
+    /// p1 ckpt, m: p1→p2, p2 ckpt, m: p2→p3, p3 ckpt — an RDT chain.
+    fn chain() -> Ccp {
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.checkpoint(p(1));
+        b.message(p(1), p(2));
+        b.checkpoint(p(2));
+        b.build()
+    }
+
+    /// Brute force: enumerate all consistent global checkpoints containing
+    /// the targets; return (min-by-sum, max-by-sum).
+    fn brute(ccp: &Ccp, targets: &[GeneralCheckpoint]) -> Option<(GlobalCheckpoint, GlobalCheckpoint)> {
+        let ceilings: Vec<usize> = ccp
+            .processes()
+            .map(|q| ccp.volatile(q).index.value())
+            .collect();
+        let mut all: Vec<GlobalCheckpoint> = Vec::new();
+        let mut idx = vec![0usize; ccp.n()];
+        'outer: loop {
+            let gc = GlobalCheckpoint::from_raw(idx.clone());
+            let contains = targets
+                .iter()
+                .all(|t| gc.component(t.process) == *t);
+            if contains && ccp.is_consistent_global(&gc) {
+                all.push(gc);
+            }
+            let mut pos = 0;
+            loop {
+                if pos == ccp.n() {
+                    break 'outer;
+                }
+                if idx[pos] < ceilings[pos] {
+                    idx[pos] += 1;
+                    break;
+                }
+                idx[pos] = 0;
+                pos += 1;
+            }
+        }
+        let min = all.iter().min_by_key(|g| g.total_progress())?.clone();
+        let max = all.iter().max_by_key(|g| g.total_progress())?.clone();
+        Some((min, max))
+    }
+
+    #[test]
+    fn max_and_min_match_brute_force_on_chain() {
+        let ccp = chain();
+        assert!(ccp.is_rdt());
+        for target in [g(0, 1), g(1, 1), g(2, 1), g(1, 0)] {
+            let (bmin, bmax) = brute(&ccp, &[target]).expect("target is consistent");
+            assert_eq!(ccp.min_consistent_containing(&[target]), Some(bmin), "{target:?}");
+            assert_eq!(ccp.max_consistent_containing(&[target]), Some(bmax), "{target:?}");
+        }
+    }
+
+    #[test]
+    fn results_are_consistent_and_contain_targets() {
+        let ccp = chain();
+        // s_1^1 and s_3^0 are concurrent (s_3^1 would causally follow s_1^1).
+        let targets = [g(0, 1), g(2, 0)];
+        for gc in [
+            ccp.max_consistent_containing(&targets).unwrap(),
+            ccp.min_consistent_containing(&targets).unwrap(),
+        ] {
+            assert!(ccp.is_consistent_global(&gc));
+            for t in &targets {
+                assert_eq!(gc.component(t.process), *t);
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_targets_yield_none() {
+        let ccp = chain();
+        // s_1^1 → s_2^1: inconsistent pair.
+        let targets = [g(0, 1), g(1, 1)];
+        assert!(!ccp.consistent_pair(targets[0], targets[1]));
+        assert!(ccp.max_consistent_containing(&targets).is_none());
+        assert!(ccp.min_consistent_containing(&targets).is_none());
+    }
+
+    #[test]
+    fn missing_target_yields_none() {
+        let ccp = chain();
+        assert!(ccp.max_consistent_containing(&[g(0, 9)]).is_none());
+    }
+
+    #[test]
+    fn conflicting_targets_on_same_process_yield_none() {
+        let ccp = chain();
+        assert!(ccp
+            .min_consistent_containing(&[g(0, 0), g(0, 1)])
+            .is_none());
+    }
+
+    #[test]
+    fn empty_target_set_gives_extremes() {
+        let ccp = chain();
+        let max = ccp.max_consistent_containing(&[]).unwrap();
+        assert_eq!(max, ccp.volatile_global());
+        let min = ccp.min_consistent_containing(&[]).unwrap();
+        assert_eq!(min.to_raw(), vec![0, 0, 0]);
+    }
+}

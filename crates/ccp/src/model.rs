@@ -1,0 +1,270 @@
+//! The checkpoint-and-communication-pattern (CCP) data model (Section 2.2).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rdt_base::{
+    CheckpointId, CheckpointIndex, DependencyVector, Error, IntervalIndex, MessageId, ProcessId,
+    Result,
+};
+
+/// A general checkpoint `c_i^γ` of a CCP: either the stable checkpoint
+/// `s_i^γ` (for `γ ≤ last_s(i)`) or the volatile checkpoint `v_i`
+/// (for `γ = last_s(i) + 1`) — Equation 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GeneralCheckpoint {
+    /// The owning process.
+    pub process: ProcessId,
+    /// The checkpoint index `γ`.
+    pub index: CheckpointIndex,
+}
+
+impl GeneralCheckpoint {
+    /// Creates a general checkpoint reference.
+    pub const fn new(process: ProcessId, index: CheckpointIndex) -> Self {
+        Self { process, index }
+    }
+
+    /// Views this as a stable-checkpoint id (caller must know it is stable).
+    pub const fn as_checkpoint_id(self) -> CheckpointId {
+        CheckpointId::new(self.process, self.index)
+    }
+}
+
+impl From<CheckpointId> for GeneralCheckpoint {
+    fn from(c: CheckpointId) -> Self {
+        Self::new(c.process, c.index)
+    }
+}
+
+/// One event in a process's local history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalEvent {
+    /// The process stores stable checkpoint `s_i^γ`.
+    Checkpoint(CheckpointIndex),
+    /// The process sends a message.
+    Send(MessageId),
+    /// The process receives a message.
+    Receive(MessageId),
+}
+
+/// Everything the model records about one message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageRecord {
+    /// The message id.
+    pub id: MessageId,
+    /// Destination process.
+    pub dst: ProcessId,
+    /// Interval `I_src^γ` in which the send occurred.
+    pub send_interval: IntervalIndex,
+    /// Position of the send in the sender's local history.
+    pub send_pos: usize,
+    /// The sender's dependency vector at send time (what was piggybacked).
+    pub send_dv: DependencyVector,
+    /// Interval in which the receive occurred, if delivered.
+    pub recv_interval: Option<IntervalIndex>,
+    /// Position of the receive in the receiver's local history, if delivered.
+    pub recv_pos: Option<usize>,
+}
+
+impl MessageRecord {
+    /// The sending process.
+    pub fn src(&self) -> ProcessId {
+        self.id.sender
+    }
+
+    /// Whether the message was delivered (lost/in-transit messages are
+    /// excluded from a CCP's dependency relation, Section 2.2).
+    pub fn delivered(&self) -> bool {
+        self.recv_interval.is_some()
+    }
+}
+
+/// A checkpoint-and-communication pattern: the set of checkpoints taken by
+/// all processes in a consistent cut plus the dependency relation created by
+/// the delivered messages (Section 2.2 of the paper).
+///
+/// A `Ccp` is an *offline* artifact: it is built by [`CcpBuilder`] (or
+/// replayed from a [`TraceEvent`] sequence) and then analyzed — causal
+/// precedence, zigzag paths, the RDT predicate, recovery lines and the
+/// obsolete-checkpoint characterizations are all queries on this structure.
+/// The online algorithms in `rdt-core`/`rdt-protocols` are validated against
+/// these queries.
+///
+/// [`CcpBuilder`]: crate::CcpBuilder
+/// [`TraceEvent`]: rdt_base::TraceEvent
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ccp {
+    pub(crate) n: usize,
+    /// Per-process local histories, in program order. Every history starts
+    /// with `Checkpoint(0)` — the mandatory initial stable checkpoint.
+    pub(crate) events: Vec<Vec<LocalEvent>>,
+    /// All messages ever sent, keyed by id.
+    pub(crate) messages: BTreeMap<MessageId, MessageRecord>,
+    /// Per-process, per-index dependency vectors of the *stable* checkpoints.
+    pub(crate) checkpoint_dvs: Vec<Vec<DependencyVector>>,
+    /// Per-process dependency vector of the volatile state `v_i`.
+    pub(crate) volatile_dvs: Vec<DependencyVector>,
+}
+
+impl Ccp {
+    /// Number of processes `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Process ids of the system.
+    pub fn processes(&self) -> impl ExactSizeIterator<Item = ProcessId> {
+        ProcessId::all(self.n)
+    }
+
+    /// Index of the last stable checkpoint of `p`, the paper's `last_s(i)`.
+    ///
+    /// Always defined: every process stores `s_i^0` before executing.
+    pub fn last_stable(&self, p: ProcessId) -> CheckpointIndex {
+        CheckpointIndex::new(self.checkpoint_dvs[p.index()].len() - 1)
+    }
+
+    /// The volatile checkpoint of `p`, i.e. `c_i^{last_s(i)+1}`.
+    pub fn volatile(&self, p: ProcessId) -> GeneralCheckpoint {
+        GeneralCheckpoint::new(p, self.last_stable(p).next())
+    }
+
+    /// Whether `c` refers to an existing general checkpoint (stable or
+    /// volatile) of this CCP.
+    pub fn exists(&self, c: GeneralCheckpoint) -> bool {
+        c.process.index() < self.n && c.index <= self.volatile(c.process).index
+    }
+
+    /// Whether `c` is the volatile checkpoint of its process.
+    pub fn is_volatile(&self, c: GeneralCheckpoint) -> bool {
+        c.index == self.volatile(c.process).index
+    }
+
+    /// The dependency vector of a general checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownCheckpoint`] if the checkpoint does not exist.
+    pub fn dv(&self, c: GeneralCheckpoint) -> Result<&DependencyVector> {
+        if !self.exists(c) {
+            return Err(Error::UnknownCheckpoint {
+                process: c.process,
+                index: c.index,
+            });
+        }
+        if self.is_volatile(c) {
+            Ok(&self.volatile_dvs[c.process.index()])
+        } else {
+            Ok(&self.checkpoint_dvs[c.process.index()][c.index.value()])
+        }
+    }
+
+    /// The dependency vector of the volatile state of `p`.
+    pub fn volatile_dv(&self, p: ProcessId) -> &DependencyVector {
+        &self.volatile_dvs[p.index()]
+    }
+
+    /// All *stable* checkpoints of the CCP, in `(process, index)` order.
+    pub fn stable_checkpoints(&self) -> impl Iterator<Item = CheckpointId> + '_ {
+        self.processes().flat_map(move |p| {
+            (0..=self.last_stable(p).value())
+                .map(move |g| CheckpointId::new(p, CheckpointIndex::new(g)))
+        })
+    }
+
+    /// All general checkpoints (stable plus volatile), in order.
+    pub fn general_checkpoints(&self) -> impl Iterator<Item = GeneralCheckpoint> + '_ {
+        self.processes().flat_map(move |p| {
+            (0..=self.volatile(p).index.value())
+                .map(move |g| GeneralCheckpoint::new(p, CheckpointIndex::new(g)))
+        })
+    }
+
+    /// The local history of `p`, in program order.
+    pub fn local_events(&self, p: ProcessId) -> &[LocalEvent] {
+        &self.events[p.index()]
+    }
+
+    /// All message records, in id order.
+    pub fn messages(&self) -> impl Iterator<Item = &MessageRecord> {
+        self.messages.values()
+    }
+
+    /// The record of a specific message.
+    pub fn message(&self, id: MessageId) -> Option<&MessageRecord> {
+        self.messages.get(&id)
+    }
+
+    /// Number of delivered messages.
+    pub fn delivered_count(&self) -> usize {
+        self.messages.values().filter(|m| m.delivered()).count()
+    }
+
+    /// Total number of stable checkpoints in the CCP.
+    pub fn stable_count(&self) -> usize {
+        self.checkpoint_dvs.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CcpBuilder;
+
+    #[test]
+    fn initial_ccp_has_one_stable_checkpoint_per_process() {
+        let ccp = CcpBuilder::new(3).build();
+        for p in ccp.processes() {
+            assert_eq!(ccp.last_stable(p), CheckpointIndex::ZERO);
+            assert_eq!(ccp.volatile(p).index, CheckpointIndex::new(1));
+        }
+        assert_eq!(ccp.stable_count(), 3);
+    }
+
+    #[test]
+    fn exists_covers_stable_and_volatile_only() {
+        let ccp = CcpBuilder::new(2).build();
+        let p = ProcessId::new(0);
+        assert!(ccp.exists(GeneralCheckpoint::new(p, CheckpointIndex::new(0))));
+        assert!(ccp.exists(GeneralCheckpoint::new(p, CheckpointIndex::new(1)))); // volatile
+        assert!(!ccp.exists(GeneralCheckpoint::new(p, CheckpointIndex::new(2))));
+        assert!(!ccp.exists(GeneralCheckpoint::new(
+            ProcessId::new(5),
+            CheckpointIndex::ZERO
+        )));
+    }
+
+    #[test]
+    fn dv_of_initial_checkpoint_is_zero() {
+        let ccp = CcpBuilder::new(2).build();
+        let p = ProcessId::new(1);
+        let dv = ccp
+            .dv(GeneralCheckpoint::new(p, CheckpointIndex::ZERO))
+            .unwrap();
+        assert_eq!(dv.to_raw(), vec![0, 0]);
+        // Volatile state is in interval 1 for the owner.
+        assert_eq!(ccp.volatile_dv(p).to_raw(), vec![0, 1]);
+    }
+
+    #[test]
+    fn unknown_checkpoint_is_an_error() {
+        let ccp = CcpBuilder::new(2).build();
+        let missing = GeneralCheckpoint::new(ProcessId::new(0), CheckpointIndex::new(7));
+        assert!(matches!(
+            ccp.dv(missing),
+            Err(Error::UnknownCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn general_checkpoints_enumerates_stable_plus_volatile() {
+        let mut b = CcpBuilder::new(2);
+        b.checkpoint(ProcessId::new(0));
+        let ccp = b.build();
+        let all: Vec<_> = ccp.general_checkpoints().collect();
+        // p1: s0, s1, v (index 2); p2: s0, v (index 1).
+        assert_eq!(all.len(), 5);
+    }
+}

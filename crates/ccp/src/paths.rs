@@ -1,0 +1,450 @@
+//! Zigzag paths, causal paths and the RDT predicate
+//! (Definitions 3 and 4, after Netzer and Xu).
+
+use rdt_base::{CheckpointId, MessageId};
+
+use crate::model::{Ccp, GeneralCheckpoint, MessageRecord};
+
+/// Precomputed zigzag/causal reachability over the delivered messages of a
+/// [`Ccp`].
+///
+/// Definition 3 (zigzag path): `[m_1, …, m_k]` connects `c_a^α` to `c_b^β`
+/// iff `m_1` is sent by `p_a` after `c_a^α`, each `m_{i+1}` is sent by the
+/// receiver of `m_i` in the *same or a later* checkpoint interval, and `m_k`
+/// is received by `p_b` before `c_b^β`.
+///
+/// A zigzag path is *causal* (a C-path) when each receipt precedes the next
+/// send in program order; otherwise it is a Z-path.
+///
+/// The analysis is an offline oracle: it is rebuilt from scratch for the CCP
+/// it was created from and caches all-pairs message reachability as bitsets.
+#[derive(Debug, Clone)]
+pub struct ZigzagAnalysis {
+    /// Delivered messages in a stable order.
+    msgs: Vec<MessageRecord>,
+    /// `reach_zz[i]` = bitset of messages reachable from message `i` via
+    /// zigzag edges (reflexive).
+    reach_zz: Vec<Bitset>,
+    /// Same for causal edges.
+    reach_causal: Vec<Bitset>,
+}
+
+#[derive(Debug, Clone)]
+struct Bitset(Vec<u64>);
+
+impl Bitset {
+    fn new(len: usize) -> Self {
+        Self(vec![0; len.div_ceil(64)])
+    }
+
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+}
+
+impl ZigzagAnalysis {
+    /// Builds the analysis for a CCP.
+    pub fn new(ccp: &Ccp) -> Self {
+        let msgs: Vec<MessageRecord> = ccp.messages().filter(|m| m.delivered()).cloned().collect();
+        let m = msgs.len();
+
+        // Edge m -> m': the receiver of m sends m' in the same or a later
+        // interval (zigzag), or strictly after the receive event (causal).
+        let mut succ_zz: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut succ_causal: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (i, a) in msgs.iter().enumerate() {
+            let (ri, rp) = (
+                a.recv_interval.expect("delivered"),
+                a.recv_pos.expect("delivered"),
+            );
+            for (j, b) in msgs.iter().enumerate() {
+                if b.src() != a.dst {
+                    continue;
+                }
+                if b.send_interval >= ri {
+                    succ_zz[i].push(j);
+                }
+                if b.send_pos > rp {
+                    succ_causal[i].push(j);
+                }
+            }
+        }
+
+        let reach = |succ: &Vec<Vec<usize>>| -> Vec<Bitset> {
+            (0..m)
+                .map(|start| {
+                    let mut seen = Bitset::new(m);
+                    seen.set(start);
+                    let mut stack = vec![start];
+                    while let Some(x) = stack.pop() {
+                        for &y in &succ[x] {
+                            if !seen.get(y) {
+                                seen.set(y);
+                                stack.push(y);
+                            }
+                        }
+                    }
+                    seen
+                })
+                .collect()
+        };
+
+        Self {
+            reach_zz: reach(&succ_zz),
+            reach_causal: reach(&succ_causal),
+            msgs,
+        }
+    }
+
+    /// Whether a zigzag path connects `a` to `b` (`a ⤳ b`).
+    pub fn zigzag_reaches(&self, a: GeneralCheckpoint, b: GeneralCheckpoint) -> bool {
+        self.reaches(&self.reach_zz, a, b)
+    }
+
+    /// Whether a *causal* path (C-path) of messages connects `a` to `b`.
+    pub fn causal_path_reaches(&self, a: GeneralCheckpoint, b: GeneralCheckpoint) -> bool {
+        self.reaches(&self.reach_causal, a, b)
+    }
+
+    /// A concrete zigzag path witnessing `a ⤳ b`, as a message sequence, or
+    /// `None` if no zigzag path exists. The witness satisfies
+    /// [`is_zigzag_path`](Self::is_zigzag_path) by construction.
+    pub fn zigzag_witness(
+        &self,
+        a: GeneralCheckpoint,
+        b: GeneralCheckpoint,
+    ) -> Option<Vec<MessageId>> {
+        self.witness(a, b, |prev, next| {
+            next.send_interval >= prev.recv_interval.expect("delivered")
+        })
+    }
+
+    /// A concrete C-path witnessing a causal message chain from `a` to `b`.
+    pub fn causal_witness(
+        &self,
+        a: GeneralCheckpoint,
+        b: GeneralCheckpoint,
+    ) -> Option<Vec<MessageId>> {
+        self.witness(a, b, |prev, next| {
+            next.send_pos > prev.recv_pos.expect("delivered")
+        })
+    }
+
+    /// BFS over message edges collecting parent pointers, then reconstructs
+    /// the shortest (in hop count) witness path.
+    fn witness(
+        &self,
+        a: GeneralCheckpoint,
+        b: GeneralCheckpoint,
+        link_ok: impl Fn(&MessageRecord, &MessageRecord) -> bool,
+    ) -> Option<Vec<MessageId>> {
+        let m = self.msgs.len();
+        let is_start = |r: &MessageRecord| {
+            r.src() == a.process && r.send_interval.value() > a.index.value()
+        };
+        let is_end = |r: &MessageRecord| {
+            r.dst == b.process && r.recv_interval.expect("delivered").value() <= b.index.value()
+        };
+
+        let mut parent: Vec<Option<usize>> = vec![None; m];
+        let mut visited = vec![false; m];
+        let mut queue = std::collections::VecDeque::new();
+        for (i, r) in self.msgs.iter().enumerate() {
+            if is_start(r) {
+                visited[i] = true;
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            if is_end(&self.msgs[i]) {
+                let mut path = vec![self.msgs[i].id];
+                let mut cur = i;
+                while let Some(p) = parent[cur] {
+                    path.push(self.msgs[p].id);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for (j, next) in self.msgs.iter().enumerate() {
+                if !visited[j] && next.src() == self.msgs[i].dst && link_ok(&self.msgs[i], next) {
+                    visited[j] = true;
+                    parent[j] = Some(i);
+                    queue.push_back(j);
+                }
+            }
+        }
+        None
+    }
+
+    fn reaches(&self, reach: &[Bitset], a: GeneralCheckpoint, b: GeneralCheckpoint) -> bool {
+        // Starts: messages sent by a.process after c_a^α (interval > α).
+        // Ends: messages received by b.process before c_b^β (interval ≤ β).
+        for (i, first) in self.msgs.iter().enumerate() {
+            if first.src() != a.process || first.send_interval.value() <= a.index.value() {
+                continue;
+            }
+            for (j, last) in self.msgs.iter().enumerate() {
+                if last.dst != b.process
+                    || last.recv_interval.expect("delivered").value() > b.index.value()
+                {
+                    continue;
+                }
+                if reach[i].get(j) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the sequence of message ids forms a zigzag path from `a` to
+    /// `b` — useful to check the concrete examples of the paper's Figure 1.
+    pub fn is_zigzag_path(
+        &self,
+        a: GeneralCheckpoint,
+        path: &[MessageId],
+        b: GeneralCheckpoint,
+    ) -> bool {
+        self.is_path(a, path, b, |prev, next| {
+            next.send_interval >= prev.recv_interval.expect("delivered")
+        })
+    }
+
+    /// Whether the sequence forms a *causal* path (each receipt precedes the
+    /// next send in program order).
+    pub fn is_causal_path(
+        &self,
+        a: GeneralCheckpoint,
+        path: &[MessageId],
+        b: GeneralCheckpoint,
+    ) -> bool {
+        self.is_path(a, path, b, |prev, next| {
+            next.send_pos > prev.recv_pos.expect("delivered")
+        })
+    }
+
+    fn is_path(
+        &self,
+        a: GeneralCheckpoint,
+        path: &[MessageId],
+        b: GeneralCheckpoint,
+        link_ok: impl Fn(&MessageRecord, &MessageRecord) -> bool,
+    ) -> bool {
+        let records: Option<Vec<&MessageRecord>> = path
+            .iter()
+            .map(|id| self.msgs.iter().find(|m| m.id == *id))
+            .collect();
+        let Some(records) = records else {
+            return false;
+        };
+        let Some(first) = records.first() else {
+            return false;
+        };
+        let last = records.last().expect("non-empty");
+        if first.src() != a.process || first.send_interval.value() <= a.index.value() {
+            return false;
+        }
+        if last.dst != b.process || last.recv_interval.expect("delivered").value() > b.index.value()
+        {
+            return false;
+        }
+        records.windows(2).all(|w| {
+            let (prev, next) = (w[0], w[1]);
+            next.src() == prev.dst && link_ok(prev, next)
+        })
+    }
+}
+
+impl Ccp {
+    /// Builds the zigzag analysis for this CCP.
+    ///
+    /// The analysis is O(M²) in the number of delivered messages; build it
+    /// once and reuse it for multiple queries.
+    pub fn zigzag(&self) -> ZigzagAnalysis {
+        ZigzagAnalysis::new(self)
+    }
+
+    /// Rollback-dependency trackability (Definition 4): for any two general
+    /// checkpoints, `c ⤳ c' ⇒ c → c'`.
+    pub fn is_rdt(&self) -> bool {
+        let zz = self.zigzag();
+        let all: Vec<GeneralCheckpoint> = self.general_checkpoints().collect();
+        for &a in &all {
+            for &b in &all {
+                if zz.zigzag_reaches(a, b) && !self.precedes(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Stable checkpoints on a zigzag cycle (`c ⤳ c`), which are *useless*:
+    /// they can take part in no consistent global checkpoint (Section 2.2).
+    pub fn useless_checkpoints(&self) -> Vec<CheckpointId> {
+        let zz = self.zigzag();
+        self.stable_checkpoints()
+            .filter(|c| {
+                let g = GeneralCheckpoint::from(*c);
+                zz.zigzag_reaches(g, g)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rdt_base::{CheckpointIndex, ProcessId};
+
+    use super::*;
+    use crate::CcpBuilder;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn g(i: usize, idx: usize) -> GeneralCheckpoint {
+        GeneralCheckpoint::new(p(i), CheckpointIndex::new(idx))
+    }
+
+    /// The paper's Figure 2 pattern: messages crossing checkpoint boundaries
+    /// so every non-initial checkpoint lies on a zigzag cycle.
+    fn domino() -> Ccp {
+        let mut b = CcpBuilder::new(2);
+        let _m1 = b.message(p(1), p(0)); // received by p1 before s_1^1
+        b.checkpoint(p(0)); // s_1^1
+        let _m2 = b.message(p(0), p(1)); // sent after s_1^1, recv in m1's interval
+        b.checkpoint(p(1)); // s_2^1
+        let _m3 = b.message(p(1), p(0)); // sent after s_2^1, recv before s_1^2
+        b.checkpoint(p(0)); // s_1^2
+        let _m4 = b.message(p(0), p(1)); // sent after s_1^2, recv in m3's interval
+        b.build()
+    }
+
+    #[test]
+    fn crossing_messages_make_checkpoints_useless() {
+        let ccp = domino();
+        let useless = ccp.useless_checkpoints();
+        // All three non-initial stable checkpoints are useless.
+        assert_eq!(useless.len(), 3);
+        assert!(!ccp.is_rdt());
+    }
+
+    #[test]
+    fn initial_checkpoints_are_never_useless() {
+        let ccp = domino();
+        for c in ccp.useless_checkpoints() {
+            assert!(c.index > CheckpointIndex::ZERO);
+        }
+    }
+
+    #[test]
+    fn causal_chain_is_both_zigzag_and_causal() {
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        let m1 = b.message(p(0), p(1));
+        let m2 = b.message(p(1), p(2));
+        let ccp = b.build();
+        let zz = ccp.zigzag();
+        let a = g(0, 1);
+        let c = ccp.volatile(p(2));
+        assert!(zz.is_causal_path(a, &[m1, m2], c));
+        assert!(zz.is_zigzag_path(a, &[m1, m2], c));
+        assert!(zz.zigzag_reaches(a, c));
+        assert!(zz.causal_path_reaches(a, c));
+    }
+
+    #[test]
+    fn non_causal_zigzag_is_not_a_c_path() {
+        // m' received by p2 AFTER p2 already sent m'' in the same interval:
+        // [m', m''] is a Z-path but not a C-path.
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0)); // s_1^1
+        let m_prime = b.send(p(0), p(1)); // sent after s_1^1
+        let m_dprime = b.send(p(1), p(2)); // p2 sends BEFORE receiving m'
+        b.deliver(m_prime);
+        b.deliver(m_dprime);
+        b.checkpoint(p(2)); // s_3^1, after receiving m''
+        let ccp = b.build();
+        let zz = ccp.zigzag();
+        let a = g(0, 1);
+        let c = g(2, 1);
+        assert!(zz.is_zigzag_path(a, &[m_prime, m_dprime], c));
+        assert!(!zz.is_causal_path(a, &[m_prime, m_dprime], c));
+        assert!(zz.zigzag_reaches(a, c));
+        assert!(!zz.causal_path_reaches(a, c));
+        // And the zigzag is NOT doubled by causal precedence: RDT broken.
+        assert!(!ccp.precedes(a, c));
+        assert!(!ccp.is_rdt());
+    }
+
+    #[test]
+    fn empty_path_is_rejected() {
+        let ccp = CcpBuilder::new(2).build();
+        let zz = ccp.zigzag();
+        assert!(!zz.is_zigzag_path(g(0, 0), &[], g(1, 0)));
+    }
+
+    #[test]
+    fn message_free_ccp_is_rdt() {
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        b.checkpoint(p(1));
+        assert!(b.build().is_rdt());
+    }
+
+    #[test]
+    fn witnesses_are_valid_paths() {
+        let fig2 = {
+            let mut b = CcpBuilder::new(2);
+            let _ = b.message(p(1), p(0));
+            b.checkpoint(p(0));
+            let _ = b.message(p(0), p(1));
+            b.checkpoint(p(1));
+            b.build()
+        };
+        let zz = fig2.zigzag();
+        let cycle_at = g(0, 1);
+        let witness = zz.zigzag_witness(cycle_at, cycle_at).expect("cycle exists");
+        assert!(zz.is_zigzag_path(cycle_at, &witness, cycle_at));
+        // No causal path can cycle a checkpoint.
+        assert!(zz.causal_witness(cycle_at, cycle_at).is_none());
+    }
+
+    #[test]
+    fn witness_none_when_unreachable() {
+        let ccp = CcpBuilder::new(2).build();
+        let zz = ccp.zigzag();
+        assert!(zz.zigzag_witness(g(0, 0), g(1, 0)).is_none());
+    }
+
+    #[test]
+    fn causal_witness_matches_chain() {
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        let m1 = b.message(p(0), p(1));
+        let m2 = b.message(p(1), p(2));
+        let ccp = b.build();
+        let zz = ccp.zigzag();
+        let w = zz
+            .causal_witness(g(0, 1), ccp.volatile(p(2)))
+            .expect("chain exists");
+        assert_eq!(w, vec![m1, m2]);
+    }
+
+    #[test]
+    fn path_with_wrong_start_process_is_rejected() {
+        let mut b = CcpBuilder::new(2);
+        b.checkpoint(p(0));
+        let m = b.message(p(0), p(1));
+        let ccp = b.build();
+        let zz = ccp.zigzag();
+        // Path starts at p1's checkpoint, not p2's.
+        assert!(!zz.is_zigzag_path(g(1, 0), &[m], ccp.volatile(p(1))));
+    }
+}

@@ -1,0 +1,209 @@
+//! Recovery-line determination (Definition 5, Lemma 1).
+
+use std::collections::BTreeSet;
+
+use rdt_base::{CheckpointIndex, ProcessId};
+
+use crate::consistency::GlobalCheckpoint;
+use crate::model::{Ccp, GeneralCheckpoint};
+
+/// A set of faulty processes `F ⊆ Π`.
+pub type FaultySet = BTreeSet<ProcessId>;
+
+impl Ccp {
+    /// The recovery line `R_F` for faulty set `F`, by **Lemma 1**:
+    ///
+    /// `R_F = ⋃_i { c_i^k, k = max(γ | ∀ p_f ∈ F, s_f^last ↛ c_i^γ) }`
+    ///
+    /// i.e. the last checkpoint (volatile or not) of each process that is not
+    /// causally preceded by the last stable checkpoint of any faulty process.
+    ///
+    /// Lemma 1 is proved for RD-trackable CCPs; callers analysing non-RDT
+    /// patterns should use
+    /// [`brute_force_recovery_line`](Self::brute_force_recovery_line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `F` mentions a process outside the system.
+    pub fn recovery_line(&self, faulty: &FaultySet) -> GlobalCheckpoint {
+        for f in faulty {
+            assert!(f.index() < self.n(), "faulty process out of range");
+        }
+        let components = self
+            .processes()
+            .map(|i| {
+                let ceiling = if faulty.contains(&i) {
+                    // Faulty: volatile state is lost; best case last stable.
+                    self.last_stable(i)
+                } else {
+                    self.volatile(i).index
+                };
+                // Scan downward for the max γ with no faulty slast preceding.
+                let mut k = ceiling;
+                loop {
+                    let c = GeneralCheckpoint::new(i, k);
+                    let blocked = faulty.iter().any(|&f| self.last_stable_precedes(f, c));
+                    if !blocked {
+                        break k;
+                    }
+                    k = k.prev().expect(
+                        "s_i^0 is not causally preceded by anything: Lemma 1 is well-defined",
+                    );
+                }
+            })
+            .collect();
+        GlobalCheckpoint::new(components)
+    }
+
+    /// Exhaustive recovery-line computation straight from **Definition 5**:
+    /// among all consistent global checkpoints that exclude the volatile
+    /// state of every faulty process, the one minimizing rolled-back
+    /// checkpoints (maximizing total progress).
+    ///
+    /// Exponential in `n` — a validation oracle for
+    /// [`recovery_line`](Self::recovery_line), usable for small systems only.
+    ///
+    /// Returns `None` only if `faulty` is inconsistent with the system size.
+    pub fn brute_force_recovery_line(&self, faulty: &FaultySet) -> Option<GlobalCheckpoint> {
+        if faulty.iter().any(|f| f.index() >= self.n()) {
+            return None;
+        }
+        let ceilings: Vec<usize> = self
+            .processes()
+            .map(|p| {
+                if faulty.contains(&p) {
+                    self.last_stable(p).value()
+                } else {
+                    self.volatile(p).index.value()
+                }
+            })
+            .collect();
+
+        let mut best: Option<GlobalCheckpoint> = None;
+        let mut idx = vec![0usize; self.n()];
+        loop {
+            let gc = GlobalCheckpoint::new(idx.iter().map(|&v| CheckpointIndex::new(v)).collect());
+            if self.is_consistent_global(&gc) {
+                let better = match &best {
+                    None => true,
+                    Some(b) => gc.total_progress() > b.total_progress(),
+                };
+                if better {
+                    best = Some(gc);
+                }
+            }
+            // Odometer over 0..=ceiling per process.
+            let mut pos = 0;
+            loop {
+                if pos == self.n() {
+                    return best;
+                }
+                if idx[pos] < ceilings[pos] {
+                    idx[pos] += 1;
+                    break;
+                }
+                idx[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rdt_base::CheckpointIndex;
+
+    use super::*;
+    use crate::CcpBuilder;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn faulty(ids: &[usize]) -> FaultySet {
+        ids.iter().map(|&i| ProcessId::new(i)).collect()
+    }
+
+    /// p1 checkpoints, informs p2; p2 checkpoints, informs p3.
+    fn chain() -> Ccp {
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.checkpoint(p(1));
+        b.message(p(1), p(2));
+        b.build()
+    }
+
+    #[test]
+    fn empty_faulty_set_keeps_all_volatile_states() {
+        let ccp = chain();
+        let rl = ccp.recovery_line(&faulty(&[]));
+        assert_eq!(rl, ccp.volatile_global());
+    }
+
+    #[test]
+    fn failure_of_chain_head_rolls_back_dependents() {
+        let ccp = chain();
+        // p1 fails. s_1^last = s_1^1 precedes s_2^1 and v_2 and v_3.
+        let rl = ccp.recovery_line(&faulty(&[0]));
+        // p1 keeps s_1^1 (its own last stable is allowed: slast ↛ slast).
+        assert_eq!(rl.component(p(0)).index, CheckpointIndex::new(1));
+        // p2 rolls back to s_2^0: both s_2^1 and v_2 depend on s_1^1.
+        assert_eq!(rl.component(p(1)).index, CheckpointIndex::new(0));
+        // p3's volatile depends on s_2^1 hence transitively on s_1^1.
+        assert_eq!(rl.component(p(2)).index, CheckpointIndex::new(0));
+    }
+
+    #[test]
+    fn failure_of_chain_tail_rolls_back_nobody_else() {
+        let ccp = chain();
+        let rl = ccp.recovery_line(&faulty(&[2]));
+        // s_3^last = s_3^0 precedes only v_3.
+        assert_eq!(rl.component(p(0)), ccp.volatile(p(0)));
+        assert_eq!(rl.component(p(1)), ccp.volatile(p(1)));
+        assert_eq!(rl.component(p(2)).index, CheckpointIndex::new(0));
+    }
+
+    #[test]
+    fn lemma1_matches_brute_force_on_rdt_ccps() {
+        let ccp = chain();
+        assert!(ccp.is_rdt());
+        for f in [
+            faulty(&[]),
+            faulty(&[0]),
+            faulty(&[1]),
+            faulty(&[2]),
+            faulty(&[0, 1]),
+            faulty(&[0, 2]),
+            faulty(&[1, 2]),
+            faulty(&[0, 1, 2]),
+        ] {
+            let lemma = ccp.recovery_line(&f);
+            let brute = ccp.brute_force_recovery_line(&f).unwrap();
+            assert_eq!(lemma, brute, "faulty set {f:?}");
+            assert!(ccp.is_consistent_global(&lemma));
+        }
+    }
+
+    #[test]
+    fn recovery_line_is_consistent() {
+        let ccp = chain();
+        let rl = ccp.recovery_line(&faulty(&[0, 2]));
+        assert!(ccp.is_consistent_global(&rl));
+    }
+
+    #[test]
+    fn all_faulty_recovery_line_uses_stable_checkpoints_only() {
+        let ccp = chain();
+        let rl = ccp.recovery_line(&faulty(&[0, 1, 2]));
+        for m in rl.members() {
+            assert!(!ccp.is_volatile(m), "{m:?} must be stable");
+        }
+    }
+
+    #[test]
+    fn brute_force_rejects_out_of_range_faulty() {
+        let ccp = chain();
+        assert!(ccp.brute_force_recovery_line(&faulty(&[7])).is_none());
+    }
+}

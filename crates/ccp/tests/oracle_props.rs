@@ -1,0 +1,200 @@
+//! Property tests validating the paper's lemmas on randomly generated CCPs.
+//!
+//! RD-trackable patterns are generated with the checkpoint-before-receive
+//! discipline (every receive is immediately preceded by a forced checkpoint),
+//! which makes every zigzag edge causal and hence the CCP RDT by
+//! construction. Unrestricted patterns are generated without that rule.
+
+use proptest::prelude::*;
+use rdt_base::ProcessId;
+use rdt_ccp::{Ccp, CcpBuilder, FaultySet};
+
+/// One generation step: numbers are mapped onto the currently legal moves.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: u8,
+    a: usize,
+    b: usize,
+}
+
+fn ops(n_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..6, 0usize..64, 0usize..64).prop_map(|(kind, a, b)| Op { kind, a, b }),
+        0..n_ops,
+    )
+}
+
+/// Replays ops into an unrestricted (possibly non-RDT) CCP.
+fn generate(n: usize, ops: &[Op]) -> Ccp {
+    let mut b = CcpBuilder::new(n);
+    let mut in_flight = Vec::new();
+    for op in ops {
+        let p = ProcessId::new(op.a % n);
+        match op.kind {
+            // Take a basic checkpoint.
+            0 => {
+                b.checkpoint(p);
+            }
+            // Send to some other process.
+            1 | 2 => {
+                let q = ProcessId::new((op.a + 1 + op.b % (n - 1)) % n);
+                in_flight.push(b.send(p, q));
+            }
+            // Deliver one in-flight message.
+            3 | 4 => {
+                if !in_flight.is_empty() {
+                    let m = in_flight.remove(op.b % in_flight.len());
+                    b.deliver(m);
+                }
+            }
+            // Drop one in-flight message.
+            _ => {
+                if !in_flight.is_empty() {
+                    let m = in_flight.remove(op.b % in_flight.len());
+                    b.drop_message(m).expect("in flight");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// CBR variant tracking destinations so the forced checkpoint lands on the
+/// receiver.
+fn generate_cbr(n: usize, ops: &[Op]) -> Ccp {
+    let mut b = CcpBuilder::new(n);
+    let mut in_flight: Vec<(rdt_base::MessageId, ProcessId)> = Vec::new();
+    for op in ops {
+        let p = ProcessId::new(op.a % n);
+        match op.kind {
+            0 => {
+                b.checkpoint(p);
+            }
+            1 | 2 => {
+                let q = ProcessId::new((op.a + 1 + op.b % (n - 1)) % n);
+                in_flight.push((b.send(p, q), q));
+            }
+            3 | 4 => {
+                if !in_flight.is_empty() {
+                    let (m, dst) = in_flight.remove(op.b % in_flight.len());
+                    b.checkpoint(dst); // forced: checkpoint-before-receive
+                    b.deliver(m);
+                }
+            }
+            _ => {
+                if !in_flight.is_empty() {
+                    let (m, _) = in_flight.remove(op.b % in_flight.len());
+                    b.drop_message(m).expect("in flight");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+fn all_faulty_sets(n: usize) -> impl Iterator<Item = FaultySet> {
+    (0u64..(1 << n)).map(move |mask| {
+        (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(ProcessId::new)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Checkpoint-before-receive yields RD-trackable patterns.
+    #[test]
+    fn cbr_generation_is_rdt(n in 2usize..4, ops in ops(40)) {
+        let ccp = generate_cbr(n, &ops);
+        prop_assert!(ccp.is_rdt());
+    }
+
+    /// Lemma 1 agrees with the exhaustive Definition-5 recovery line on
+    /// RD-trackable CCPs, for every faulty set.
+    #[test]
+    fn lemma1_matches_brute_force(n in 2usize..4, ops in ops(24)) {
+        let ccp = generate_cbr(n, &ops);
+        for faulty in all_faulty_sets(n) {
+            let lemma = ccp.recovery_line(&faulty);
+            let brute = ccp.brute_force_recovery_line(&faulty).unwrap();
+            prop_assert_eq!(&lemma, &brute, "faulty {:?}", faulty);
+            prop_assert!(ccp.is_consistent_global(&lemma));
+        }
+    }
+
+    /// Theorem 2 is sound: everything causally identifiable as obsolete is
+    /// obsolete by Theorem 1.
+    #[test]
+    fn theorem2_subset_of_theorem1(n in 2usize..5, ops in ops(48)) {
+        let ccp = generate_cbr(n, &ops);
+        let t2 = ccp.causally_identifiable_obsolete_set();
+        let t1 = ccp.obsolete_set();
+        prop_assert!(t2.is_subset(&t1));
+    }
+
+    /// Lemma 3 + Lemma 2: Theorem 1 coincides with exhaustive needlessness
+    /// and with single-failure needlessness on RD-trackable CCPs.
+    #[test]
+    fn needlessness_lemmas(n in 2usize..4, ops in ops(24)) {
+        let ccp = generate_cbr(n, &ops);
+        for c in ccp.stable_checkpoints() {
+            let t1 = ccp.is_obsolete(c);
+            prop_assert_eq!(t1, ccp.is_needless_exhaustive(c), "{}", c);
+            prop_assert_eq!(t1, ccp.is_needless_single_failures(c), "{}", c);
+        }
+    }
+
+    /// The last stable checkpoint of a process is never obsolete.
+    #[test]
+    fn last_stable_never_obsolete(n in 2usize..5, ops in ops(48)) {
+        let ccp = generate_cbr(n, &ops);
+        for p in ccp.processes() {
+            let last = rdt_base::CheckpointId::new(p, ccp.last_stable(p));
+            prop_assert!(!ccp.is_obsolete(last));
+        }
+    }
+
+    /// On arbitrary (possibly non-RDT) patterns, the brute-force recovery
+    /// line exists, is consistent, and excludes faulty volatile states.
+    #[test]
+    fn brute_force_line_always_consistent(n in 2usize..4, ops in ops(16)) {
+        let ccp = generate(n, &ops);
+        for faulty in all_faulty_sets(n) {
+            let line = ccp.brute_force_recovery_line(&faulty).unwrap();
+            prop_assert!(ccp.is_consistent_global(&line));
+            for f in &faulty {
+                prop_assert!(line.component(*f).index <= ccp.last_stable(*f));
+            }
+        }
+    }
+
+    /// RDT implies no useless checkpoints (Section 2.3).
+    #[test]
+    fn rdt_has_no_useless_checkpoints(n in 2usize..4, ops in ops(40)) {
+        let ccp = generate_cbr(n, &ops);
+        prop_assert!(ccp.useless_checkpoints().is_empty());
+    }
+
+    /// Causal precedence (via Equation 2) is antisymmetric on distinct
+    /// checkpoints and transitive, on any pattern.
+    #[test]
+    fn precedence_is_a_strict_partial_order(n in 2usize..4, ops in ops(32)) {
+        let ccp = generate(n, &ops);
+        let all: Vec<_> = ccp.general_checkpoints().collect();
+        for &a in &all {
+            prop_assert!(!ccp.precedes(a, a), "irreflexive at {:?}", a);
+            for &b in &all {
+                if ccp.precedes(a, b) {
+                    prop_assert!(!ccp.precedes(b, a));
+                    for &c in &all {
+                        if ccp.precedes(b, c) {
+                            prop_assert!(ccp.precedes(a, c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

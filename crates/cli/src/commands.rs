@@ -1,0 +1,311 @@
+//! The `simulate`, `analyze` and `audit` subcommands.
+
+use serde::Serialize;
+
+use rdt_analysis::{worst_single_failure, CcpStats, OccupancyTimeline};
+use rdt_base::ProcessId;
+use rdt_ccp::{collection_safety_violations, CcpBuilder};
+use rdt_sim::{SimulationBuilder, SimulationReport};
+
+use crate::opts::RunOpts;
+
+/// Runs the simulator once with the given options.
+fn run(opts: &RunOpts, record_trace: bool) -> Result<SimulationReport, String> {
+    run_with(opts, record_trace, false)
+}
+
+fn run_with(
+    opts: &RunOpts,
+    record_trace: bool,
+    record_occupancy: bool,
+) -> Result<SimulationReport, String> {
+    let mut builder = SimulationBuilder::new(opts.spec.clone())
+        .protocol(opts.protocol)
+        .garbage_collector(opts.gc)
+        .config(opts.config);
+    if record_trace {
+        builder = builder.record_trace();
+    }
+    if record_occupancy {
+        builder = builder.record_occupancy();
+    }
+    builder.run().map_err(|e| format!("simulation failed: {e}"))
+}
+
+#[derive(Debug, Serialize)]
+struct SimulateSummary {
+    n: usize,
+    steps: usize,
+    protocol: String,
+    gc: String,
+    ticks: u64,
+    delivered: u64,
+    lost: u64,
+    basic_checkpoints: u64,
+    forced_checkpoints: u64,
+    collected: usize,
+    recovery_sessions: u64,
+    rolled_back: u64,
+    max_retained: usize,
+    peak_global_retained: usize,
+    avg_retained: f64,
+    per_process_retained: Vec<usize>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    occupancy: Option<OccupancySummary>,
+}
+
+#[derive(Debug, Serialize)]
+struct OccupancySummary {
+    global_peak: usize,
+    global_peak_at: u64,
+    time_averaged_global: f64,
+    final_global: usize,
+    per_process_peak: Vec<usize>,
+}
+
+/// `rdt simulate` — run a workload and report the storage metrics.
+pub fn simulate(opts: &RunOpts, occupancy: bool) -> Result<(), String> {
+    let report = run_with(opts, false, occupancy)?;
+    let m = &report.metrics;
+    let occupancy = report.occupancy.as_ref().map(|samples| {
+        let tl = OccupancyTimeline::from_raw(opts.spec.n, samples.iter().copied());
+        let (at, peak) = tl.global_peak();
+        OccupancySummary {
+            global_peak: peak,
+            global_peak_at: at,
+            time_averaged_global: tl.time_averaged_global(),
+            final_global: tl.final_global(),
+            per_process_peak: ProcessId::all(opts.spec.n)
+                .map(|p| tl.process_peak(p))
+                .collect(),
+        }
+    });
+    let summary = SimulateSummary {
+        n: opts.spec.n,
+        steps: opts.spec.steps,
+        protocol: opts.protocol.to_string(),
+        gc: opts.gc.to_string(),
+        ticks: m.ticks,
+        delivered: m.total_delivered(),
+        lost: m.per_process.iter().map(|p| p.lost).sum(),
+        basic_checkpoints: m.total_basic(),
+        forced_checkpoints: m.total_forced(),
+        collected: m.total_collected(),
+        recovery_sessions: m.recovery_sessions,
+        rolled_back: m.total_rolled_back,
+        max_retained: m.max_retained_per_process(),
+        peak_global_retained: m.peak_global_retained,
+        avg_retained: m.avg_retained(),
+        per_process_retained: m.per_process.iter().map(|p| p.retained).collect(),
+        occupancy,
+    };
+    if opts.json {
+        println!("{}", to_json(&summary)?);
+        return Ok(());
+    }
+    println!("simulated {} ops on {} processes over {} ticks", summary.steps, summary.n, summary.ticks);
+    println!("protocol {}  gc {}", summary.protocol, summary.gc);
+    println!(
+        "messages: {} delivered, {} lost",
+        summary.delivered, summary.lost
+    );
+    println!(
+        "checkpoints: {} basic + {} forced, {} collected",
+        summary.basic_checkpoints, summary.forced_checkpoints, summary.collected
+    );
+    if summary.recovery_sessions > 0 {
+        println!(
+            "recovery: {} sessions, {} checkpoints rolled back",
+            summary.recovery_sessions, summary.rolled_back
+        );
+    }
+    println!(
+        "retention: max {} on one process (peak global {}), time-averaged {:.2}",
+        summary.max_retained, summary.peak_global_retained, summary.avg_retained
+    );
+    println!("final per-process occupancy: {:?}", summary.per_process_retained);
+    if let Some(occ) = &summary.occupancy {
+        println!(
+            "timeline: global peak {} at tick {}, time-averaged {:.2}, final {}",
+            occ.global_peak, occ.global_peak_at, occ.time_averaged_global, occ.final_global
+        );
+        println!("per-process peaks: {:?}", occ.per_process_peak);
+    }
+    Ok(())
+}
+
+#[derive(Debug, Serialize)]
+struct AnalyzeSummary {
+    rdt: bool,
+    stable_checkpoints: usize,
+    delivered: usize,
+    causal_density: f64,
+    zigzag_density: f64,
+    doubling_ratio: f64,
+    useless: usize,
+    obsolete: usize,
+    causally_identifiable_obsolete: usize,
+    optimality_gap: usize,
+    worst_failure_process: Option<String>,
+    worst_failure_rolled_back: Option<usize>,
+    worst_failure_reaches_initial: Option<bool>,
+}
+
+/// `rdt analyze` — run crash-free, replay the trace into a CCP and report
+/// pattern statistics plus the worst single-failure propagation. With
+/// `dot = Some("ccp" | "rgraph")`, emit a Graphviz digraph instead (pipe
+/// through `dot -Tsvg`).
+pub fn analyze(opts: &RunOpts, dot: Option<&str>) -> Result<(), String> {
+    if opts.spec.crash_prob > 0.0 {
+        return Err("analyze needs a crash-free workload (crash traces cannot replay)".into());
+    }
+    let report = run(opts, true)?;
+    let trace = report.trace.expect("trace recording requested");
+    let ccp = CcpBuilder::from_trace(opts.spec.n, &trace)
+        .map_err(|e| format!("trace replay failed: {e}"))?
+        .build();
+    match dot {
+        Some("ccp") => {
+            print!("{}", ccp.render_dot());
+            return Ok(());
+        }
+        Some("rgraph") => {
+            print!("{}", rdt_analysis::RollbackGraph::new(&ccp).render_dot(None));
+            return Ok(());
+        }
+        Some(other) => return Err(format!("--dot takes 'ccp' or 'rgraph', not '{other}'")),
+        None => {}
+    }
+    let stats = CcpStats::compute(&ccp);
+    let worst = worst_single_failure(&ccp);
+    let summary = AnalyzeSummary {
+        rdt: stats.is_rdt,
+        stable_checkpoints: stats.stable_checkpoints,
+        delivered: stats.delivered_messages,
+        causal_density: stats.causal_density(),
+        zigzag_density: stats.zigzag_density(),
+        doubling_ratio: stats.doubling_ratio(),
+        useless: stats.useless_checkpoints,
+        obsolete: stats.obsolete,
+        causally_identifiable_obsolete: stats.causally_identifiable_obsolete,
+        optimality_gap: stats.optimality_gap(),
+        worst_failure_process: worst.as_ref().map(|w| w.faulty[0].to_string()),
+        worst_failure_rolled_back: worst.as_ref().map(|w| w.total()),
+        worst_failure_reaches_initial: worst.as_ref().map(|w| w.reached_initial),
+    };
+    if opts.json {
+        println!("{}", to_json(&summary)?);
+        return Ok(());
+    }
+    println!("pattern: {stats}");
+    println!(
+        "doubling ratio {:.3} (1.0 = every zigzag dependency trackable)",
+        summary.doubling_ratio
+    );
+    println!(
+        "obsolete {} / causally identifiable {} (gap {} — the price of causal-only knowledge)",
+        summary.obsolete, summary.causally_identifiable_obsolete, summary.optimality_gap
+    );
+    if let Some(w) = worst {
+        println!(
+            "worst single failure: {} rolls back {} checkpoints across {} processes{}",
+            w.faulty[0],
+            w.total(),
+            w.affected_processes(),
+            if w.reached_initial { " — DOMINO to the initial state" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+#[derive(Debug, Serialize)]
+struct AuditSummary {
+    collector: String,
+    collected: usize,
+    violations: Vec<String>,
+}
+
+/// `rdt audit` — run crash-free and check every garbage-collection event
+/// against the Theorem-1 oracle at its own cut.
+pub fn audit(opts: &RunOpts) -> Result<(), String> {
+    if opts.spec.crash_prob > 0.0 {
+        return Err("audit needs a crash-free workload (crash traces cannot replay)".into());
+    }
+    let report = run(opts, true)?;
+    let trace = report.trace.expect("trace recording requested");
+    let violations = collection_safety_violations(opts.spec.n, &trace)
+        .map_err(|e| format!("trace replay failed: {e}"))?;
+    let summary = AuditSummary {
+        collector: opts.gc.to_string(),
+        collected: report.metrics.total_collected(),
+        violations: violations.iter().map(|c| c.to_string()).collect(),
+    };
+    if opts.json {
+        println!("{}", to_json(&summary)?);
+    } else {
+        println!(
+            "{}: {} checkpoints collected, {} safety violations",
+            summary.collector,
+            summary.collected,
+            summary.violations.len()
+        );
+        for v in &summary.violations {
+            println!("  VIOLATION: {v} was not obsolete when eliminated");
+        }
+        if summary.violations.is_empty() {
+            println!("every elimination was provably obsolete (Theorem 1) at its cut");
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} safety violations", violations.len()))
+    }
+}
+
+/// `rdt line` — recovery lines for every single-process failure of a
+/// crash-free run, via the offline oracle.
+pub fn line(opts: &RunOpts) -> Result<(), String> {
+    if opts.spec.crash_prob > 0.0 {
+        return Err("line needs a crash-free workload (crash traces cannot replay)".into());
+    }
+    let report = run(opts, true)?;
+    let trace = report.trace.expect("trace recording requested");
+    let ccp = CcpBuilder::from_trace(opts.spec.n, &trace)
+        .map_err(|e| format!("trace replay failed: {e}"))?
+        .build();
+    #[derive(Debug, Serialize)]
+    struct Line {
+        faulty: String,
+        line: Vec<usize>,
+        rolled_back: usize,
+    }
+    let lines: Vec<Line> = ProcessId::all(opts.spec.n)
+        .map(|f| {
+            let gc = ccp.recovery_line(&[f].into_iter().collect());
+            let rolled: usize = ProcessId::all(opts.spec.n)
+                .map(|p| ccp.volatile(p).index.value() - gc.component(p).index.value())
+                .sum();
+            Line {
+                faulty: f.to_string(),
+                line: gc.to_raw(),
+                rolled_back: rolled,
+            }
+        })
+        .collect();
+    if opts.json {
+        println!("{}", to_json(&lines)?);
+    } else {
+        for l in &lines {
+            println!(
+                "failure of {:<4} → line {:?} ({} checkpoints rolled back)",
+                l.faulty, l.line, l.rolled_back
+            );
+        }
+    }
+    Ok(())
+}
+
+fn to_json<T: Serialize>(value: &T) -> Result<String, String> {
+    serde_json::to_string_pretty(value).map_err(|e| e.to_string())
+}

@@ -1,0 +1,88 @@
+//! `rdt` — command-line driver for the rdt-checkpointing workspace.
+//!
+//! ```sh
+//! rdt simulate -n 8 -s 2000 --protocol fdas --gc rdt-lgc
+//! rdt analyze  -n 4 --pattern ring
+//! rdt audit    --gc time:60 -D 400
+//! rdt line     -n 4 -s 300
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod commands;
+mod opts;
+
+use clap::Command;
+
+use crate::opts::{run_opts, with_common_args};
+
+fn cli() -> Command {
+    Command::new("rdt")
+        .about("Simulate, analyze and audit RDT checkpointing with asynchronous garbage collection (ICDCS 2005)")
+        .subcommand_required(true)
+        .arg_required_else_help(true)
+        .subcommand(with_common_args(
+            Command::new("simulate")
+                .about("run a workload and report storage metrics")
+                .arg(
+                    clap::Arg::new("occupancy")
+                        .long("occupancy")
+                        .help("also report the storage-occupancy timeline (peak / averages)")
+                        .action(clap::ArgAction::SetTrue),
+                ),
+        ))
+        .subcommand(with_common_args(
+            Command::new("analyze")
+                .about("replay a crash-free run into a CCP: RDT, densities, propagation")
+                .arg(
+                    clap::Arg::new("dot")
+                        .long("dot")
+                        .help("emit a Graphviz digraph instead of statistics: 'ccp' or 'rgraph'")
+                        .value_name("what"),
+                ),
+        ))
+        .subcommand(with_common_args(
+            Command::new("audit")
+                .about("check every garbage-collection event against the Theorem-1 oracle"),
+        ))
+        .subcommand(with_common_args(
+            Command::new("line").about("recovery lines for every single-process failure"),
+        ))
+}
+
+fn main() {
+    let matches = cli().get_matches();
+    let (name, sub) = matches.subcommand().expect("subcommand required");
+    let result = run_opts(sub).and_then(|opts| match name {
+        "simulate" => commands::simulate(&opts, sub.get_flag("occupancy")),
+        "analyze" => commands::analyze(&opts, sub.get_one::<String>("dot").map(String::as_str)),
+        "audit" => commands::audit(&opts),
+        "line" => commands::line(&opts),
+        _ => unreachable!("clap rejects unknown subcommands"),
+    });
+    if let Err(msg) = result {
+        eprintln!("rdt: {msg}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_definition_is_well_formed() {
+        cli().debug_assert();
+    }
+
+    #[test]
+    fn subcommands_share_common_args() {
+        for sub in ["simulate", "analyze", "audit", "line"] {
+            let m = cli()
+                .try_get_matches_from(["rdt", sub, "-n", "3", "--json"])
+                .expect("parses");
+            let (_, subm) = m.subcommand().unwrap();
+            assert!(run_opts(subm).is_ok());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Per-process stable-storage model for checkpoints.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rdt_base::{CheckpointIndex, DependencyVector, Error, ProcessId, Result};
+
+/// The stable checkpoints a process currently holds, with the dependency
+/// vector stored alongside each one (Section 4.2: "when a stable checkpoint
+/// is taken, the current dependency vector is stored with it for recovery
+/// purposes").
+///
+/// The store also tracks its **peak occupancy**, which is how the paper's
+/// space bounds are measured: RDT-LGC retains at most `n` checkpoints per
+/// process, `n + 1` transiently while a new checkpoint is being stored but
+/// the previous one has not yet been released (Section 4.5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointStore {
+    owner: ProcessId,
+    map: BTreeMap<CheckpointIndex, StoredCheckpoint>,
+    peak: usize,
+    total_stored: usize,
+    total_collected: usize,
+    bytes: usize,
+    peak_bytes: usize,
+    total_bytes_stored: usize,
+}
+
+/// One stable checkpoint at rest: its dependency vector (stored for
+/// recovery, Section 4.2) and the application-state size it occupies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct StoredCheckpoint {
+    dv: DependencyVector,
+    bytes: usize,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store for `owner`.
+    pub fn new(owner: ProcessId) -> Self {
+        Self {
+            owner,
+            map: BTreeMap::new(),
+            peak: 0,
+            total_stored: 0,
+            total_collected: 0,
+            bytes: 0,
+            peak_bytes: 0,
+            total_bytes_stored: 0,
+        }
+    }
+
+    /// The owning process.
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// Stores checkpoint `index` with its dependency vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is already present — checkpoint indices are unique
+    /// within a normal execution period (rollbacks eliminate before reuse).
+    pub fn insert(&mut self, index: CheckpointIndex, dv: DependencyVector) {
+        self.insert_with_size(index, dv, 0);
+    }
+
+    /// Stores checkpoint `index` with its dependency vector and the size of
+    /// the application state snapshot, in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is already present.
+    pub fn insert_with_size(&mut self, index: CheckpointIndex, dv: DependencyVector, bytes: usize) {
+        let prev = self.map.insert(index, StoredCheckpoint { dv, bytes });
+        assert!(prev.is_none(), "checkpoint {index} stored twice");
+        self.total_stored += 1;
+        self.peak = self.peak.max(self.map.len());
+        self.bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        self.total_bytes_stored += bytes;
+    }
+
+    /// Eliminates checkpoint `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CheckpointNotInStorage`] if absent.
+    pub fn remove(&mut self, index: CheckpointIndex) -> Result<()> {
+        self.map
+            .remove(&index)
+            .map(|stored| {
+                self.total_collected += 1;
+                self.bytes -= stored.bytes;
+            })
+            .ok_or(Error::CheckpointNotInStorage {
+                process: self.owner,
+                index,
+            })
+    }
+
+    /// The dependency vector stored with `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CheckpointNotInStorage`] if absent.
+    pub fn dv(&self, index: CheckpointIndex) -> Result<&DependencyVector> {
+        self.map
+            .get(&index)
+            .map(|stored| &stored.dv)
+            .ok_or(Error::CheckpointNotInStorage {
+                process: self.owner,
+                index,
+            })
+    }
+
+    /// Whether `index` is currently stored.
+    pub fn contains(&self, index: CheckpointIndex) -> bool {
+        self.map.contains_key(&index)
+    }
+
+    /// Number of checkpoints currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Stored indices in ascending order.
+    pub fn indices(&self) -> impl DoubleEndedIterator<Item = CheckpointIndex> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// `(index, dv)` pairs in ascending index order.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = (CheckpointIndex, &DependencyVector)> {
+        self.map.iter().map(|(k, v)| (*k, &v.dv))
+    }
+
+    /// The most recent stored checkpoint, if any.
+    pub fn last(&self) -> Option<CheckpointIndex> {
+        self.map.keys().next_back().copied()
+    }
+
+    /// Maximum number of simultaneously stored checkpoints observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Checkpoints stored over the store's lifetime.
+    pub fn total_stored(&self) -> usize {
+        self.total_stored
+    }
+
+    /// Checkpoints eliminated over the store's lifetime.
+    pub fn total_collected(&self) -> usize {
+        self.total_collected
+    }
+
+    /// Bytes currently occupied by stored checkpoints.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Peak simultaneous byte occupancy.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Bytes written to stable storage over the store's lifetime.
+    pub fn total_bytes_stored(&self) -> usize {
+        self.total_bytes_stored
+    }
+
+    /// Removes every checkpoint with index strictly greater than `ri`
+    /// (rollback discards them, Algorithm 3 line 4). Returns them.
+    pub fn truncate_after(&mut self, ri: CheckpointIndex) -> Vec<CheckpointIndex> {
+        let doomed: Vec<CheckpointIndex> =
+            self.map.range(ri.next()..).map(|(k, _)| *k).collect();
+        for d in &doomed {
+            if let Some(stored) = self.map.remove(d) {
+                self.total_collected += 1;
+                self.bytes -= stored.bytes;
+            }
+        }
+        doomed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(i: usize) -> CheckpointIndex {
+        CheckpointIndex::new(i)
+    }
+
+    fn store_with(indices: &[usize]) -> CheckpointStore {
+        let mut s = CheckpointStore::new(ProcessId::new(0));
+        for &i in indices {
+            s.insert(idx(i), DependencyVector::new(2));
+        }
+        s
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = store_with(&[0, 1, 2]);
+        assert_eq!(s.len(), 3);
+        s.remove(idx(1)).unwrap();
+        assert!(!s.contains(idx(1)));
+        assert_eq!(s.last(), Some(idx(2)));
+        assert_eq!(s.total_collected(), 1);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut s = store_with(&[0, 1, 2]);
+        s.remove(idx(0)).unwrap();
+        s.remove(idx(1)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.peak(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "stored twice")]
+    fn duplicate_insert_panics() {
+        let mut s = store_with(&[0]);
+        s.insert(idx(0), DependencyVector::new(2));
+    }
+
+    #[test]
+    fn removing_missing_checkpoint_is_an_error() {
+        let mut s = store_with(&[0]);
+        assert!(matches!(
+            s.remove(idx(5)),
+            Err(Error::CheckpointNotInStorage { .. })
+        ));
+    }
+
+    #[test]
+    fn byte_accounting_tracks_occupancy() {
+        let mut s = CheckpointStore::new(ProcessId::new(0));
+        s.insert_with_size(idx(0), DependencyVector::new(2), 100);
+        s.insert_with_size(idx(1), DependencyVector::new(2), 50);
+        assert_eq!(s.bytes(), 150);
+        assert_eq!(s.peak_bytes(), 150);
+        s.remove(idx(0)).unwrap();
+        assert_eq!(s.bytes(), 50);
+        assert_eq!(s.peak_bytes(), 150);
+        assert_eq!(s.total_bytes_stored(), 150);
+    }
+
+    #[test]
+    fn truncate_updates_bytes() {
+        let mut s = CheckpointStore::new(ProcessId::new(0));
+        for i in 0..4 {
+            s.insert_with_size(idx(i), DependencyVector::new(2), 10);
+        }
+        s.truncate_after(idx(1));
+        assert_eq!(s.bytes(), 20);
+    }
+
+    #[test]
+    fn truncate_after_removes_strict_suffix() {
+        let mut s = store_with(&[0, 1, 2, 3, 4]);
+        let doomed = s.truncate_after(idx(2));
+        assert_eq!(doomed, vec![idx(3), idx(4)]);
+        assert_eq!(s.indices().collect::<Vec<_>>(), vec![idx(0), idx(1), idx(2)]);
+    }
+
+    #[test]
+    fn truncate_after_last_is_noop() {
+        let mut s = store_with(&[0, 1]);
+        assert!(s.truncate_after(idx(1)).is_empty());
+        assert_eq!(s.len(), 2);
+    }
+}

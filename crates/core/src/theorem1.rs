@@ -1,0 +1,102 @@
+//! Shared Theorem-1 pin computation over a checkpoint store.
+
+use rdt_base::{DependencyVector, ProcessId};
+
+use crate::store::CheckpointStore;
+use crate::traits::LastIntervals;
+
+/// For each stored checkpoint (in ascending index order, parallel to
+/// `store.indices()`), the processes `f` that *pin* it under Theorem 1 given
+/// the last-interval vector `li`:
+///
+/// the pinned checkpoint for `f` is the latest stored `γ` with
+/// `DV(s^γ)[f] < LI[f]` whose successor — the next stored checkpoint, or the
+/// volatile state `dv` — has an entry `≥ LI[f]` (i.e. `s_f^last → c^{γ+1}`).
+///
+/// Entries are monotone non-decreasing in the checkpoint index, so the
+/// search is a binary partition per process: O(n log s) overall, matching
+/// the paper's complexity claim for Algorithm 3.
+pub(crate) fn theorem1_pins(
+    store: &CheckpointStore,
+    li: &LastIntervals,
+    dv: &DependencyVector,
+) -> Vec<Vec<ProcessId>> {
+    let indices: Vec<_> = store.indices().collect();
+    let mut pins: Vec<Vec<ProcessId>> = vec![Vec::new(); indices.len()];
+    for f in ProcessId::all(li.len()) {
+        let target = li.entry(f);
+        let split = indices.partition_point(|&idx| store.dv(idx).expect("stored").entry(f) < target);
+        if split == 0 {
+            continue;
+        }
+        let candidate = split - 1;
+        let successor_entry = if candidate + 1 < indices.len() {
+            store.dv(indices[candidate + 1]).expect("stored").entry(f)
+        } else {
+            dv.entry(f)
+        };
+        if successor_entry >= target {
+            pins[candidate].push(f);
+        }
+    }
+    pins
+}
+
+#[cfg(test)]
+mod tests {
+    use rdt_base::{CheckpointIndex, IntervalIndex};
+
+    use super::*;
+
+    fn idx(i: usize) -> CheckpointIndex {
+        CheckpointIndex::new(i)
+    }
+
+    #[test]
+    fn self_entry_always_pins_last_stored() {
+        let owner = ProcessId::new(0);
+        let mut store = CheckpointStore::new(owner);
+        store.insert(idx(0), DependencyVector::from_raw(vec![0, 0]));
+        store.insert(idx(1), DependencyVector::from_raw(vec![1, 0]));
+        let dv = DependencyVector::from_raw(vec![2, 0]);
+        let li = LastIntervals::from_intervals(vec![IntervalIndex::new(2), IntervalIndex::ZERO]);
+        let pins = theorem1_pins(&store, &li, &dv);
+        assert_eq!(pins, vec![vec![], vec![owner]]);
+    }
+
+    #[test]
+    fn peer_pin_lands_on_latest_unaware_checkpoint() {
+        let owner = ProcessId::new(0);
+        let f = ProcessId::new(1);
+        let mut store = CheckpointStore::new(owner);
+        // s^0 knows nothing of f; s^1 knows f's interval 2.
+        store.insert(idx(0), DependencyVector::from_raw(vec![0, 0]));
+        store.insert(idx(1), DependencyVector::from_raw(vec![1, 2]));
+        let dv = DependencyVector::from_raw(vec![2, 2]);
+        // LI[f] = 2: s_f^last = s_f^1 → s^1 (entry 2 ≥ 2) and ↛ s^0.
+        let li = LastIntervals::from_intervals(vec![IntervalIndex::new(2), IntervalIndex::new(2)]);
+        let pins = theorem1_pins(&store, &li, &dv);
+        assert_eq!(pins[0], vec![f]); // s^0 pinned by f
+        assert_eq!(pins[1], vec![owner]); // s^1 pinned by self
+    }
+
+    #[test]
+    fn no_pin_when_last_checkpoint_of_f_is_unknown() {
+        let owner = ProcessId::new(0);
+        let mut store = CheckpointStore::new(owner);
+        store.insert(idx(0), DependencyVector::from_raw(vec![0, 1]));
+        let dv = DependencyVector::from_raw(vec![1, 1]);
+        // LI[f] = 5: nothing here knows f's final interval; f pins nothing.
+        let li = LastIntervals::from_intervals(vec![IntervalIndex::new(1), IntervalIndex::new(5)]);
+        let pins = theorem1_pins(&store, &li, &dv);
+        assert_eq!(pins, vec![vec![owner]]);
+    }
+
+    #[test]
+    fn empty_store_has_no_pins() {
+        let store = CheckpointStore::new(ProcessId::new(0));
+        let dv = DependencyVector::new(2);
+        let li = LastIntervals::from_dv(&dv);
+        assert!(theorem1_pins(&store, &li, &dv).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Validates RDT-LGC against the exhaustive `rdt-ccp` oracles on randomly
+//! generated RD-trackable executions:
+//!
+//! * **Safety** (Theorem 4): every checkpoint RDT-LGC eliminates is obsolete
+//!   under Theorem 1 — checked both per-step and on the final cut
+//!   (obsolescence is monotone by Lemma 3).
+//! * **Optimality** (Theorem 5): no retained checkpoint is causally
+//!   identifiable as obsolete (Theorem 2).
+//! * **Invariant** (Theorem 3 / Equation 4): whenever
+//!   `s_f^last → c_i^{γ+1} ∧ s_f^last ↛ s_i^γ`, `UC[f]` references `s_i^γ`.
+//! * **Space bound** (Section 4.5): at most `n` retained checkpoints per
+//!   process, `n + 1` transiently.
+//!
+//! Executions follow the checkpoint-before-receive discipline, which makes
+//! every pattern RDT by construction (forced checkpoints stored before the
+//! receive's GC runs, as Section 4.5 requires).
+
+use proptest::prelude::*;
+use rdt_base::{CheckpointId, CheckpointIndex, DependencyVector, MessageId, ProcessId};
+use rdt_ccp::{Ccp, CcpBuilder, GeneralCheckpoint};
+use rdt_core::{CheckpointStore, GarbageCollector, RdtLgc};
+
+/// One process's online state.
+struct Proc {
+    gc: RdtLgc,
+    store: CheckpointStore,
+    dv: DependencyVector,
+}
+
+/// The whole system plus its offline mirror.
+struct System {
+    procs: Vec<Proc>,
+    mirror: CcpBuilder,
+    in_flight: Vec<(MessageId, ProcessId, DependencyVector)>,
+    eliminated: Vec<CheckpointId>,
+}
+
+impl System {
+    fn new(n: usize) -> Self {
+        let mut sys = Self {
+            procs: (0..n)
+                .map(|i| Proc {
+                    gc: RdtLgc::new(ProcessId::new(i), n),
+                    store: CheckpointStore::new(ProcessId::new(i)),
+                    dv: DependencyVector::new(n),
+                })
+                .collect(),
+            mirror: CcpBuilder::new(n),
+            in_flight: Vec::new(),
+            eliminated: Vec::new(),
+        };
+        for i in 0..n {
+            sys.checkpoint_online_only(ProcessId::new(i)); // s_i^0, mirrored by CcpBuilder::new
+        }
+        sys
+    }
+
+
+    /// Online checkpoint without touching the mirror (the mirror already
+    /// contains the initial checkpoints).
+    fn checkpoint_online_only(&mut self, p: ProcessId) {
+        let proc_ = &mut self.procs[p.index()];
+        let index = proc_.dv.entry(p).as_checkpoint();
+        proc_.store.insert(index, proc_.dv.clone());
+        let gone = proc_
+            .gc
+            .after_checkpoint(&mut proc_.store, index, &proc_.dv);
+        proc_.dv.begin_next_interval(p);
+        self.eliminated
+            .extend(gone.into_iter().map(|g| CheckpointId::new(p, g)));
+    }
+
+    fn checkpoint(&mut self, p: ProcessId) {
+        self.mirror.checkpoint(p);
+        self.checkpoint_online_only(p);
+    }
+
+    fn send(&mut self, from: ProcessId, to: ProcessId) {
+        let id = self.mirror.send(from, to);
+        self.in_flight
+            .push((id, to, self.procs[from.index()].dv.clone()));
+    }
+
+    /// Checkpoint-before-receive delivery.
+    fn deliver(&mut self, k: usize) {
+        let (id, dst, sender_dv) = self.in_flight.remove(k % self.in_flight.len());
+        // Forced checkpoint, stored before the receive's GC (Section 4.5).
+        self.checkpoint(dst);
+        self.mirror.deliver(id);
+        let proc_ = &mut self.procs[dst.index()];
+        let updated = proc_.dv.merge_from(&sender_dv);
+        let gone = proc_
+            .gc
+            .after_receive(&mut proc_.store, &updated, &proc_.dv);
+        self.eliminated
+            .extend(gone.into_iter().map(|g| CheckpointId::new(dst, g)));
+    }
+
+    fn ccp(&self) -> Ccp {
+        self.mirror.clone().build()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: u8,
+    a: usize,
+    b: usize,
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..5, 0usize..64, 0usize..64).prop_map(|(kind, a, b)| Op { kind, a, b }),
+        0..max,
+    )
+}
+
+fn run(n: usize, ops: &[Op]) -> System {
+    let mut sys = System::new(n);
+    for op in ops {
+        let p = ProcessId::new(op.a % n);
+        match op.kind {
+            0 => sys.checkpoint(p),
+            1 | 2 => {
+                let q = ProcessId::new((op.a + 1 + op.b % (n - 1)) % n);
+                sys.send(p, q);
+            }
+            _ => {
+                if !sys.in_flight.is_empty() {
+                    sys.deliver(op.b);
+                }
+            }
+        }
+    }
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 4 — safety: everything eliminated is obsolete on the final
+    /// cut (obsolescence is monotone, Lemma 3 / Claim 1).
+    #[test]
+    fn safety_only_obsolete_eliminated(n in 2usize..5, ops in ops(60)) {
+        let sys = run(n, &ops);
+        let ccp = sys.ccp();
+        let obsolete = ccp.obsolete_set();
+        for c in &sys.eliminated {
+            prop_assert!(obsolete.contains(c), "{c} eliminated but not obsolete");
+        }
+    }
+
+    /// Theorem 5 — optimality: no retained checkpoint is causally
+    /// identifiable as obsolete.
+    #[test]
+    fn optimality_no_identifiable_garbage_retained(n in 2usize..5, ops in ops(60)) {
+        let sys = run(n, &ops);
+        let ccp = sys.ccp();
+        let identifiable = ccp.causally_identifiable_obsolete_set();
+        for proc_ in &sys.procs {
+            for idx in proc_.store.indices() {
+                let c = CheckpointId::new(proc_.store.owner(), idx);
+                prop_assert!(
+                    !identifiable.contains(&c),
+                    "{c} retained although causally identifiable as obsolete"
+                );
+            }
+        }
+    }
+
+    /// Online store contents equal (all stable) − (eliminated): RDT-LGC
+    /// and the mirror never diverge.
+    #[test]
+    fn store_matches_mirror(n in 2usize..5, ops in ops(60)) {
+        let sys = run(n, &ops);
+        let ccp = sys.ccp();
+        for proc_ in &sys.procs {
+            let p = proc_.store.owner();
+            let expect: Vec<CheckpointIndex> = (0..=ccp.last_stable(p).value())
+                .map(CheckpointIndex::new)
+                .filter(|&i| !sys.eliminated.contains(&CheckpointId::new(p, i)))
+                .collect();
+            prop_assert_eq!(proc_.store.indices().collect::<Vec<_>>(), expect);
+        }
+    }
+
+    /// Theorem 3 — the Equation-4 invariant holds on the final cut.
+    #[test]
+    fn equation_4_invariant(n in 2usize..5, ops in ops(60)) {
+        let sys = run(n, &ops);
+        let ccp = sys.ccp();
+        for proc_ in &sys.procs {
+            let i = proc_.store.owner();
+            let uc = proc_.gc.uc_view();
+            for f in ccp.processes() {
+                // Find the γ (if any) with s_f^last → c_i^{γ+1} ∧ ↛ s_i^γ.
+                for gamma in 0..=ccp.last_stable(i).value() {
+                    let g = GeneralCheckpoint::new(i, CheckpointIndex::new(gamma));
+                    let succ = GeneralCheckpoint::new(i, CheckpointIndex::new(gamma + 1));
+                    if ccp.last_stable_precedes(f, succ) && !ccp.last_stable_precedes(f, g) {
+                        prop_assert_eq!(
+                            uc[f.index()],
+                            Some(CheckpointIndex::new(gamma)),
+                            "UC[{}] of {} must pin γ={}", f, i, gamma
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Section 4.5 — space bounds: ≤ n retained, ≤ n+1 transiently.
+    #[test]
+    fn space_bounds(n in 2usize..6, ops in ops(80)) {
+        let sys = run(n, &ops);
+        for proc_ in &sys.procs {
+            prop_assert!(proc_.store.len() <= n);
+            prop_assert!(proc_.store.peak() <= n + 1);
+            prop_assert!(proc_.gc.pinned() <= n);
+        }
+    }
+
+    /// The retained set always includes the last stable checkpoint.
+    #[test]
+    fn last_stable_always_retained(n in 2usize..5, ops in ops(60)) {
+        let sys = run(n, &ops);
+        let ccp = sys.ccp();
+        for proc_ in &sys.procs {
+            let p = proc_.store.owner();
+            prop_assert!(proc_.store.contains(ccp.last_stable(p)));
+        }
+    }
+}
+
+/// Deterministic regression: the exact knowledge-gap scenario from the
+/// paper's Figure 4 discussion — an obsolete checkpoint retained because the
+/// owner never learns of the pinner's later checkpoints.
+#[test]
+fn knowledge_gap_checkpoint_stays_retained() {
+    let p0 = ProcessId::new(0);
+    let p1 = ProcessId::new(1);
+    let mut sys = System::new(2);
+    sys.checkpoint(p1); // s_1^1
+    sys.send(p1, p0);
+    sys.deliver(0); // p0 forced-checkpoints (s_0^1), learns s_1^1
+    sys.checkpoint(p0); // s_0^2
+    sys.checkpoint(p1); // s_1^2: p0 never hears of it
+
+    let ccp = sys.ccp();
+    // s_0^1 is obsolete by Theorem 1 (s_1^last = s_1^2 ↛ anything of p0)…
+    let s01 = CheckpointId::new(p0, CheckpointIndex::new(1));
+    assert!(ccp.is_obsolete(s01));
+    // …but not causally identifiable, so RDT-LGC retains it. Optimal.
+    assert!(!ccp.is_causally_identifiable_obsolete(s01));
+    assert!(sys.procs[0].store.contains(CheckpointIndex::new(1)));
+}

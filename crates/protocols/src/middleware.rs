@@ -1,0 +1,611 @@
+//! The checkpointing middleware: protocol + garbage collector + stable
+//! storage, merged as in the paper's Algorithm 4.
+
+use serde::{Deserialize, Serialize};
+
+use rdt_base::{
+    CheckpointIndex, DependencyVector, Error, Message, MessageId, MessageMeta, Payload, ProcessId,
+    Result,
+};
+use rdt_core::{CheckpointStore, ControlInfo, GarbageCollector, GcKind, LastIntervals};
+
+use crate::protocol::{Piggyback, ProtocolKind, ProtocolState};
+
+/// What happened while processing one receive.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReceiveReport {
+    /// A forced checkpoint was stored before the message was processed.
+    pub forced: Option<CheckpointIndex>,
+    /// Checkpoints eliminated by garbage collection during this receive
+    /// (including any triggered by the forced checkpoint).
+    pub eliminated: Vec<CheckpointIndex>,
+    /// Processes whose entries gained new causal information.
+    pub updated: Vec<ProcessId>,
+}
+
+/// What happened while taking a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointReport {
+    /// The index stored.
+    pub stored: CheckpointIndex,
+    /// Checkpoints eliminated right after storing.
+    pub eliminated: Vec<CheckpointIndex>,
+}
+
+/// What happened during a rollback.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RollbackReport {
+    /// The checkpoint restored.
+    pub restored: CheckpointIndex,
+    /// Checkpoints eliminated (rolled-back ones plus GC).
+    pub eliminated: Vec<CheckpointIndex>,
+}
+
+/// The per-process checkpointing middleware: owns the dependency vector,
+/// the [`CheckpointStore`], a [`ProtocolState`] deciding forced checkpoints
+/// and a [`GarbageCollector`] collecting obsolete checkpoints.
+///
+/// This is the paper's merged implementation (Algorithm 4) generalized over
+/// protocols and collectors. The ordering constraints of Section 4.5 are
+/// enforced structurally:
+///
+/// * a forced checkpoint triggered by a receive is **stored before** the
+///   garbage collection for that receive runs;
+/// * a checkpoint is inserted into stable storage **before** the previous
+///   one is released (the transient `n + 1` occupancy is observable through
+///   [`CheckpointStore::peak`]).
+///
+/// # Example
+///
+/// ```
+/// use rdt_base::{Payload, ProcessId};
+/// use rdt_core::GcKind;
+/// use rdt_protocols::{Middleware, ProtocolKind};
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+/// let mut a = Middleware::new(p0, 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+/// let mut b = Middleware::new(p1, 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+///
+/// let m = a.send(p1, Payload::label("hello"));
+/// let report = b.receive(&m).expect("delivery");
+/// assert!(report.forced.is_none()); // no send yet in b's interval
+/// ```
+#[derive(Debug)]
+pub struct Middleware {
+    owner: ProcessId,
+    n: usize,
+    dv: DependencyVector,
+    store: CheckpointStore,
+    protocol: ProtocolState,
+    gc: Box<dyn GarbageCollector>,
+    gc_kind: GcKind,
+    seq: u64,
+    basic_count: u64,
+    crashed: bool,
+    state_size: usize,
+}
+
+impl Middleware {
+    /// Creates the middleware for `owner` in an `n`-process system and
+    /// stores the mandatory initial checkpoint `s_i^0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `owner` is out of range.
+    pub fn new(owner: ProcessId, n: usize, protocol: ProtocolKind, gc: GcKind) -> Self {
+        assert!(owner.index() < n, "owner out of range");
+        let mut mw = Self {
+            owner,
+            n,
+            dv: DependencyVector::new(n),
+            store: CheckpointStore::new(owner),
+            protocol: ProtocolState::new(protocol),
+            gc: gc.build(owner, n),
+            gc_kind: gc,
+            seq: 0,
+            basic_count: 0,
+            crashed: false,
+            state_size: 0,
+        };
+        mw.take_checkpoint(false);
+        mw
+    }
+
+    /// Reconstructs the middleware for a process **restarting after a
+    /// crash** from its surviving stable storage (e.g. a
+    /// `rdt_storage::DurableStore::rebuild()`).
+    ///
+    /// The process comes back *crashed*: its volatile state is gone and
+    /// operations fail until a recovery session restores a checkpoint
+    /// through [`rollback`](Self::rollback), which rebuilds the dependency
+    /// vector (Algorithm 3, lines 5–6) and the collector's pins (line 7).
+    /// Until then the dependency vector provisionally reflects the last
+    /// stable checkpoint — exactly the knowledge a recovery manager reads
+    /// when computing the line.
+    ///
+    /// Volatile counters (basic/forced checkpoint counts, send sequence)
+    /// restart from zero; the paper's algorithms never read them across a
+    /// failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store belongs to a different process or holds no
+    /// checkpoint (stable storage always retains at least the most recent
+    /// one — no collector may empty it).
+    pub fn from_store(
+        owner: ProcessId,
+        n: usize,
+        protocol: ProtocolKind,
+        gc: GcKind,
+        store: CheckpointStore,
+    ) -> Self {
+        assert!(owner.index() < n, "owner out of range");
+        assert_eq!(store.owner(), owner, "store owned by a different process");
+        let last = store
+            .last()
+            .expect("stable storage retains at least one checkpoint");
+        let mut dv = store.dv(last).expect("last is stored").clone();
+        dv.begin_next_interval(owner);
+        Self {
+            owner,
+            n,
+            dv,
+            store,
+            protocol: ProtocolState::new(protocol),
+            gc: gc.build(owner, n),
+            gc_kind: gc,
+            seq: 0,
+            basic_count: 0,
+            crashed: true,
+            state_size: 0,
+        }
+    }
+
+    /// The owning process.
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The protocol in force.
+    pub fn protocol_kind(&self) -> ProtocolKind {
+        self.protocol.kind()
+    }
+
+    /// The collector in force.
+    pub fn gc_kind(&self) -> GcKind {
+        self.gc_kind
+    }
+
+    /// The current dependency vector (the volatile state's view).
+    pub fn dv(&self) -> &DependencyVector {
+        &self.dv
+    }
+
+    /// The stable store (for metrics and recovery).
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Index of the last stable checkpoint.
+    pub fn last_stable(&self) -> CheckpointIndex {
+        self.dv
+            .entry(self.owner)
+            .last_known_checkpoint()
+            .expect("s^0 is stored at construction")
+    }
+
+    /// Forced checkpoints taken so far.
+    pub fn forced_count(&self) -> u64 {
+        self.protocol.forced_count()
+    }
+
+    /// Basic checkpoints taken so far (including `s^0`).
+    pub fn basic_count(&self) -> u64 {
+        self.basic_count
+    }
+
+    /// Whether the process is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Sets the size (in bytes) recorded for subsequently stored
+    /// checkpoints — models the application's state-snapshot footprint for
+    /// storage-space experiments.
+    pub fn set_state_size(&mut self, bytes: usize) {
+        self.state_size = bytes;
+    }
+
+    /// The currently configured state-snapshot size.
+    pub fn state_size(&self) -> usize {
+        self.state_size
+    }
+
+    /// Stores a checkpoint: insert first, then run GC, then advance the
+    /// interval ("On taking checkpoint", Algorithms 2 and 4).
+    fn take_checkpoint(&mut self, forced: bool) -> CheckpointReport {
+        let index = self.dv.entry(self.owner).as_checkpoint();
+        self.store
+            .insert_with_size(index, self.dv.clone(), self.state_size);
+        let eliminated = self.gc.after_checkpoint(&mut self.store, index, &self.dv);
+        self.protocol.note_checkpoint(forced);
+        if !forced {
+            self.basic_count += 1;
+        }
+        self.dv.begin_next_interval(self.owner);
+        CheckpointReport {
+            stored: index,
+            eliminated,
+        }
+    }
+
+    /// Takes a basic (application-initiated) checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ProcessCrashed`] while crashed.
+    pub fn basic_checkpoint(&mut self) -> Result<CheckpointReport> {
+        self.ensure_alive()?;
+        Ok(self.take_checkpoint(false))
+    }
+
+    /// Sends a message: piggybacks the dependency vector (and the BCS index)
+    /// and marks the protocol's `sent` flag. Under the CAS and CASBR models
+    /// the post-send forced checkpoint is stored before this returns; use
+    /// [`send_reported`](Self::send_reported) to observe it.
+    ///
+    /// The caller (network / simulator) is responsible for transporting the
+    /// returned [`Message`].
+    pub fn send(&mut self, to: ProcessId, payload: Payload) -> Message {
+        self.send_reported(to, payload).0
+    }
+
+    /// [`send`](Self::send), also returning the report of the post-send
+    /// forced checkpoint when the protocol (CAS, CASBR) demands one.
+    ///
+    /// The message piggybacks the vector as of the send event; the forced
+    /// checkpoint opens the *next* interval, so the send is the last
+    /// communication event of its interval, as the CAS model requires.
+    pub fn send_reported(&mut self, to: ProcessId, payload: Payload) -> (Message, Option<CheckpointReport>) {
+        assert!(!self.crashed, "crashed processes do not send");
+        self.protocol.note_send();
+        let id = MessageId::new(self.owner, self.seq);
+        self.seq += 1;
+        let msg = Message::new(MessageMeta::new(id, to, self.dv.clone()), payload);
+        let forced = self
+            .protocol
+            .must_force_after_send()
+            .then(|| self.take_checkpoint(true));
+        (msg, forced)
+    }
+
+    /// The full piggyback for the last send (dependency vector plus BCS
+    /// index). [`Message`] carries only the vector; protocols needing the
+    /// index transport this alongside.
+    pub fn piggyback(&self) -> Piggyback {
+        Piggyback {
+            dv: self.dv.clone(),
+            index: self.protocol.index(),
+        }
+    }
+
+    /// Processes a received message (Algorithm 4's receive handler):
+    /// 1. decide and store the forced checkpoint, if the protocol demands it;
+    /// 2. merge the piggybacked vector;
+    /// 3. run the garbage collection for the new causal information.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ProcessCrashed`] while crashed (the message is lost;
+    /// simulators may choose to re-deliver).
+    pub fn receive(&mut self, msg: &Message) -> Result<ReceiveReport> {
+        self.receive_piggyback(
+            &Piggyback {
+                dv: msg.meta.dv.clone(),
+                index: 0,
+            },
+        )
+    }
+
+    /// [`receive`](Self::receive) with an explicit [`Piggyback`] (used when
+    /// the BCS index matters).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ProcessCrashed`] while crashed.
+    pub fn receive_piggyback(&mut self, m: &Piggyback) -> Result<ReceiveReport> {
+        self.ensure_alive()?;
+        let mut report = ReceiveReport::default();
+        if self.protocol.must_force(&self.dv, m) {
+            let ck = self.take_checkpoint(true);
+            report.forced = Some(ck.stored);
+            report.eliminated.extend(ck.eliminated);
+        }
+        report.updated = self.dv.merge_from(&m.dv);
+        report
+            .eliminated
+            .extend(self.gc.after_receive(&mut self.store, &report.updated, &self.dv));
+        self.protocol.note_receive(m);
+        Ok(report)
+    }
+
+    /// Crashes the process: volatile state is lost, stable storage persists.
+    pub fn crash(&mut self) {
+        self.crashed = true;
+    }
+
+    /// Recovery: restores checkpoint `ri` (which must be stored), rebuilds
+    /// the dependency vector (Algorithm 3 lines 5–6) and runs the rollback
+    /// garbage collection. Clears the crashed flag.
+    ///
+    /// `li` is the last-interval vector distributed by a synchronized
+    /// recovery manager, or `None` for the uncoordinated variant.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidRollbackTarget`] if `ri` is not in stable storage.
+    pub fn rollback(
+        &mut self,
+        ri: CheckpointIndex,
+        li: Option<&LastIntervals>,
+    ) -> Result<RollbackReport> {
+        if !self.store.contains(ri) {
+            return Err(Error::InvalidRollbackTarget {
+                process: self.owner,
+                index: ri,
+            });
+        }
+        let mut dv = self.store.dv(ri).expect("checked").clone();
+        dv.begin_next_interval(self.owner);
+        self.dv = dv;
+        let eliminated = self
+            .gc
+            .after_rollback(&mut self.store, ri, li, &self.dv);
+        self.protocol.note_checkpoint(true); // clears `sent`; not counted
+        self.crashed = false;
+        Ok(RollbackReport {
+            restored: ri,
+            eliminated,
+        })
+    }
+
+    /// Recovery participation for a process that does **not** roll back:
+    /// releases pins invalidated by the new last-interval vector.
+    pub fn recovery_info(&mut self, li: &LastIntervals) -> Vec<CheckpointIndex> {
+        self.gc.on_recovery_info(&mut self.store, li, &self.dv)
+    }
+
+    /// Delivers coordinator control information to the garbage collector
+    /// (used by the coordinated baselines).
+    pub fn control(&mut self, info: &ControlInfo) -> Vec<CheckpointIndex> {
+        self.gc.on_control(&mut self.store, info, &self.dv)
+    }
+
+    /// Advances the garbage collector's local clock (used by the time-based
+    /// baseline; a no-op for every other collector).
+    pub fn tick(&mut self, now: u64) -> Vec<CheckpointIndex> {
+        self.gc.on_tick(&mut self.store, now, &self.dv)
+    }
+
+    /// The collector's `UC` vector, if it maintains one (RDT-LGC does) —
+    /// the per-process checkpoint pins shown in the paper's Figure 4.
+    pub fn uc_snapshot(&self) -> Option<Vec<Option<CheckpointIndex>>> {
+        self.gc.uc_snapshot()
+    }
+
+    fn ensure_alive(&self) -> Result<()> {
+        if self.crashed {
+            Err(Error::ProcessCrashed(self.owner))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn idx(i: usize) -> CheckpointIndex {
+        CheckpointIndex::new(i)
+    }
+
+    fn pair(protocol: ProtocolKind) -> (Middleware, Middleware) {
+        (
+            Middleware::new(p(0), 2, protocol, GcKind::RdtLgc),
+            Middleware::new(p(1), 2, protocol, GcKind::RdtLgc),
+        )
+    }
+
+    #[test]
+    fn construction_stores_initial_checkpoint() {
+        let (a, _) = pair(ProtocolKind::Fdas);
+        assert_eq!(a.last_stable(), idx(0));
+        assert_eq!(a.store().len(), 1);
+        assert_eq!(a.dv().entry(p(0)).value(), 1);
+    }
+
+    #[test]
+    fn fdas_forces_only_after_send() {
+        let (mut a, mut b) = pair(ProtocolKind::Fdas);
+        b.basic_checkpoint().unwrap();
+        // a has not sent: fresh info does not force.
+        let m1 = b.send(p(0), Payload::empty());
+        let r = a.receive(&m1).unwrap();
+        assert!(r.forced.is_none());
+        assert_eq!(r.updated, vec![p(1)]);
+        // a sends, then receives fresher info: forced.
+        let _out = a.send(p(1), Payload::empty());
+        b.basic_checkpoint().unwrap();
+        let m2 = b.send(p(0), Payload::empty());
+        let r = a.receive(&m2).unwrap();
+        assert_eq!(r.forced, Some(idx(1)));
+    }
+
+    #[test]
+    fn forced_checkpoint_is_stored_before_gc_runs() {
+        // Section 4.5 ordering: after the forced checkpoint, the receive's
+        // GC links the new dependency to the *forced* checkpoint's CCB, so
+        // the forced checkpoint is never the one eliminated.
+        let (mut a, mut b) = pair(ProtocolKind::Fdas);
+        a.send(p(1), Payload::empty());
+        b.basic_checkpoint().unwrap();
+        let m = b.send(p(0), Payload::empty());
+        let r = a.receive(&m).unwrap();
+        let forced = r.forced.expect("forced");
+        assert!(a.store().contains(forced));
+        assert!(!r.eliminated.contains(&forced));
+    }
+
+    #[test]
+    fn rdt_lgc_collects_during_execution() {
+        let (mut a, _) = pair(ProtocolKind::Fdas);
+        let r = a.basic_checkpoint().unwrap();
+        assert_eq!(r.eliminated, vec![idx(0)]);
+        assert_eq!(a.store().len(), 1);
+    }
+
+    #[test]
+    fn crashed_process_rejects_operations() {
+        let (mut a, mut b) = pair(ProtocolKind::Fdas);
+        a.crash();
+        assert!(a.is_crashed());
+        assert!(matches!(
+            a.basic_checkpoint(),
+            Err(Error::ProcessCrashed(_))
+        ));
+        let m = b.send(p(0), Payload::empty());
+        assert!(a.receive(&m).is_err());
+    }
+
+    #[test]
+    fn rollback_restores_dv_and_clears_crash() {
+        let (mut a, mut b) = pair(ProtocolKind::Fdas);
+        b.basic_checkpoint().unwrap();
+        let m = b.send(p(0), Payload::empty());
+        a.receive(&m).unwrap();
+        a.basic_checkpoint().unwrap(); // s^1 knows b's interval 2
+        a.crash();
+        let report = a.rollback(idx(1), None).unwrap();
+        assert_eq!(report.restored, idx(1));
+        assert!(!a.is_crashed());
+        assert_eq!(a.dv().entry(p(0)).value(), 2);
+        assert_eq!(a.dv().entry(p(1)).value(), 2);
+    }
+
+    #[test]
+    fn rollback_to_missing_checkpoint_fails() {
+        let (mut a, _) = pair(ProtocolKind::Fdas);
+        assert!(matches!(
+            a.rollback(idx(9), None),
+            Err(Error::InvalidRollbackTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn bcs_adopts_higher_indices() {
+        let (mut a, mut b) = pair(ProtocolKind::Bcs);
+        b.basic_checkpoint().unwrap(); // b's BCS index → 2 (s^0 + this)
+        let m = b.piggyback();
+        let r = a.receive_piggyback(&m).unwrap();
+        assert!(r.forced.is_some(), "higher index forces");
+        // A repeat delivery of the same piggyback no longer forces.
+        let r = a.receive_piggyback(&m).unwrap();
+        assert!(r.forced.is_none());
+    }
+
+    #[test]
+    fn no_forced_never_forces_even_on_news() {
+        let (mut a, mut b) = pair(ProtocolKind::NoForced);
+        a.send(p(1), Payload::empty());
+        b.basic_checkpoint().unwrap();
+        let m = b.send(p(0), Payload::empty());
+        let r = a.receive(&m).unwrap();
+        assert!(r.forced.is_none());
+    }
+
+    #[test]
+    fn cbr_forces_on_every_receive() {
+        let (mut a, mut b) = pair(ProtocolKind::Cbr);
+        let m = b.send(p(0), Payload::empty());
+        assert!(a.receive(&m).unwrap().forced.is_some());
+        // Even a stale duplicate forces under CBR.
+        let m2 = b.send(p(0), Payload::empty());
+        assert!(a.receive(&m2).unwrap().forced.is_some());
+    }
+
+    #[test]
+    fn state_size_flows_into_storage_accounting() {
+        let mut a = Middleware::new(p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        a.set_state_size(1024);
+        a.basic_checkpoint().unwrap(); // collects s^0 (size 0)
+        assert_eq!(a.store().bytes(), 1024);
+        a.basic_checkpoint().unwrap(); // collects the previous 1024-byte one
+        assert_eq!(a.store().bytes(), 1024);
+        assert_eq!(a.store().total_bytes_stored(), 2048);
+    }
+
+    #[test]
+    fn cas_stores_a_forced_checkpoint_after_every_send() {
+        let (mut a, _) = pair(ProtocolKind::Cas);
+        let (m, forced) = a.send_reported(p(1), Payload::empty());
+        let forced = forced.expect("CAS forces after send");
+        assert_eq!(forced.stored, idx(1));
+        // The message carries the vector as of the send, i.e. interval 1,
+        // not the post-checkpoint interval 2.
+        assert_eq!(m.meta.dv.entry(p(0)).value(), 1);
+        assert_eq!(a.dv().entry(p(0)).value(), 2);
+        assert_eq!(a.forced_count(), 1);
+    }
+
+    #[test]
+    fn casbr_forces_on_send_and_on_receive() {
+        let (mut a, mut b) = pair(ProtocolKind::Casbr);
+        let (m, forced) = a.send_reported(p(1), Payload::empty());
+        assert!(forced.is_some());
+        let r = b.receive(&m).unwrap();
+        assert!(r.forced.is_some());
+        assert_eq!(a.forced_count(), 1);
+        assert_eq!(b.forced_count(), 1);
+    }
+
+    #[test]
+    fn mrs_forces_only_on_receive_after_send() {
+        let (mut a, mut b) = pair(ProtocolKind::Mrs);
+        // Receive with no prior send in the interval: no force, even though
+        // the message brings fresh causal information.
+        b.basic_checkpoint().unwrap();
+        let m1 = b.send(p(0), Payload::empty());
+        assert!(a.receive(&m1).unwrap().forced.is_none());
+        // After a sends, any receive forces — even a stale one.
+        a.send(p(1), Payload::empty());
+        let m2 = b.send(p(0), Payload::empty());
+        assert!(a.receive(&m2).unwrap().forced.is_some());
+    }
+
+    #[test]
+    fn fdas_send_never_forces() {
+        let (mut a, _) = pair(ProtocolKind::Fdas);
+        let (_, forced) = a.send_reported(p(1), Payload::empty());
+        assert!(forced.is_none());
+    }
+
+    #[test]
+    fn gc_kind_none_retains_everything() {
+        let mut a = Middleware::new(p(0), 2, ProtocolKind::Fdas, GcKind::None);
+        for _ in 0..5 {
+            a.basic_checkpoint().unwrap();
+        }
+        assert_eq!(a.store().len(), 6);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests: the RDT protocols really produce RD-trackable patterns,
+//! and BCS produces no useless checkpoints, under arbitrary traffic.
+
+use proptest::prelude::*;
+use rdt_base::{Payload, ProcessId};
+use rdt_ccp::{Ccp, CcpBuilder};
+use rdt_core::GcKind;
+use rdt_protocols::{Middleware, Piggyback, ProtocolKind};
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: u8,
+    a: usize,
+    b: usize,
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..5, 0usize..64, 0usize..64).prop_map(|(kind, a, b)| Op { kind, a, b }),
+        0..max,
+    )
+}
+
+/// Runs `ops` through real middleware instances while mirroring every event
+/// (including protocol-forced checkpoints) into an offline CCP.
+fn run(n: usize, protocol: ProtocolKind, ops: &[Op]) -> (Vec<Middleware>, Ccp) {
+    let mut mws: Vec<Middleware> = (0..n)
+        .map(|i| Middleware::new(ProcessId::new(i), n, protocol, GcKind::RdtLgc))
+        .collect();
+    let mut mirror = CcpBuilder::new(n);
+    let mut in_flight: Vec<(rdt_base::MessageId, ProcessId, Piggyback)> = Vec::new();
+
+    for op in ops {
+        let p = ProcessId::new(op.a % n);
+        match op.kind {
+            0 => {
+                mws[p.index()].basic_checkpoint().expect("alive");
+                mirror.checkpoint(p);
+            }
+            1 | 2 => {
+                let q = ProcessId::new((op.a + 1 + op.b % (n - 1)) % n);
+                let pb = mws[p.index()].piggyback();
+                let (msg, forced) = mws[p.index()].send_reported(q, Payload::empty());
+                let id = mirror.send(p, q);
+                debug_assert_eq!(id, msg.meta.id);
+                if forced.is_some() {
+                    mirror.checkpoint(p);
+                }
+                in_flight.push((id, q, pb));
+            }
+            _ => {
+                if !in_flight.is_empty() {
+                    let (id, dst, pb) = in_flight.remove(op.b % in_flight.len());
+                    let report = mws[dst.index()].receive_piggyback(&pb).expect("alive");
+                    if report.forced.is_some() {
+                        mirror.checkpoint(dst);
+                    }
+                    mirror.deliver(id);
+                }
+            }
+        }
+    }
+    (mws, mirror.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every protocol claiming RDT delivers RD-trackable patterns.
+    #[test]
+    fn rdt_protocols_produce_rdt_ccps(
+        n in 2usize..4,
+        ops in ops(40),
+        proto in prop::sample::select(ProtocolKind::RDT.to_vec()),
+    ) {
+        let (_, ccp) = run(n, proto, &ops);
+        prop_assert!(ccp.is_rdt(), "{proto} produced a non-RDT pattern");
+    }
+
+    /// BCS prevents zigzag cycles (no useless checkpoints) even though it is
+    /// not RDT.
+    #[test]
+    fn bcs_has_no_useless_checkpoints(n in 2usize..4, ops in ops(40)) {
+        let (_, ccp) = run(n, ProtocolKind::Bcs, &ops);
+        prop_assert!(ccp.useless_checkpoints().is_empty());
+    }
+
+    /// Under any RDT protocol, RDT-LGC keeps the per-process retention
+    /// within the paper's bounds.
+    #[test]
+    fn middleware_respects_space_bounds(
+        n in 2usize..5,
+        ops in ops(60),
+        proto in prop::sample::select(ProtocolKind::RDT.to_vec()),
+    ) {
+        let (mws, _) = run(n, proto, &ops);
+        for mw in &mws {
+            prop_assert!(mw.store().len() <= n);
+            prop_assert!(mw.store().peak() <= n + 1);
+        }
+    }
+
+    /// The middleware's online state matches the mirror: same last stable
+    /// checkpoint index and same dependency vector per process.
+    #[test]
+    fn middleware_agrees_with_mirror(
+        n in 2usize..4,
+        ops in ops(40),
+        proto in prop::sample::select(ProtocolKind::RDT.to_vec()),
+    ) {
+        let (mws, ccp) = run(n, proto, &ops);
+        for mw in &mws {
+            let p = mw.owner();
+            prop_assert_eq!(mw.last_stable(), ccp.last_stable(p));
+            prop_assert_eq!(mw.dv(), ccp.volatile_dv(p));
+        }
+    }
+
+    /// Forced-checkpoint ordering across Wang's model hierarchy on identical
+    /// traffic: CASBR ≥ CBR ≥ {FDI, MRS}; MRS ≥ FDAS; FDI ≥ FDAS;
+    /// CASBR ≥ CAS.
+    #[test]
+    fn forced_checkpoint_hierarchy(n in 2usize..4, ops in ops(60)) {
+        let total = |proto| -> u64 {
+            let (mws, _) = run(n, proto, &ops);
+            mws.iter().map(|m| m.forced_count()).sum()
+        };
+        let casbr = total(ProtocolKind::Casbr);
+        let cbr = total(ProtocolKind::Cbr);
+        let cas = total(ProtocolKind::Cas);
+        let mrs = total(ProtocolKind::Mrs);
+        let fdi = total(ProtocolKind::Fdi);
+        let fdas = total(ProtocolKind::Fdas);
+        prop_assert!(casbr >= cbr, "casbr {casbr} < cbr {cbr}");
+        prop_assert!(casbr >= cas, "casbr {casbr} < cas {cas}");
+        prop_assert!(cbr >= fdi, "cbr {cbr} < fdi {fdi}");
+        prop_assert!(cbr >= mrs, "cbr {cbr} < mrs {mrs}");
+        prop_assert!(mrs >= fdas, "mrs {mrs} < fdas {fdas}");
+        prop_assert!(fdi >= fdas, "fdi {fdi} < fdas {fdas}");
+    }
+}
+
+/// The no-forced baseline really can produce a non-RDT pattern (the paper's
+/// Figure 2 shape), demonstrating why forced checkpoints exist.
+#[test]
+fn no_forced_breaks_rdt_on_crossing_messages() {
+    let p0 = ProcessId::new(0);
+    let p1 = ProcessId::new(1);
+    let n = 2;
+    let mut a = Middleware::new(p0, n, ProtocolKind::NoForced, GcKind::None);
+    let mut b = Middleware::new(p1, n, ProtocolKind::NoForced, GcKind::None);
+    let mut mirror = CcpBuilder::new(n);
+
+    // m1: b → a received before a's s^1.
+    let m1 = b.send(p0, Payload::empty());
+    let id1 = mirror.send(p1, p0);
+    a.receive(&m1).unwrap();
+    mirror.deliver(id1);
+    a.basic_checkpoint().unwrap();
+    mirror.checkpoint(p0);
+    // m2: a → b sent after s^1, received in m1's send interval.
+    let m2 = a.send(p1, Payload::empty());
+    let id2 = mirror.send(p0, p1);
+    b.receive(&m2).unwrap();
+    mirror.deliver(id2);
+
+    let ccp = mirror.build();
+    assert!(!ccp.is_rdt());
+    assert!(!ccp.useless_checkpoints().is_empty());
+}

@@ -1,0 +1,28 @@
+//! Rollback-recovery orchestration for RDT checkpointing systems.
+//!
+//! Provides the centralized [`RecoveryManager`] the paper assumes
+//! (Section 2.4): it stops the world, determines the recovery line by
+//! Lemma 1 from the dependency vectors stored with the checkpoints,
+//! distributes the last-interval vector `LI`, and drives each process's
+//! Algorithm-3 rollback through the `rdt-protocols` middleware.
+//!
+//! Two modes mirror Section 4.3:
+//!
+//! * [`RecoveryMode::Coordinated`] — global information available, garbage
+//!   collection during rollback uses Theorem 1 via `LI`;
+//! * [`RecoveryMode::Uncoordinated`] — no global information, Algorithm 3
+//!   substitutes the process's own `DV` (Theorem 2).
+//!
+//! The decentralized minimum/maximum consistent-global-checkpoint
+//! calculations the RDT property enables (Wang, reference \[20\]) are
+//! provided both offline (`rdt-ccp`'s `max_consistent_containing` /
+//! `min_consistent_containing` oracles) and **online** over live
+//! middleware state in [`wang`], with property tests pinning the two
+//! against each other.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manager;
+pub mod wang;
+
+pub use manager::{FaultySet, RecoveryManager, RecoveryMode, RecoverySessionReport};

@@ -1,0 +1,346 @@
+//! The centralized recovery manager (Section 2.4 of the paper).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rdt_base::{CheckpointId, CheckpointIndex, ProcessId};
+use rdt_core::LastIntervals;
+use rdt_protocols::Middleware;
+
+/// The set of processes that failed, triggering the recovery session.
+pub type FaultySet = BTreeSet<ProcessId>;
+
+/// How a recovery session distributes information (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum RecoveryMode {
+    /// The manager distributes the last-interval vector `LI`; rolling-back
+    /// processes run Algorithm 3 with global information and the others
+    /// release stale pins (`DV[f] < LI[f]`).
+    #[default]
+    Coordinated,
+    /// No global information: rolling-back processes run Algorithm 3 with
+    /// `DV` in place of `LI` (garbage collection by Theorem 2 instead of
+    /// Theorem 1); the others just continue.
+    Uncoordinated,
+}
+
+impl fmt::Display for RecoveryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryMode::Coordinated => write!(f, "coordinated"),
+            RecoveryMode::Uncoordinated => write!(f, "uncoordinated"),
+        }
+    }
+}
+
+/// Outcome of one recovery session.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoverySessionReport {
+    /// The faulty set that triggered the session.
+    pub faulty: Vec<ProcessId>,
+    /// The recovery line: one component per process (`last_stable + 1`
+    /// denotes the volatile state of a non-rolling process).
+    pub line: Vec<CheckpointIndex>,
+    /// Which processes actually rolled back, and to which checkpoint.
+    pub rolled_back: Vec<(ProcessId, CheckpointIndex)>,
+    /// Checkpoints eliminated across all processes during the session
+    /// (rolled-back states plus rollback garbage collection).
+    pub eliminated: Vec<CheckpointId>,
+    /// The distributed last-interval vector (coordinated mode only).
+    pub li: Option<LastIntervals>,
+}
+
+impl RecoverySessionReport {
+    /// Total checkpoints rolled back across processes (the paper's
+    /// "number of general checkpoints rolled back" metric, stable part).
+    pub fn rollback_depth(&self) -> usize {
+        self.rolled_back.len()
+    }
+}
+
+/// A centralized recovery manager: stops the world, collects the volatile
+/// state of the non-faulty processes and the stable-store metadata of all,
+/// determines the recovery line by **Lemma 1**, and orchestrates the
+/// rollbacks.
+///
+/// The caller (simulator or application harness) is responsible for the
+/// "stop the world" part — in particular for discarding in-transit
+/// messages, which the recovered CCP must exclude (Section 2.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryManager {
+    mode: RecoveryMode,
+}
+
+
+impl RecoveryManager {
+    /// A coordinated-mode manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A manager with an explicit mode.
+    pub fn with_mode(mode: RecoveryMode) -> Self {
+        Self { mode }
+    }
+
+    /// The mode in force.
+    pub fn mode(&self) -> RecoveryMode {
+        self.mode
+    }
+
+    /// Computes the recovery line for `faulty` over the current state of
+    /// `processes` (Lemma 1): for each process, the latest stored
+    /// checkpoint — or volatile state, if not faulty — that is not causally
+    /// preceded by the last stable checkpoint of any faulty process.
+    ///
+    /// Returns one component per process; `last_stable + 1` denotes the
+    /// volatile state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faulty` references processes outside `processes`, or if
+    /// process ids do not match vector positions.
+    pub fn recovery_line(
+        &self,
+        processes: &[Middleware],
+        faulty: &FaultySet,
+    ) -> Vec<CheckpointIndex> {
+        let n = processes.len();
+        for (k, mw) in processes.iter().enumerate() {
+            assert_eq!(mw.owner().index(), k, "middlewares must be in id order");
+        }
+        for f in faulty {
+            assert!(f.index() < n, "faulty process out of range");
+        }
+        let last_stable: Vec<CheckpointIndex> =
+            processes.iter().map(|mw| mw.last_stable()).collect();
+
+        processes
+            .iter()
+            .map(|mw| {
+                let i = mw.owner();
+                // Volatile candidate first for non-faulty processes.
+                if !faulty.contains(&i) {
+                    let blocked = faulty.iter().any(|&f| {
+                        mw.dv().dominates_checkpoint(f, last_stable[f.index()])
+                    });
+                    if !blocked {
+                        return mw.last_stable().next();
+                    }
+                }
+                // Stored checkpoints, newest first.
+                for idx in mw.store().indices().rev() {
+                    let dv = mw.store().dv(idx).expect("stored");
+                    let blocked = faulty.iter().any(|&f| {
+                        // s_f^last → s_i^idx, except a checkpoint never
+                        // precedes itself.
+                        !(f == i && idx == last_stable[f.index()])
+                            && dv.dominates_checkpoint(f, last_stable[f.index()])
+                    });
+                    if !blocked {
+                        return idx;
+                    }
+                }
+                unreachable!("s_i^0 is preceded by nothing: Lemma 1 is total")
+            })
+            .collect()
+    }
+
+    /// Runs a full recovery session: computes the line, rolls back every
+    /// process whose component is below its volatile state, and (in
+    /// coordinated mode) distributes `LI` to the others.
+    ///
+    /// # Panics
+    ///
+    /// As for [`recovery_line`](Self::recovery_line).
+    pub fn recover(
+        &self,
+        processes: &mut [Middleware],
+        faulty: &FaultySet,
+    ) -> RecoverySessionReport {
+        let line = self.recovery_line(processes, faulty);
+
+        // LI over the post-recovery CCP: a rolling process's last stable
+        // becomes its component; a non-rolling process keeps its own.
+        let li = LastIntervals::from_last_stable(
+            &processes
+                .iter()
+                .zip(&line)
+                .map(|(mw, &component)| component.min(mw.last_stable()))
+                .collect::<Vec<_>>(),
+        );
+        let li_opt = match self.mode {
+            RecoveryMode::Coordinated => Some(&li),
+            RecoveryMode::Uncoordinated => None,
+        };
+
+        let mut rolled_back = Vec::new();
+        let mut eliminated = Vec::new();
+        for (mw, &component) in processes.iter_mut().zip(&line) {
+            let p = mw.owner();
+            let volatile = mw.last_stable().next();
+            if component < volatile {
+                let report = mw
+                    .rollback(component, li_opt)
+                    .expect("recovery-line component is stored (Theorem 4 safety)");
+                rolled_back.push((p, component));
+                eliminated.extend(
+                    report
+                        .eliminated
+                        .into_iter()
+                        .map(|idx| CheckpointId::new(p, idx)),
+                );
+            } else if self.mode == RecoveryMode::Coordinated {
+                eliminated.extend(
+                    mw.recovery_info(&li)
+                        .into_iter()
+                        .map(|idx| CheckpointId::new(p, idx)),
+                );
+            }
+        }
+
+        RecoverySessionReport {
+            faulty: faulty.iter().copied().collect(),
+            line,
+            rolled_back,
+            eliminated,
+            li: match self.mode {
+                RecoveryMode::Coordinated => Some(li),
+                RecoveryMode::Uncoordinated => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rdt_base::Payload;
+    use rdt_core::GcKind;
+    use rdt_protocols::ProtocolKind;
+
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn idx(i: usize) -> CheckpointIndex {
+        CheckpointIndex::new(i)
+    }
+
+    fn system(n: usize) -> Vec<Middleware> {
+        (0..n)
+            .map(|i| Middleware::new(p(i), n, ProtocolKind::Fdas, GcKind::RdtLgc))
+            .collect()
+    }
+
+    /// p0 checkpoints and informs p1; p1 checkpoints and informs p2.
+    fn chain() -> Vec<Middleware> {
+        let mut mws = system(3);
+        mws[0].basic_checkpoint().unwrap();
+        let m = mws[0].send(p(1), Payload::empty());
+        mws[1].receive(&m).unwrap();
+        mws[1].basic_checkpoint().unwrap();
+        let m = mws[1].send(p(2), Payload::empty());
+        mws[2].receive(&m).unwrap();
+        mws
+    }
+
+    #[test]
+    fn empty_faulty_set_keeps_all_volatile() {
+        let mws = chain();
+        let line = RecoveryManager::new().recovery_line(&mws, &FaultySet::new());
+        let volatile: Vec<_> = mws.iter().map(|m| m.last_stable().next()).collect();
+        assert_eq!(line, volatile);
+    }
+
+    #[test]
+    fn chain_head_failure_rolls_back_dependents() {
+        let mut mws = chain();
+        mws[0].crash();
+        let faulty: FaultySet = [p(0)].into_iter().collect();
+        let report = RecoveryManager::new().recover(&mut mws, &faulty);
+        // p0 restarts from s^1 (its last stable), p1 and p2 roll to s^0.
+        assert_eq!(report.line, vec![idx(1), idx(0), idx(0)]);
+        assert_eq!(report.rolled_back.len(), 3);
+        assert!(!mws[0].is_crashed());
+        // Post-recovery vectors: restored checkpoint's DV, bumped.
+        assert_eq!(mws[1].dv().entry(p(1)).value(), 1);
+    }
+
+    #[test]
+    fn tail_failure_touches_only_the_tail() {
+        let mut mws = chain();
+        mws[2].crash();
+        let faulty: FaultySet = [p(2)].into_iter().collect();
+        let report = RecoveryManager::new().recover(&mut mws, &faulty);
+        assert_eq!(
+            report.rolled_back,
+            vec![(p(2), idx(0))],
+            "only the crashed tail rolls back"
+        );
+    }
+
+    #[test]
+    fn line_matches_offline_oracle() {
+        // Mirror the chain into the offline CCP and compare Lemma-1 results.
+        use rdt_ccp::CcpBuilder;
+        let mws = chain();
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.checkpoint(p(1));
+        b.message(p(1), p(2));
+        let ccp = b.build();
+
+        let mgr = RecoveryManager::new();
+        for mask in 0u8..8 {
+            let faulty: FaultySet = (0..3).filter(|i| mask & (1 << i) != 0).map(p).collect();
+            let online = mgr.recovery_line(&mws, &faulty);
+            let offline = ccp.recovery_line(&faulty.iter().copied().collect());
+            assert_eq!(
+                online.iter().map(|c| c.value()).collect::<Vec<_>>(),
+                offline.to_raw(),
+                "faulty {faulty:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn uncoordinated_mode_passes_no_li() {
+        let mut mws = chain();
+        mws[0].crash();
+        let faulty: FaultySet = [p(0)].into_iter().collect();
+        let report = RecoveryManager::with_mode(RecoveryMode::Uncoordinated)
+            .recover(&mut mws, &faulty);
+        assert!(report.li.is_none());
+        assert!(!mws[0].is_crashed());
+    }
+
+    #[test]
+    fn recovery_line_components_are_restorable() {
+        // Safety end-to-end: the line only names stored checkpoints.
+        let mut mws = chain();
+        for mw in &mut mws {
+            mw.basic_checkpoint().unwrap();
+        }
+        mws[1].crash();
+        let faulty: FaultySet = [p(1)].into_iter().collect();
+        let report = RecoveryManager::new().recover(&mut mws, &faulty);
+        for (proc_, to) in &report.rolled_back {
+            assert!(mws[proc_.index()].store().contains(*to));
+        }
+    }
+
+    #[test]
+    fn report_counts_rollback_depth() {
+        let mut mws = chain();
+        mws[0].crash();
+        let faulty: FaultySet = [p(0)].into_iter().collect();
+        let report = RecoveryManager::new().recover(&mut mws, &faulty);
+        assert_eq!(report.rollback_depth(), report.rolled_back.len());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests: the online decentralized min/max calculations agree with
+//! the offline `rdt-ccp` oracles on protocol-generated executions.
+
+use proptest::prelude::*;
+use rdt_base::{CheckpointIndex, Payload, ProcessId};
+use rdt_ccp::{Ccp, CcpBuilder, GeneralCheckpoint};
+use rdt_core::GcKind;
+use rdt_protocols::{Middleware, ProtocolKind};
+use rdt_recovery::wang;
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: u8,
+    a: usize,
+    b: usize,
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..5, 0usize..64, 0usize..64).prop_map(|(kind, a, b)| Op { kind, a, b }),
+        0..max,
+    )
+}
+
+/// Runs ops through middlewares (retaining everything: `GcKind::None`)
+/// while mirroring into an offline CCP.
+fn run(n: usize, proto: ProtocolKind, ops: &[Op]) -> (Vec<Middleware>, Ccp) {
+    let mut mws: Vec<Middleware> = (0..n)
+        .map(|i| Middleware::new(ProcessId::new(i), n, proto, GcKind::None))
+        .collect();
+    let mut mirror = CcpBuilder::new(n);
+    let mut in_flight = Vec::new();
+    for op in ops {
+        let p = ProcessId::new(op.a % n);
+        match op.kind {
+            0 => {
+                mws[p.index()].basic_checkpoint().expect("alive");
+                mirror.checkpoint(p);
+            }
+            1 | 2 => {
+                let q = ProcessId::new((op.a + 1 + op.b % (n - 1)) % n);
+                let pb = mws[p.index()].piggyback();
+                let (_, forced) = mws[p.index()].send_reported(q, Payload::empty());
+                let id = mirror.send(p, q);
+                if forced.is_some() {
+                    mirror.checkpoint(p);
+                }
+                in_flight.push((id, q, pb));
+            }
+            _ => {
+                if !in_flight.is_empty() {
+                    let (id, dst, pb) = in_flight.remove(op.b % in_flight.len());
+                    let report = mws[dst.index()].receive_piggyback(&pb).expect("alive");
+                    if report.forced.is_some() {
+                        mirror.checkpoint(dst);
+                    }
+                    mirror.deliver(id);
+                }
+            }
+        }
+    }
+    (mws, mirror.build())
+}
+
+/// Picks a deterministic target checkpoint per selected process.
+fn pick_targets(ccp: &Ccp, selector: usize, count: usize) -> Vec<(ProcessId, CheckpointIndex)> {
+    let mut targets = Vec::new();
+    for k in 0..count.min(ccp.n()) {
+        let p = ProcessId::new((selector + k) % ccp.n());
+        if targets.iter().any(|&(q, _)| q == p) {
+            continue;
+        }
+        let max = ccp.volatile(p).index.value();
+        let index = CheckpointIndex::new((selector / (k + 1)) % (max + 1));
+        targets.push((p, index));
+    }
+    targets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Online max/min equal the offline oracle whenever the oracle accepts
+    /// the target set, and both reject it otherwise.
+    #[test]
+    fn online_extremes_match_the_offline_oracle(
+        n in 2usize..4,
+        ops in ops(40),
+        proto in prop::sample::select(vec![ProtocolKind::Fdas, ProtocolKind::Cbr, ProtocolKind::Mrs]),
+        selector in 0usize..1000,
+        count in 1usize..3,
+    ) {
+        let (mws, ccp) = run(n, proto, &ops);
+        prop_assert!(ccp.is_rdt());
+        let targets = pick_targets(&ccp, selector, count);
+        let as_general: Vec<GeneralCheckpoint> = targets
+            .iter()
+            .map(|&(p, i)| GeneralCheckpoint::new(p, i))
+            .collect();
+
+        let oracle_max = ccp.max_consistent_containing(&as_general);
+        let oracle_min = ccp.min_consistent_containing(&as_general);
+        let online_max = wang::max_consistent_containing(&mws, &targets);
+        let online_min = wang::min_consistent_containing(&mws, &targets);
+
+        prop_assert_eq!(
+            online_max.clone().map(|v| v.iter().map(|c| c.value()).collect::<Vec<_>>()),
+            oracle_max.map(|g| g.to_raw()),
+            "max for targets {:?}", targets
+        );
+        prop_assert_eq!(
+            online_min.clone().map(|v| v.iter().map(|c| c.value()).collect::<Vec<_>>()),
+            oracle_min.map(|g| g.to_raw()),
+            "min for targets {:?}", targets
+        );
+
+        // Sanity: when defined, min ≤ max componentwise and both are
+        // consistent global checkpoints of the CCP.
+        if let (Some(lo), Some(hi)) = (online_min, online_max) {
+            for (l, h) in lo.iter().zip(&hi) {
+                prop_assert!(l <= h);
+            }
+            let lo_gc = rdt_ccp::GlobalCheckpoint::new(lo);
+            let hi_gc = rdt_ccp::GlobalCheckpoint::new(hi);
+            prop_assert!(ccp.is_consistent_global(&lo_gc));
+            prop_assert!(ccp.is_consistent_global(&hi_gc));
+        }
+    }
+
+    /// The recovery line for faulty set F equals the maximum consistent
+    /// global checkpoint containing the faulty processes' last stable
+    /// checkpoints — Wang's characterization of the line.
+    #[test]
+    fn recovery_line_is_a_max_containing_query(
+        n in 2usize..4,
+        ops in ops(40),
+        faulty_bits in 1usize..8,
+    ) {
+        let (mws, ccp) = run(n, ProtocolKind::Fdas, &ops);
+        let faulty: Vec<ProcessId> = (0..n)
+            .filter(|i| faulty_bits & (1 << i) != 0)
+            .map(ProcessId::new)
+            .collect();
+        prop_assume!(!faulty.is_empty());
+
+        // Targets: each faulty process's last stable checkpoint. These can
+        // be mutually inconsistent (one faulty process's last checkpoint
+        // can precede another's) — then the query fails while the line
+        // still exists, so only compare when the query succeeds.
+        let targets: Vec<(ProcessId, CheckpointIndex)> = faulty
+            .iter()
+            .map(|&f| (f, mws[f.index()].last_stable()))
+            .collect();
+        if let Some(max) = wang::max_consistent_containing(&mws, &targets) {
+            let line = ccp.recovery_line(&faulty.iter().copied().collect());
+            prop_assert_eq!(
+                max.iter().map(|c| c.value()).collect::<Vec<_>>(),
+                line.to_raw(),
+                "faulty {:?}", faulty
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Network channel behaviour: per-message delay, loss and (through variable
+/// delays) reordering — the paper's asynchronous system model, in which
+/// messages "can be lost or delivered out of order" (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Minimum delivery delay, in ticks.
+    pub min_delay: u64,
+    /// Maximum delivery delay, in ticks (inclusive). Delays are drawn
+    /// uniformly from `[min_delay, max_delay]`; unequal delays reorder
+    /// messages naturally.
+    pub max_delay: u64,
+    /// Probability that a message is lost in transit.
+    pub loss_rate: f64,
+}
+
+impl ChannelConfig {
+    /// A reliable, reordering channel with delays in `[1, 20]`.
+    pub fn reliable() -> Self {
+        Self {
+            min_delay: 1,
+            max_delay: 20,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// A lossy variant of [`reliable`](Self::reliable).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 ≤ loss_rate ≤ 1.0`.
+    pub fn lossy(loss_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss_rate), "loss rate out of range");
+        Self {
+            loss_rate,
+            ..Self::reliable()
+        }
+    }
+
+    /// Instant delivery (delay 0, no loss): useful for deterministic tests.
+    pub fn instant() -> Self {
+        Self {
+            min_delay: 0,
+            max_delay: 0,
+            loss_rate: 0.0,
+        }
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Channel behaviour.
+    pub channel: ChannelConfig,
+    /// Ticks between consecutive application operations.
+    pub ticks_per_op: u64,
+    /// If set, a coordinator runs a control round every this many ticks,
+    /// feeding the coordinated baseline collectors (`SimpleCoordinated`,
+    /// `WangGlobal`). Asynchronous collectors ignore control rounds.
+    pub control_every: Option<u64>,
+    /// When a crash occurs, every *other* process also crashes with this
+    /// probability — correlated failures exercising multi-process faulty
+    /// sets in one recovery session.
+    pub correlated_crash_prob: f64,
+    /// Record a full event trace for offline (oracle) replay.
+    pub record_trace: bool,
+    /// Record one `(time, process, retained)` occupancy sample per processed
+    /// event, for storage-timeline analyses.
+    pub record_occupancy: bool,
+    /// Application state-snapshot size in bytes recorded with each stored
+    /// checkpoint (storage-space accounting).
+    pub state_size: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            channel: ChannelConfig::default(),
+            ticks_per_op: 10,
+            control_every: None,
+            correlated_crash_prob: 0.0,
+            record_trace: false,
+            record_occupancy: false,
+            state_size: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_has_no_loss() {
+        assert_eq!(ChannelConfig::reliable().loss_rate, 0.0);
+    }
+
+    #[test]
+    fn instant_is_deterministic_delay() {
+        let c = ChannelConfig::instant();
+        assert_eq!((c.min_delay, c.max_delay), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn lossy_validates_probability() {
+        let _ = ChannelConfig::lossy(1.5);
+    }
+
+    #[test]
+    fn default_config_records_nothing() {
+        let c = SimConfig::default();
+        assert!(!c.record_trace);
+        assert!(c.control_every.is_none());
+    }
+}

@@ -1,0 +1,532 @@
+//! The deterministic discrete-event simulator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rdt_base::{Payload, ProcessId, Result, TraceEvent};
+use rdt_core::{ControlInfo, GcKind, LastIntervals};
+use rdt_protocols::{Middleware, Piggyback, ProtocolKind};
+use rdt_recovery::{RecoveryManager, RecoveryMode, RecoverySessionReport};
+use rdt_workloads::{AppOp, WorkloadSpec};
+
+use crate::config::{ChannelConfig, SimConfig};
+use crate::metrics::Metrics;
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Number of processes.
+    pub n: usize,
+    /// Final dependency vectors, one per process.
+    pub final_dvs: Vec<rdt_base::DependencyVector>,
+    /// Final last-stable checkpoint index per process.
+    pub final_last_stable: Vec<usize>,
+    /// Aggregated measurements.
+    pub metrics: Metrics,
+    /// The event trace, if [`SimConfig::record_trace`] was set. Crash-free
+    /// traces replay into `rdt-ccp` CCPs for oracle validation.
+    pub trace: Option<Vec<TraceEvent>>,
+    /// Occupancy samples `(time, process, retained)`, if
+    /// [`SimConfig::record_occupancy`] was set.
+    pub occupancy: Option<Vec<(u64, ProcessId, usize)>>,
+    /// One report per recovery session.
+    pub recovery_sessions: Vec<RecoverySessionReport>,
+    /// Retained checkpoint indices per process at the end of the run.
+    pub final_retained: Vec<Vec<usize>>,
+}
+
+/// Builder for a simulation run.
+///
+/// ```
+/// use rdt_core::GcKind;
+/// use rdt_protocols::ProtocolKind;
+/// use rdt_sim::SimulationBuilder;
+/// use rdt_workloads::WorkloadSpec;
+///
+/// let report = SimulationBuilder::new(WorkloadSpec::uniform_random(4, 100).with_seed(3))
+///     .protocol(ProtocolKind::Fdas)
+///     .garbage_collector(GcKind::RdtLgc)
+///     .run()
+///     .expect("simulation runs");
+/// assert!(report.metrics.max_retained_per_process() <= 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    spec: WorkloadSpec,
+    protocol: ProtocolKind,
+    gc: GcKind,
+    config: SimConfig,
+    recovery_mode: RecoveryMode,
+}
+
+impl SimulationBuilder {
+    /// Starts from a workload specification.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        Self {
+            spec,
+            protocol: ProtocolKind::Fdas,
+            gc: GcKind::RdtLgc,
+            config: SimConfig::default(),
+            recovery_mode: RecoveryMode::Coordinated,
+        }
+    }
+
+    /// Selects the checkpointing protocol (default FDAS).
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Selects the garbage collector (default RDT-LGC).
+    pub fn garbage_collector(mut self, gc: GcKind) -> Self {
+        self.gc = gc;
+        self
+    }
+
+    /// Sets the full simulator configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the channel behaviour.
+    pub fn channel(mut self, channel: ChannelConfig) -> Self {
+        self.config.channel = channel;
+        self
+    }
+
+    /// Enables coordinator control rounds every `ticks` (for the
+    /// coordinated baseline collectors).
+    pub fn control_every(mut self, ticks: u64) -> Self {
+        self.config.control_every = Some(ticks);
+        self
+    }
+
+    /// Records the event trace for offline replay.
+    pub fn record_trace(mut self) -> Self {
+        self.config.record_trace = true;
+        self
+    }
+
+    /// Records per-event occupancy samples for timeline analyses.
+    pub fn record_occupancy(mut self) -> Self {
+        self.config.record_occupancy = true;
+        self
+    }
+
+    /// Sets the recovery mode (default coordinated).
+    pub fn recovery_mode(mut self, mode: RecoveryMode) -> Self {
+        self.recovery_mode = mode;
+        self
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware errors; none occur under the simulator's own
+    /// scheduling discipline, but the signature keeps the harness honest.
+    pub fn run(self) -> Result<SimulationReport> {
+        let ops = self.spec.generate();
+        let mut sim = Simulation::new(
+            self.spec.n,
+            self.protocol,
+            self.gc,
+            self.config,
+            self.recovery_mode,
+            self.spec.seed,
+        );
+        sim.schedule_ops(&ops);
+        sim.run_to_completion()?;
+        Ok(sim.into_report())
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    App(AppOp),
+    Deliver {
+        to: ProcessId,
+        id: rdt_base::MessageId,
+        pb: Piggyback,
+    },
+    ControlRound,
+}
+
+#[derive(Debug)]
+struct Queued {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulation state.
+#[derive(Debug)]
+pub struct Simulation {
+    time: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Queued>>,
+    processes: Vec<Middleware>,
+    rng: StdRng,
+    config: SimConfig,
+    manager: RecoveryManager,
+    metrics: Metrics,
+    trace: Vec<TraceEvent>,
+    occupancy: Vec<(u64, ProcessId, usize)>,
+    recovery_sessions: Vec<RecoverySessionReport>,
+    /// Time of the last scheduled application op; control rounds stop
+    /// rescheduling past it so the event queue drains.
+    horizon: u64,
+}
+
+impl Simulation {
+    /// Creates a simulation over `n` fresh middleware instances.
+    pub fn new(
+        n: usize,
+        protocol: ProtocolKind,
+        gc: GcKind,
+        config: SimConfig,
+        recovery_mode: RecoveryMode,
+        seed: u64,
+    ) -> Self {
+        let mut sim = Self {
+            time: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processes: (0..n)
+                .map(|i| {
+                    let mut mw = Middleware::new(ProcessId::new(i), n, protocol, gc);
+                    mw.set_state_size(config.state_size);
+                    mw
+                })
+                .collect(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed_c0de),
+            config,
+            manager: RecoveryManager::with_mode(recovery_mode),
+            metrics: Metrics::new(n),
+            trace: Vec::new(),
+            occupancy: Vec::new(),
+            recovery_sessions: Vec::new(),
+            horizon: 0,
+        };
+        if let Some(every) = config.control_every {
+            sim.push_at(every, EventKind::ControlRound);
+        }
+        sim
+    }
+
+    /// Schedules an operation stream, one op per
+    /// [`ticks_per_op`](SimConfig::ticks_per_op).
+    pub fn schedule_ops(&mut self, ops: &[AppOp]) {
+        for (k, op) in ops.iter().enumerate() {
+            let at = k as u64 * self.config.ticks_per_op;
+            self.horizon = self.horizon.max(at);
+            self.push_at(at, EventKind::App(*op));
+        }
+    }
+
+    fn push_at(&mut self, at: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { at, seq, kind }));
+    }
+
+    /// Runs until the event queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware errors (none occur under normal scheduling).
+    pub fn run_to_completion(&mut self) -> Result<()> {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            self.time = ev.at.max(self.time);
+            match ev.kind {
+                EventKind::App(op) => self.handle_app(op)?,
+                EventKind::Deliver { to, id, pb } => self.handle_deliver(to, id, pb)?,
+                EventKind::ControlRound => self.handle_control_round(),
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances `p`'s garbage-collector clock to the current simulation
+    /// time (only the time-based baseline reacts).
+    fn tick_process(&mut self, p: ProcessId) {
+        let collected = self.processes[p.index()].tick(self.time);
+        if !collected.is_empty() {
+            self.trace_collects(p, &collected);
+            self.sample(p);
+        }
+    }
+
+    /// Records garbage-collection eliminations in the trace, for the
+    /// offline safety audit.
+    fn trace_collects(&mut self, p: ProcessId, collected: &[rdt_base::CheckpointIndex]) {
+        if self.config.record_trace {
+            for &index in collected {
+                self.trace.push(TraceEvent::Collect { process: p, index });
+            }
+        }
+    }
+
+    fn handle_app(&mut self, op: AppOp) -> Result<()> {
+        match op {
+            AppOp::Checkpoint(p) => {
+                if self.processes[p.index()].is_crashed() {
+                    return Ok(());
+                }
+                self.tick_process(p);
+                let report = self.processes[p.index()].basic_checkpoint()?;
+                if self.config.record_trace {
+                    self.trace.push(TraceEvent::Checkpoint {
+                        process: p,
+                        forced: false,
+                    });
+                }
+                self.trace_collects(p, &report.eliminated);
+                self.sample(p);
+            }
+            AppOp::Send { from, to } => {
+                if self.processes[from.index()].is_crashed() {
+                    return Ok(());
+                }
+                self.tick_process(from);
+                let pb = self.processes[from.index()].piggyback();
+                let (msg, post_send_forced) =
+                    self.processes[from.index()].send_reported(to, Payload::empty());
+                self.metrics.per_process[from.index()].sent += 1;
+                if self.config.record_trace {
+                    self.trace.push(TraceEvent::Send {
+                        id: msg.meta.id,
+                        to,
+                    });
+                    if post_send_forced.is_some() {
+                        self.trace.push(TraceEvent::Checkpoint {
+                            process: from,
+                            forced: true,
+                        });
+                    }
+                }
+                if let Some(ck) = post_send_forced {
+                    self.trace_collects(from, &ck.eliminated);
+                    self.sample(from);
+                }
+                let lost = self.rng.gen_bool(self.config.channel.loss_rate);
+                if lost {
+                    self.metrics.per_process[to.index()].lost += 1;
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent::Drop { id: msg.meta.id });
+                    }
+                } else {
+                    let delay = self
+                        .rng
+                        .gen_range(self.config.channel.min_delay..=self.config.channel.max_delay);
+                    let at = self.time + delay;
+                    self.push_at(
+                        at,
+                        EventKind::Deliver {
+                            to,
+                            id: msg.meta.id,
+                            pb,
+                        },
+                    );
+                }
+            }
+            AppOp::Crash(p) => {
+                if self.processes[p.index()].is_crashed() {
+                    return Ok(());
+                }
+                self.run_recovery_session(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_deliver(
+        &mut self,
+        to: ProcessId,
+        id: rdt_base::MessageId,
+        pb: Piggyback,
+    ) -> Result<()> {
+        if self.processes[to.index()].is_crashed() {
+            self.metrics.per_process[to.index()].lost += 1;
+            if self.config.record_trace {
+                self.trace.push(TraceEvent::Drop { id });
+            }
+            return Ok(());
+        }
+        self.tick_process(to);
+        let report = self.processes[to.index()].receive_piggyback(&pb)?;
+        self.metrics.per_process[to.index()].delivered += 1;
+        if self.config.record_trace {
+            if report.forced.is_some() {
+                self.trace.push(TraceEvent::Checkpoint {
+                    process: to,
+                    forced: true,
+                });
+            }
+            self.trace.push(TraceEvent::Deliver { id });
+        }
+        self.trace_collects(to, &report.eliminated);
+        self.sample(to);
+        Ok(())
+    }
+
+    fn handle_control_round(&mut self) {
+        self.metrics.control_rounds += 1;
+        // Coordinator with reliable control messages: sees everyone's
+        // stable-store state (the coordination RDT-LGC does *without*).
+        let all: rdt_recovery::FaultySet = (0..self.processes.len()).map(ProcessId::new).collect();
+        let line = self.manager.recovery_line(&self.processes, &all);
+        let last_stable: Vec<_> = self.processes.iter().map(|m| m.last_stable()).collect();
+        let li = LastIntervals::from_last_stable(&last_stable);
+        let infos = [
+            ControlInfo::GlobalLine(line),
+            ControlInfo::LastIntervals(li),
+        ];
+        for k in 0..self.processes.len() {
+            for info in &infos {
+                let collected = self.processes[k].control(info);
+                self.trace_collects(ProcessId::new(k), &collected);
+            }
+            self.sample(ProcessId::new(k));
+        }
+        if let Some(every) = self.config.control_every {
+            let at = self.time + every;
+            if at <= self.horizon {
+                self.push_at(at, EventKind::ControlRound);
+            }
+        }
+    }
+
+    /// A crash of `p` (plus correlated failures): in-transit messages are
+    /// lost, the recovery manager stops the world, computes the recovery
+    /// line and rolls processes back.
+    fn run_recovery_session(&mut self, p: ProcessId) -> Result<()> {
+        let mut faulty: rdt_recovery::FaultySet = [p].into_iter().collect();
+        if self.config.correlated_crash_prob > 0.0 {
+            for q in ProcessId::all(self.processes.len()) {
+                if q != p
+                    && !self.processes[q.index()].is_crashed()
+                    && self.rng.gen_bool(self.config.correlated_crash_prob)
+                {
+                    faulty.insert(q);
+                }
+            }
+        }
+        for &f in &faulty {
+            self.processes[f.index()].crash();
+            if self.config.record_trace {
+                self.trace.push(TraceEvent::Crash { process: f });
+            }
+        }
+        // All in-transit messages are lost (the recovered CCP excludes
+        // them, Section 2.2).
+        let drained = std::mem::take(&mut self.queue);
+        for Reverse(ev) in drained {
+            match ev.kind {
+                EventKind::Deliver { to, id, .. } => {
+                    self.metrics.per_process[to.index()].lost += 1;
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent::Drop { id });
+                    }
+                }
+                other => self.queue.push(Reverse(Queued {
+                    at: ev.at,
+                    seq: ev.seq,
+                    kind: other,
+                })),
+            }
+        }
+
+        let report = self.manager.recover(&mut self.processes, &faulty);
+        self.metrics.recovery_sessions += 1;
+        self.metrics.total_rolled_back += report.rolled_back.len() as u64;
+        if self.config.record_trace {
+            for (proc_, to) in &report.rolled_back {
+                self.trace.push(TraceEvent::Restore {
+                    process: *proc_,
+                    to: *to,
+                });
+            }
+        }
+        for k in 0..self.processes.len() {
+            self.sample(ProcessId::new(k));
+        }
+        self.recovery_sessions.push(report);
+        Ok(())
+    }
+
+    fn sample(&mut self, p: ProcessId) {
+        let store = self.processes[p.index()].store();
+        let (len, peak) = (store.len(), store.peak());
+        self.metrics.sample(p, len, peak);
+        if self.config.record_occupancy {
+            self.occupancy.push((self.time, p, len));
+        }
+    }
+
+    /// Finalizes counters and produces the report.
+    pub fn into_report(mut self) -> SimulationReport {
+        self.metrics.ticks = self.time;
+        for (k, mw) in self.processes.iter().enumerate() {
+            let m = &mut self.metrics.per_process[k];
+            m.retained = mw.store().len();
+            m.peak_retained = m.peak_retained.max(mw.store().peak());
+            m.total_stored = mw.store().total_stored();
+            m.total_collected = mw.store().total_collected();
+            m.basic = mw.basic_count();
+            m.forced = mw.forced_count();
+        }
+        SimulationReport {
+            n: self.processes.len(),
+            final_dvs: self.processes.iter().map(|mw| mw.dv().clone()).collect(),
+            final_last_stable: self
+                .processes
+                .iter()
+                .map(|mw| mw.last_stable().value())
+                .collect(),
+            final_retained: self
+                .processes
+                .iter()
+                .map(|mw| mw.store().indices().map(|i| i.value()).collect())
+                .collect(),
+            metrics: self.metrics,
+            trace: if self.config.record_trace {
+                Some(self.trace)
+            } else {
+                None
+            },
+            occupancy: if self.config.record_occupancy {
+                Some(self.occupancy)
+            } else {
+                None
+            },
+            recovery_sessions: self.recovery_sessions,
+        }
+    }
+
+    /// Read access to the processes (for integration tests).
+    pub fn processes(&self) -> &[Middleware] {
+        &self.processes
+    }
+}

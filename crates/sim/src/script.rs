@@ -1,0 +1,188 @@
+//! Deterministic execution of [`Script`]s through real middleware stacks.
+
+use rdt_base::{Payload, ProcessId, Result, TraceEvent};
+use rdt_core::GcKind;
+use rdt_protocols::{Middleware, Piggyback, ProtocolKind};
+use rdt_workloads::{Script, ScriptOp};
+
+/// Outcome of running a script.
+#[derive(Debug)]
+pub struct ScriptRun {
+    /// The middleware instances after the run, in process-id order.
+    pub processes: Vec<Middleware>,
+    /// The event trace (checkpoints including forced ones, sends,
+    /// deliveries), replayable into an offline CCP.
+    pub trace: Vec<TraceEvent>,
+    /// Every checkpoint eliminated during the run, as
+    /// `(process, checkpoint index)` pairs in elimination order.
+    pub eliminated: Vec<(ProcessId, usize)>,
+}
+
+impl ScriptRun {
+    /// Retained checkpoint indices of process `p`, ascending.
+    pub fn retained(&self, p: ProcessId) -> Vec<usize> {
+        self.processes[p.index()]
+            .store()
+            .indices()
+            .map(|i| i.value())
+            .collect()
+    }
+
+    /// Peak simultaneous retention of process `p`.
+    pub fn peak(&self, p: ProcessId) -> usize {
+        self.processes[p.index()].store().peak()
+    }
+}
+
+/// Runs `script` over `n` fresh processes with the given protocol and
+/// collector. Deliveries happen exactly where the script places them.
+///
+/// # Errors
+///
+/// Propagates middleware errors (scripts over live processes do not
+/// produce any).
+///
+/// # Panics
+///
+/// Panics if the script delivers a send ordinal twice.
+///
+/// ```
+/// use rdt_base::ProcessId;
+/// use rdt_core::GcKind;
+/// use rdt_protocols::ProtocolKind;
+/// use rdt_sim::run_script;
+/// use rdt_workloads::figures::figure5_worst_case;
+///
+/// let n = 4;
+/// let run = run_script(n, &figure5_worst_case(n), ProtocolKind::Fdas, GcKind::RdtLgc)
+///     .expect("script runs");
+/// // The paper's tight bound: every process retains exactly n checkpoints.
+/// for i in 0..n {
+///     assert_eq!(run.retained(ProcessId::new(i)).len(), n);
+/// }
+/// ```
+pub fn run_script(
+    n: usize,
+    script: &Script,
+    protocol: ProtocolKind,
+    gc: GcKind,
+) -> Result<ScriptRun> {
+    let mut processes: Vec<Middleware> = (0..n)
+        .map(|i| Middleware::new(ProcessId::new(i), n, protocol, gc))
+        .collect();
+    let mut trace = Vec::new();
+    let mut eliminated = Vec::new();
+    // Per send ordinal: (id, destination, piggyback), consumed on delivery.
+    let mut sends: Vec<Option<(rdt_base::MessageId, ProcessId, Piggyback)>> = Vec::new();
+
+    for op in script.ops() {
+        match *op {
+            ScriptOp::Checkpoint(p) => {
+                let report = processes[p.index()].basic_checkpoint()?;
+                trace.push(TraceEvent::Checkpoint {
+                    process: p,
+                    forced: false,
+                });
+                eliminated.extend(report.eliminated.iter().map(|i| (p, i.value())));
+            }
+            ScriptOp::Send { from, to } => {
+                let pb = processes[from.index()].piggyback();
+                let msg = processes[from.index()].send(to, Payload::empty());
+                trace.push(TraceEvent::Send {
+                    id: msg.meta.id,
+                    to,
+                });
+                sends.push(Some((msg.meta.id, to, pb)));
+            }
+            ScriptOp::Deliver { send_ordinal } => {
+                let (id, to, pb) = sends[send_ordinal]
+                    .take()
+                    .expect("script delivers each send at most once");
+                let report = processes[to.index()].receive_piggyback(&pb)?;
+                if report.forced.is_some() {
+                    trace.push(TraceEvent::Checkpoint {
+                        process: to,
+                        forced: true,
+                    });
+                }
+                trace.push(TraceEvent::Deliver { id });
+                eliminated.extend(report.eliminated.iter().map(|i| (to, i.value())));
+            }
+        }
+    }
+
+    // Undelivered sends are in-transit: mark them dropped so offline replay
+    // excludes them from the dependency relation explicitly.
+    for slot in sends.into_iter().flatten() {
+        trace.push(TraceEvent::Drop { id: slot.0 });
+    }
+
+    Ok(ScriptRun {
+        processes,
+        trace,
+        eliminated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_workloads::figures::{figure4_expectations, figure4_script, figure5_worst_case};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn figure4_run_matches_expectations() {
+        let run = run_script(3, &figure4_script(), ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
+        let expect = figure4_expectations();
+        let eliminated: Vec<(usize, usize)> = run
+            .eliminated
+            .iter()
+            .map(|(proc_, idx)| (proc_.index(), *idx))
+            .collect();
+        assert_eq!(eliminated, expect.eliminated);
+        for (i, retained) in expect.retained.iter().enumerate() {
+            assert_eq!(&run.retained(p(i)), retained, "process {}", i + 1);
+        }
+        // FDAS forces nothing on this script.
+        assert!(run.processes.iter().all(|mw| mw.forced_count() == 0));
+    }
+
+    #[test]
+    fn figure5_reaches_the_tight_bound() {
+        for n in 2..6 {
+            let run =
+                run_script(n, &figure5_worst_case(n), ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
+            for i in 0..n {
+                assert_eq!(run.retained(p(i)).len(), n, "n = {n}");
+            }
+            // One more checkpoint per process: transient n+1, then back to n
+            // (the paper's "n collected, n² remain stored").
+            let mut processes = run.processes;
+            for mw in processes.iter_mut() {
+                mw.basic_checkpoint().unwrap();
+                assert_eq!(mw.store().peak(), n + 1, "n = {n}");
+                assert_eq!(mw.store().len(), n, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_replays_into_an_rdt_ccp() {
+        let run = run_script(3, &figure4_script(), ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
+        let ccp = rdt_ccp::CcpBuilder::from_trace(3, &run.trace)
+            .expect("crash-free trace")
+            .build();
+        assert!(ccp.is_rdt());
+    }
+
+    #[test]
+    fn undelivered_sends_are_dropped_in_trace() {
+        let mut script = Script::new();
+        script.send(p(0), p(1));
+        let run = run_script(2, &script, ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
+        assert!(matches!(run.trace.last(), Some(TraceEvent::Drop { .. })));
+    }
+}

@@ -1,0 +1,311 @@
+//! A per-process checkpoint directory that survives crashes.
+//!
+//! One file per stable checkpoint (`ckpt_<γ>.bin`, the [`codec`] format),
+//! written atomically (temp file + rename + fsync) so a crash mid-write
+//! never leaves a half-checkpoint that could be restored. This is the
+//! "stable storage persists through failures" of the paper's Section 2,
+//! made literal.
+//!
+//! [`codec`]: crate::codec
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use rdt_base::{CheckpointIndex, DependencyVector, ProcessId};
+use rdt_core::CheckpointStore;
+
+use crate::codec::{decode, encode, Record};
+use crate::error::{Error, Result};
+
+/// A durable, per-process stable store.
+#[derive(Debug)]
+pub struct DurableStore {
+    owner: ProcessId,
+    dir: PathBuf,
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) the checkpoint directory for `owner`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn open(dir: impl Into<PathBuf>, owner: ProcessId) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { owner, dir })
+    }
+
+    /// The owning process.
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, index: CheckpointIndex) -> PathBuf {
+        self.dir.join(format!("ckpt_{}.bin", index.value()))
+    }
+
+    /// Persists one checkpoint atomically: temp file, fsync, rename.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors anywhere along the write path.
+    pub fn persist(
+        &self,
+        index: CheckpointIndex,
+        dv: &DependencyVector,
+        state_size: usize,
+    ) -> Result<()> {
+        let record = Record {
+            owner: self.owner,
+            index,
+            dv: dv.clone(),
+            state_size,
+        };
+        let bytes = encode(&record);
+        let tmp = self.dir.join(format!(".ckpt_{}.tmp", index.value()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.path_for(index))?;
+        Ok(())
+    }
+
+    /// Eliminates one checkpoint from disk. Missing files are fine (the
+    /// elimination may race a crash that already lost the rename).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than "not found".
+    pub fn remove(&self, index: CheckpointIndex) -> Result<()> {
+        match fs::remove_file(self.path_for(index)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The checkpoint indices currently on disk, ascending.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`Error::UnrecognizedFile`] for alien files.
+    pub fn indices(&self) -> Result<Vec<CheckpointIndex>> {
+        let mut out = BTreeSet::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') {
+                continue; // incomplete temp file from a crash: ignored
+            }
+            let index = name
+                .strip_prefix("ckpt_")
+                .and_then(|rest| rest.strip_suffix(".bin"))
+                .and_then(|num| num.parse::<usize>().ok())
+                .ok_or_else(|| Error::UnrecognizedFile(name.to_string()))?;
+            out.insert(CheckpointIndex::new(index));
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// Loads and validates every checkpoint record, ascending by index.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`Error::Corrupt`] if any record fails validation (a
+    /// store with an untrustworthy checkpoint must not be restored from
+    /// blindly).
+    pub fn load(&self) -> Result<Vec<Record>> {
+        self.indices()?
+            .into_iter()
+            .map(|index| {
+                let bytes = fs::read(self.path_for(index))?;
+                let record = decode(&bytes)?;
+                if record.owner != self.owner || record.index != index {
+                    return Err(Error::Corrupt("record does not match its file name"));
+                }
+                Ok(record)
+            })
+            .collect()
+    }
+
+    /// Rebuilds an in-memory [`CheckpointStore`] from disk — the first step
+    /// of a process restart.
+    ///
+    /// # Errors
+    ///
+    /// As for [`load`](Self::load).
+    pub fn rebuild(&self) -> Result<CheckpointStore> {
+        let mut store = CheckpointStore::new(self.owner);
+        for record in self.load()? {
+            store.insert_with_size(record.index, record.dv, record.state_size);
+        }
+        Ok(store)
+    }
+
+    /// Synchronizes disk with an in-memory store: persists checkpoints the
+    /// disk lacks, removes checkpoints the store no longer holds. Called
+    /// after each middleware event (the reports say when something
+    /// changed).
+    ///
+    /// Returns `(persisted, removed)` counts.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors along either path.
+    pub fn sync(&self, store: &CheckpointStore) -> Result<(usize, usize)> {
+        let on_disk: BTreeSet<CheckpointIndex> = self.indices()?.into_iter().collect();
+        let in_memory: BTreeSet<CheckpointIndex> = store.indices().collect();
+        let mut persisted = 0;
+        for &index in in_memory.difference(&on_disk) {
+            let dv = store.dv(index).expect("index from the store");
+            self.persist(index, dv, 0)?;
+            persisted += 1;
+        }
+        let mut removed = 0;
+        for &index in on_disk.difference(&in_memory) {
+            self.remove(index)?;
+            removed += 1;
+        }
+        Ok((persisted, removed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "rdt-storage-test-{}-{tag}-{seq}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn dv(raw: Vec<usize>) -> DependencyVector {
+        DependencyVector::from_raw(raw)
+    }
+
+    fn idx(i: usize) -> CheckpointIndex {
+        CheckpointIndex::new(i)
+    }
+
+    #[test]
+    fn persist_survives_reopen() {
+        let dir = scratch("reopen");
+        let owner = ProcessId::new(1);
+        {
+            let store = DurableStore::open(&dir, owner).unwrap();
+            store.persist(idx(0), &dv(vec![0, 0]), 10).unwrap();
+            store.persist(idx(1), &dv(vec![2, 1]), 20).unwrap();
+        } // "crash"
+        let store = DurableStore::open(&dir, owner).unwrap();
+        let records = store.load().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].dv, dv(vec![2, 1]));
+        assert_eq!(records[1].state_size, 20);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rebuild_produces_an_equivalent_checkpoint_store() {
+        let dir = scratch("rebuild");
+        let owner = ProcessId::new(0);
+        let durable = DurableStore::open(&dir, owner).unwrap();
+        durable.persist(idx(3), &dv(vec![3, 5]), 7).unwrap();
+        durable.persist(idx(1), &dv(vec![1, 0]), 9).unwrap();
+        let store = durable.rebuild().unwrap();
+        assert_eq!(store.indices().collect::<Vec<_>>(), vec![idx(1), idx(3)]);
+        assert_eq!(store.dv(idx(3)).unwrap(), &dv(vec![3, 5]));
+        assert_eq!(store.bytes(), 16);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let dir = scratch("remove");
+        let durable = DurableStore::open(&dir, ProcessId::new(0)).unwrap();
+        durable.persist(idx(0), &dv(vec![0]), 0).unwrap();
+        durable.remove(idx(0)).unwrap();
+        durable.remove(idx(0)).unwrap(); // second time: no error
+        assert!(durable.indices().unwrap().is_empty());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_fails_the_load() {
+        let dir = scratch("corrupt");
+        let durable = DurableStore::open(&dir, ProcessId::new(0)).unwrap();
+        durable.persist(idx(0), &dv(vec![0]), 0).unwrap();
+        fs::write(dir.join("ckpt_0.bin"), b"garbage").unwrap();
+        assert!(durable.load().is_err());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn mislabeled_record_is_rejected() {
+        let dir = scratch("mislabel");
+        let durable = DurableStore::open(&dir, ProcessId::new(0)).unwrap();
+        durable.persist(idx(0), &dv(vec![0]), 0).unwrap();
+        // A valid record, but under the wrong file name.
+        fs::rename(dir.join("ckpt_0.bin"), dir.join("ckpt_5.bin")).unwrap();
+        assert!(matches!(durable.load(), Err(Error::Corrupt(_))));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn alien_files_are_reported() {
+        let dir = scratch("alien");
+        let durable = DurableStore::open(&dir, ProcessId::new(0)).unwrap();
+        fs::write(dir.join("notes.txt"), b"hello").unwrap();
+        assert!(matches!(
+            durable.indices(),
+            Err(Error::UnrecognizedFile(_))
+        ));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn leftover_temp_files_are_ignored() {
+        let dir = scratch("tmp");
+        let durable = DurableStore::open(&dir, ProcessId::new(0)).unwrap();
+        durable.persist(idx(0), &dv(vec![0]), 0).unwrap();
+        // Simulate a crash between write and rename.
+        fs::write(dir.join(".ckpt_1.tmp"), b"half-written").unwrap();
+        assert_eq!(durable.indices().unwrap(), vec![idx(0)]);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn sync_mirrors_an_in_memory_store() {
+        let dir = scratch("sync");
+        let owner = ProcessId::new(0);
+        let durable = DurableStore::open(&dir, owner).unwrap();
+        let mut store = CheckpointStore::new(owner);
+        store.insert(idx(0), dv(vec![0, 0]));
+        store.insert(idx(1), dv(vec![1, 2]));
+        assert_eq!(durable.sync(&store).unwrap(), (2, 0));
+        store.remove(idx(0)).unwrap();
+        store.insert(idx(2), dv(vec![2, 2]));
+        assert_eq!(durable.sync(&store).unwrap(), (1, 1));
+        let rebuilt = durable.rebuild().unwrap();
+        assert_eq!(
+            rebuilt.indices().collect::<Vec<_>>(),
+            store.indices().collect::<Vec<_>>()
+        );
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

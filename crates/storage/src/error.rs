@@ -1,0 +1,66 @@
+//! Error type for the durable-storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// What can go wrong persisting or loading checkpoints.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A record failed validation (truncation, bad magic, checksum…).
+    Corrupt(&'static str),
+    /// A file in the checkpoint directory does not follow the naming
+    /// scheme and cannot be attributed to a checkpoint.
+    UnrecognizedFile(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "stable-storage i/o failed: {e}"),
+            Error::Corrupt(what) => write!(f, "corrupt checkpoint record: {what}"),
+            Error::UnrecognizedFile(name) => {
+                write!(f, "unrecognized file in checkpoint directory: {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_punctuation() {
+        let e = Error::Corrupt("bad magic");
+        let s = e.to_string();
+        assert!(s.starts_with(char::is_lowercase));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn io_errors_chain_as_source() {
+        use std::error::Error as _;
+        let e = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

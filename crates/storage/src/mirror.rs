@@ -1,0 +1,279 @@
+//! A middleware whose stable store is transparently mirrored to disk.
+//!
+//! [`MirroredMiddleware`] wraps an `rdt-protocols` [`Middleware`] and a
+//! [`DurableStore`], synchronizing the files after every event that can
+//! change stable storage. The paper's stable-storage contract — persists
+//! through failures, volatile state lost — then falls out of the
+//! filesystem: drop the wrapper (the "crash") and
+//! [`MirroredMiddleware::restart`] rebuilds a crashed middleware from the
+//! surviving records, ready for an ordinary recovery session.
+
+use std::path::PathBuf;
+
+use rdt_base::{CheckpointIndex, Message, Payload, ProcessId};
+use rdt_core::{ControlInfo, GcKind, LastIntervals};
+use rdt_protocols::{
+    CheckpointReport, Middleware, Piggyback, ProtocolKind, ReceiveReport, RollbackReport,
+};
+
+use crate::durable::DurableStore;
+use crate::error::Result;
+
+/// A [`Middleware`] with a write-through durable mirror.
+#[derive(Debug)]
+pub struct MirroredMiddleware {
+    inner: Middleware,
+    disk: DurableStore,
+}
+
+impl MirroredMiddleware {
+    /// Creates a fresh process whose stable store mirrors into `dir`
+    /// (created if needed). The mandatory initial checkpoint `s^0` is
+    /// persisted before this returns.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the directory or writing `s^0`.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        owner: ProcessId,
+        n: usize,
+        protocol: ProtocolKind,
+        gc: GcKind,
+    ) -> Result<Self> {
+        let inner = Middleware::new(owner, n, protocol, gc);
+        let disk = DurableStore::open(dir, owner)?;
+        let this = Self { inner, disk };
+        this.disk.sync(this.inner.store())?;
+        Ok(this)
+    }
+
+    /// Restarts a crashed process from its surviving files. The middleware
+    /// comes back crashed; run a recovery session to restore a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// I/O and validation errors reading the records.
+    pub fn restart(
+        dir: impl Into<PathBuf>,
+        owner: ProcessId,
+        n: usize,
+        protocol: ProtocolKind,
+        gc: GcKind,
+    ) -> Result<Self> {
+        let disk = DurableStore::open(dir, owner)?;
+        let store = disk.rebuild()?;
+        Ok(Self {
+            inner: Middleware::from_store(owner, n, protocol, gc, store),
+            disk,
+        })
+    }
+
+    /// The wrapped middleware (read access; mutating it directly would
+    /// bypass the mirror).
+    pub fn middleware(&self) -> &Middleware {
+        &self.inner
+    }
+
+    /// The durable mirror.
+    pub fn disk(&self) -> &DurableStore {
+        &self.disk
+    }
+
+    fn synced<T>(&mut self, value: T) -> Result<T> {
+        self.disk.sync(self.inner.store())?;
+        Ok(value)
+    }
+
+    /// Mirrored [`Middleware::basic_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Middleware errors (crashed process) and mirror I/O errors.
+    pub fn basic_checkpoint(&mut self) -> Result<CheckpointReport> {
+        let report = self.inner.basic_checkpoint().map_err(other)?;
+        self.synced(report)
+    }
+
+    /// Mirrored [`Middleware::send`] (the CAS-family post-send checkpoint
+    /// is persisted too).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the mirror.
+    pub fn send(&mut self, to: ProcessId, payload: Payload) -> Result<Message> {
+        let (msg, _) = self.inner.send_reported(to, payload);
+        self.synced(msg)
+    }
+
+    /// Mirrored [`Middleware::receive`].
+    ///
+    /// # Errors
+    ///
+    /// Middleware errors (crashed process) and mirror I/O errors.
+    pub fn receive(&mut self, msg: &Message) -> Result<ReceiveReport> {
+        let report = self.inner.receive(msg).map_err(other)?;
+        self.synced(report)
+    }
+
+    /// Mirrored [`Middleware::receive_piggyback`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`receive`](Self::receive).
+    pub fn receive_piggyback(&mut self, m: &Piggyback) -> Result<ReceiveReport> {
+        let report = self.inner.receive_piggyback(m).map_err(other)?;
+        self.synced(report)
+    }
+
+    /// Mirrored [`Middleware::rollback`].
+    ///
+    /// # Errors
+    ///
+    /// Middleware errors (unknown target) and mirror I/O errors.
+    pub fn rollback(
+        &mut self,
+        ri: CheckpointIndex,
+        li: Option<&LastIntervals>,
+    ) -> Result<RollbackReport> {
+        let report = self.inner.rollback(ri, li).map_err(other)?;
+        self.synced(report)
+    }
+
+    /// Mirrored [`Middleware::recovery_info`].
+    ///
+    /// # Errors
+    ///
+    /// Mirror I/O errors.
+    pub fn recovery_info(&mut self, li: &LastIntervals) -> Result<Vec<CheckpointIndex>> {
+        let freed = self.inner.recovery_info(li);
+        self.synced(freed)
+    }
+
+    /// Mirrored [`Middleware::control`].
+    ///
+    /// # Errors
+    ///
+    /// Mirror I/O errors.
+    pub fn control(&mut self, info: &ControlInfo) -> Result<Vec<CheckpointIndex>> {
+        let freed = self.inner.control(info);
+        self.synced(freed)
+    }
+
+    /// Crashes the process (volatile only; the mirror keeps its files).
+    pub fn crash(&mut self) {
+        self.inner.crash();
+    }
+}
+
+fn other(e: rdt_base::Error) -> crate::Error {
+    crate::Error::Io(std::io::Error::other(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "rdt-mirror-test-{}-{tag}-{seq}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn create_persists_the_initial_checkpoint() {
+        let dir = scratch("init");
+        let mw =
+            MirroredMiddleware::create(&dir, p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
+        assert_eq!(mw.disk().indices().unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn every_event_keeps_disk_and_memory_identical() {
+        let dir = scratch("events");
+        let mut a =
+            MirroredMiddleware::create(dir.join("a"), p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc)
+                .unwrap();
+        let mut b =
+            MirroredMiddleware::create(dir.join("b"), p(1), 2, ProtocolKind::Fdas, GcKind::RdtLgc)
+                .unwrap();
+        a.basic_checkpoint().unwrap();
+        let m = a.send(p(1), Payload::empty()).unwrap();
+        b.receive(&m).unwrap();
+        b.basic_checkpoint().unwrap();
+        for mw in [&a, &b] {
+            assert_eq!(
+                mw.disk().indices().unwrap(),
+                mw.middleware().store().indices().collect::<Vec<_>>()
+            );
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn restart_round_trips_through_the_filesystem() {
+        let dir = scratch("restart");
+        {
+            let mut mw = MirroredMiddleware::create(
+                &dir,
+                p(0),
+                2,
+                ProtocolKind::Fdas,
+                GcKind::RdtLgc,
+            )
+            .unwrap();
+            mw.basic_checkpoint().unwrap();
+            mw.basic_checkpoint().unwrap();
+        } // crash: everything volatile is gone
+        let mw =
+            MirroredMiddleware::restart(&dir, p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
+        assert!(mw.middleware().is_crashed());
+        assert!(!mw.middleware().store().is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_operations_error_without_touching_disk() {
+        let dir = scratch("crashed");
+        let mut mw =
+            MirroredMiddleware::create(&dir, p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
+        mw.crash();
+        assert!(mw.basic_checkpoint().is_err());
+        assert_eq!(mw.disk().indices().unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rollback_truncates_the_mirror() {
+        let dir = scratch("rollback");
+        let mut mw = MirroredMiddleware::create(
+            &dir,
+            p(0),
+            2,
+            ProtocolKind::Fdas,
+            GcKind::None, // retain everything so there is something to truncate
+        )
+        .unwrap();
+        for _ in 0..4 {
+            mw.basic_checkpoint().unwrap();
+        }
+        assert_eq!(mw.disk().indices().unwrap().len(), 5);
+        mw.rollback(CheckpointIndex::new(1), None).unwrap();
+        assert_eq!(
+            mw.disk().indices().unwrap(),
+            vec![CheckpointIndex::new(0), CheckpointIndex::new(1)]
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,92 @@
+//! Property test: a mirrored middleware behaves exactly like a plain one,
+//! and its disk image always equals its in-memory stable store.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use rdt_base::{Payload, ProcessId};
+use rdt_core::GcKind;
+use rdt_protocols::{Middleware, ProtocolKind};
+use rdt_storage::MirroredMiddleware;
+
+fn scratch(tag: u64) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "rdt-mirror-props-{}-{tag}-{seq}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: u8,
+    a: usize,
+    b: usize,
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..4, 0usize..16, 0usize..16).prop_map(|(kind, a, b)| Op { kind, a, b }),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Plain and mirrored middlewares, fed identical events, agree on every
+    /// observable; the disk always equals the store.
+    #[test]
+    fn mirror_is_transparent(seed in 0u64..1_000_000, ops in ops(30), proto in prop::sample::select(vec![ProtocolKind::Fdas, ProtocolKind::Cas])) {
+        let n = 2;
+        let dir = scratch(seed);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let mut plain = Middleware::new(p0, n, proto, GcKind::RdtLgc);
+        let mut mirrored =
+            MirroredMiddleware::create(&dir, p0, n, proto, GcKind::RdtLgc).expect("scratch dir");
+        // A fixed peer feeding both the same piggybacks.
+        let mut peer = Middleware::new(p1, n, proto, GcKind::RdtLgc);
+
+        for op in &ops {
+            match op.kind {
+                0 => {
+                    let a = plain.basic_checkpoint().expect("alive");
+                    let b = mirrored.basic_checkpoint().expect("alive + disk");
+                    prop_assert_eq!(a, b);
+                }
+                1 => {
+                    let a = plain.send(p1, Payload::empty());
+                    let b = mirrored.send(p1, Payload::empty()).expect("disk");
+                    prop_assert_eq!(a.meta.dv, b.meta.dv);
+                }
+                2 => {
+                    if op.a % 3 == 0 {
+                        peer.basic_checkpoint().expect("alive");
+                    }
+                    let pb = peer.piggyback();
+                    peer.send(p0, Payload::empty());
+                    let a = plain.receive_piggyback(&pb).expect("alive");
+                    let b = mirrored.receive_piggyback(&pb).expect("alive + disk");
+                    prop_assert_eq!(a, b);
+                }
+                _ => {
+                    // Roll both back to their last stable checkpoint.
+                    let target = plain.last_stable();
+                    let a = plain.rollback(target, None).expect("stored");
+                    let b = mirrored.rollback(target, None).expect("stored");
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(plain.dv(), mirrored.middleware().dv());
+            prop_assert_eq!(
+                mirrored.disk().indices().expect("readable"),
+                mirrored.middleware().store().indices().collect::<Vec<_>>()
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

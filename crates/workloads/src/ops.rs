@@ -1,0 +1,177 @@
+//! Application-level operations and deterministic scripts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rdt_base::ProcessId;
+
+/// One application-level action, as produced by workload generators.
+///
+/// Delivery timing is *not* part of an `AppOp` stream — the simulator's
+/// channels decide when (and whether) messages arrive. Use [`Script`] when a
+/// scenario needs exact delivery placement (the paper's figures do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppOp {
+    /// Process `from` sends an application message to `to`.
+    Send {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+    },
+    /// Process takes a basic (application-initiated) checkpoint.
+    Checkpoint(ProcessId),
+    /// Process crashes (volatile state lost); the simulator starts a
+    /// recovery session.
+    Crash(ProcessId),
+}
+
+impl fmt::Display for AppOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppOp::Send { from, to } => write!(f, "send {from} → {to}"),
+            AppOp::Checkpoint(p) => write!(f, "checkpoint {p}"),
+            AppOp::Crash(p) => write!(f, "crash {p}"),
+        }
+    }
+}
+
+/// One step of a deterministic script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScriptOp {
+    /// Process takes a basic checkpoint.
+    Checkpoint(ProcessId),
+    /// Process sends to `to`; the message gets the next send ordinal.
+    Send {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+    },
+    /// Deliver the message created by the `send_ordinal`-th `Send` of this
+    /// script (0-based, in script order).
+    Deliver {
+        /// Ordinal of the originating send.
+        send_ordinal: usize,
+    },
+}
+
+/// A deterministic scenario: exact send, delivery and checkpoint placement.
+///
+/// Scripts reproduce the paper's figures, where the position of each receive
+/// relative to checkpoints is what creates (or avoids) the interesting
+/// dependencies.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Script {
+    ops: Vec<ScriptOp>,
+    sends: usize,
+}
+
+impl Script {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a basic checkpoint.
+    pub fn checkpoint(&mut self, p: ProcessId) -> &mut Self {
+        self.ops.push(ScriptOp::Checkpoint(p));
+        self
+    }
+
+    /// Appends a send and returns its ordinal for later delivery.
+    pub fn send(&mut self, from: ProcessId, to: ProcessId) -> usize {
+        self.ops.push(ScriptOp::Send { from, to });
+        self.sends += 1;
+        self.sends - 1
+    }
+
+    /// Appends a delivery of the send with the given ordinal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ordinal does not refer to an earlier send.
+    pub fn deliver(&mut self, send_ordinal: usize) -> &mut Self {
+        assert!(send_ordinal < self.sends, "delivery of a future send");
+        self.ops.push(ScriptOp::Deliver { send_ordinal });
+        self
+    }
+
+    /// Convenience: send and deliver immediately.
+    pub fn message(&mut self, from: ProcessId, to: ProcessId) -> usize {
+        let ord = self.send(from, to);
+        self.deliver(ord);
+        ord
+    }
+
+    /// The steps, in order.
+    pub fn ops(&self) -> &[ScriptOp] {
+        &self.ops
+    }
+
+    /// Number of sends in the script.
+    pub fn send_count(&self) -> usize {
+        self.sends
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn script_assigns_send_ordinals_in_order() {
+        let mut s = Script::new();
+        assert_eq!(s.send(p(0), p(1)), 0);
+        assert_eq!(s.send(p(1), p(0)), 1);
+        s.deliver(1);
+        s.deliver(0);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.send_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "future send")]
+    fn delivering_future_send_panics() {
+        Script::new().deliver(0);
+    }
+
+    #[test]
+    fn message_is_send_plus_deliver() {
+        let mut s = Script::new();
+        let ord = s.message(p(0), p(1));
+        assert_eq!(ord, 0);
+        assert_eq!(
+            s.ops(),
+            &[
+                ScriptOp::Send { from: p(0), to: p(1) },
+                ScriptOp::Deliver { send_ordinal: 0 }
+            ]
+        );
+    }
+
+    #[test]
+    fn app_op_display() {
+        assert_eq!(
+            AppOp::Send { from: p(0), to: p(2) }.to_string(),
+            "send p1 → p3"
+        );
+        assert_eq!(AppOp::Checkpoint(p(1)).to_string(), "checkpoint p2");
+        assert_eq!(AppOp::Crash(p(0)).to_string(), "crash p1");
+    }
+}

@@ -1,0 +1,72 @@
+//! Stable storage made literal: checkpoints are mirrored to disk as
+//! checksummed records, a process dies, restarts from the surviving files
+//! and rejoins through an ordinary recovery session.
+//!
+//! ```sh
+//! cargo run --example durable_restart
+//! ```
+
+use rdt_checkpointing::prelude::*;
+use rdt_core::GcKind;
+use rdt_protocols::Middleware;
+use rdt_recovery::{FaultySet, RecoveryManager};
+
+fn main() {
+    let n = 2;
+    let root = std::env::temp_dir().join(format!("rdt-durable-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let p0 = ProcessId::new(0);
+    let p1 = ProcessId::new(1);
+    let mut a = Middleware::new(p0, n, ProtocolKind::Fdas, GcKind::RdtLgc);
+    let mut b = Middleware::new(p1, n, ProtocolKind::Fdas, GcKind::RdtLgc);
+    let disk_a = DurableStore::open(root.join("p0"), p0).expect("scratch dir");
+    let disk_b = DurableStore::open(root.join("p1"), p1).expect("scratch dir");
+
+    println!("== durable restart ==\n");
+    // Some history: checkpoints and a message each way, mirrored to disk.
+    a.basic_checkpoint().unwrap();
+    let m = a.send(p1, Payload::label("hello"));
+    b.receive(&m).unwrap();
+    b.basic_checkpoint().unwrap();
+    let m = b.send(p0, Payload::label("world"));
+    a.receive(&m).unwrap();
+    a.basic_checkpoint().unwrap();
+    disk_a.sync(a.store()).unwrap();
+    disk_b.sync(b.store()).unwrap();
+
+    println!(
+        "p1 stable store before the crash: {:?}",
+        a.store().indices().map(|i| i.value()).collect::<Vec<_>>()
+    );
+    println!("  on disk: {} checksummed records in {:?}", disk_a.indices().unwrap().len(), disk_a.dir());
+
+    // p0 dies: drop the middleware. Only the files survive.
+    drop(a);
+    let rebuilt = disk_a.rebuild().expect("records validate");
+    let a = Middleware::from_store(p0, n, ProtocolKind::Fdas, GcKind::RdtLgc, rebuilt);
+    println!("\np1 restarted from disk: crashed = {}", a.is_crashed());
+
+    // An ordinary recovery session brings the pair to a consistent cut.
+    let mut world = vec![a, b];
+    let faulty: FaultySet = [p0].into_iter().collect();
+    let report = RecoveryManager::new().recover(&mut world, &faulty);
+    println!(
+        "recovery line: {:?} (rolled back: {:?})",
+        report.line.iter().map(|c| c.value()).collect::<Vec<_>>(),
+        report.rolled_back
+    );
+    let (b, a) = (world.pop().unwrap(), world.pop().unwrap());
+    assert!(!a.is_crashed());
+
+    // Knowledge survives: p1's restored vector still knows p2's interval.
+    println!(
+        "p1 dependency vector after recovery: {:?} (remembers p2's checkpoint)",
+        a.dv().to_raw()
+    );
+    assert!(a.dv().to_raw()[1] > 0);
+    drop(b);
+
+    let _ = std::fs::remove_dir_all(&root);
+    println!("\nstable storage really was stable.");
+}

@@ -1,0 +1,70 @@
+//! The decentralized min/max consistent-global-checkpoint queries the RDT
+//! property enables (Wang [20]) — the machinery behind software error
+//! recovery and causal distributed breakpoints that the paper's
+//! introduction motivates.
+//!
+//! A "suspect" checkpoint is chosen on one process; the **maximum**
+//! consistent global checkpoint containing it is the latest system state
+//! in which that checkpoint's effects are visible (roll back *to* it to
+//! re-examine the error), and the **minimum** is the earliest (a causal
+//! breakpoint right after the suspect ran).
+//!
+//! ```sh
+//! cargo run --example min_max_lines
+//! ```
+
+use rdt_checkpointing::prelude::*;
+use rdt_core::GcKind;
+use rdt_protocols::Middleware;
+use rdt_recovery::wang;
+
+fn main() {
+    let n = 4;
+    let (p0, p1, p2) = (ProcessId::new(0), ProcessId::new(1), ProcessId::new(2));
+    // Retain everything so every query target stays addressable.
+    let mut mws: Vec<Middleware> = (0..n)
+        .map(|i| Middleware::new(ProcessId::new(i), n, ProtocolKind::Fdas, GcKind::None))
+        .collect();
+
+    // A causal chain p1 → p2 → p3 → back to p1, while p4 free-runs with no
+    // communication at all — its checkpoints are concurrent with everything,
+    // which is where the min/max slack comes from.
+    mws[0].basic_checkpoint().unwrap();
+    let m = mws[0].send(p1, Payload::label("a"));
+    mws[1].receive(&m).unwrap();
+    mws[1].basic_checkpoint().unwrap();
+    let m = mws[1].send(p2, Payload::label("b"));
+    mws[2].receive(&m).unwrap();
+    mws[2].basic_checkpoint().unwrap();
+    let m = mws[2].send(p0, Payload::label("c"));
+    mws[0].receive(&m).unwrap();
+    mws[0].basic_checkpoint().unwrap();
+    for _ in 0..3 {
+        mws[3].basic_checkpoint().unwrap(); // the free runner
+    }
+
+    println!("== decentralized min/max consistent global checkpoints ==\n");
+    for (who, index) in [(p0, 1usize), (p1, 1), (p2, 1)] {
+        let target = (who, CheckpointIndex::new(index));
+        let max = wang::max_consistent_containing(&mws, &[target]).expect("consistent target");
+        let min = wang::min_consistent_containing(&mws, &[target]).expect("consistent target");
+        println!(
+            "suspect s_{}^{}: min line {:?}  max line {:?}",
+            who,
+            index,
+            min.iter().map(|c| c.value()).collect::<Vec<_>>(),
+            max.iter().map(|c| c.value()).collect::<Vec<_>>(),
+        );
+        for (lo, hi) in min.iter().zip(&max) {
+            assert!(lo <= hi, "min is componentwise below max");
+        }
+    }
+    println!(
+        "\np4 (the silent free-runner) spans the whole range: the minimum\n\
+         pins it at s^0, the maximum at its latest state — any of its\n\
+         checkpoints completes a consistent global checkpoint. Each query\n\
+         ran from the dependency vectors stored with the checkpoints — no\n\
+         coordinator, no extra messages: that is what rollback-dependency\n\
+         trackability buys."
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: simulate five processes under FDAS with RDT-LGC garbage
+//! collection and inspect the storage statistics the paper bounds.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rdt_checkpointing::prelude::*;
+
+fn main() {
+    let n = 5;
+    let spec = WorkloadSpec::uniform_random(n, 1_000)
+        .with_seed(42)
+        .with_checkpoint_prob(0.25);
+
+    let report = SimulationBuilder::new(spec)
+        .protocol(ProtocolKind::Fdas)
+        .garbage_collector(GcKind::RdtLgc)
+        .run()
+        .expect("simulation runs");
+
+    println!("== rdt-checkpointing quickstart ==");
+    println!("processes            : {n}");
+    println!("simulated ticks      : {}", report.metrics.ticks);
+    println!(
+        "messages delivered   : {}",
+        report.metrics.total_delivered()
+    );
+    println!(
+        "checkpoints basic/forced : {}/{}",
+        report.metrics.total_basic(),
+        report.metrics.total_forced()
+    );
+    println!(
+        "checkpoints collected: {}",
+        report.metrics.total_collected()
+    );
+    println!();
+    println!("per-process retention (paper bound: ≤ n = {n}, ≤ n+1 transient):");
+    for (i, m) in report.metrics.per_process.iter().enumerate() {
+        println!(
+            "  p{:<2} retained {:>2}  peak {:>2}  avg {:>5.2}  stored {:>4}  collected {:>4}",
+            i + 1,
+            m.retained,
+            m.peak_retained,
+            m.avg_retained(),
+            m.total_stored,
+            m.total_collected,
+        );
+    }
+
+    let max = report.metrics.max_retained_per_process();
+    assert!(max <= n + 1, "bound violated: {max} > n+1");
+    println!();
+    println!("max retained on any process: {max} (bound holds)");
+}

@@ -1,0 +1,50 @@
+//! Compare garbage collectors on identical workloads — a miniature of the
+//! practical evaluation the paper proposes as future work (Section 6).
+//!
+//! RDT-LGC needs no control messages yet tracks the coordinated
+//! Theorem-1 collector closely; the no-GC baseline diverges.
+//!
+//! ```sh
+//! cargo run --example storage_comparison
+//! ```
+
+use rdt_checkpointing::prelude::*;
+
+fn main() {
+    let n = 6;
+    let steps = 2_000;
+
+    println!("== storage overhead by collector (n = {n}, {steps} ops) ==");
+    println!(
+        "{:<20} {:>8} {:>8} {:>10} {:>9}",
+        "collector", "avg/proc", "max/proc", "collected", "control"
+    );
+
+    for gc in GcKind::ALL {
+        let spec = WorkloadSpec::uniform_random(n, steps)
+            .with_seed(7)
+            .with_checkpoint_prob(0.3);
+        let mut builder = SimulationBuilder::new(spec)
+            .protocol(ProtocolKind::Fdas)
+            .garbage_collector(gc);
+        if gc.needs_control_messages() {
+            builder = builder.control_every(500);
+        }
+        let report = builder.run().expect("simulation runs");
+        println!(
+            "{:<20} {:>8.2} {:>8} {:>10} {:>9}",
+            gc.to_string(),
+            report.metrics.avg_retained(),
+            report.metrics.max_retained_per_process(),
+            report.metrics.total_collected(),
+            report.metrics.control_rounds,
+        );
+    }
+
+    println!();
+    println!(
+        "rdt-lgc stays within the n (+1 transient) bound with zero coordination;\n\
+         wang-global collects every obsolete checkpoint but only at control rounds;\n\
+         no-gc grows without bound."
+    );
+}

@@ -1,0 +1,67 @@
+//! Offline pattern analysis: zigzag densities, rollback-dependency graphs
+//! and rollback propagation, side by side for an RDT protocol and the
+//! unconstrained (no-forced) baseline on identical traffic.
+//!
+//! ```sh
+//! cargo run --example zigzag_analysis
+//! ```
+
+use rdt_checkpointing::prelude::*;
+use rdt_checkpointing::analysis::worst_single_failure;
+
+fn analyze(protocol: ProtocolKind, spec: &WorkloadSpec) {
+    let report = SimulationBuilder::new(spec.clone())
+        .protocol(protocol)
+        .garbage_collector(GcKind::None)
+        .record_trace()
+        .run()
+        .expect("simulation runs");
+    let ccp = CcpBuilder::from_trace(spec.n, &report.trace.expect("trace recorded"))
+        .expect("crash-free trace replays")
+        .build();
+
+    let stats = CcpStats::compute(&ccp);
+    println!("-- {protocol} --");
+    println!("  {stats}");
+    println!(
+        "  zigzag pairs {} of which undoubled {} (doubling ratio {:.3})",
+        stats.zigzag_pairs,
+        stats.undoubled_zigzag_pairs,
+        stats.doubling_ratio()
+    );
+
+    let rg = RollbackGraph::new(&ccp);
+    println!(
+        "  rollback graph: {} interval nodes, {} message edges",
+        rg.interval_count(),
+        rg.edge_count()
+    );
+    let worst = worst_single_failure(&ccp).expect("non-empty system");
+    println!(
+        "  worst single failure: {} rolls back {} checkpoints across {} processes{}",
+        worst.faulty[0],
+        worst.total(),
+        worst.affected_processes(),
+        if worst.reached_initial {
+            " — DOMINO to the initial state"
+        } else {
+            ""
+        }
+    );
+    println!();
+}
+
+fn main() {
+    println!("== zigzag / propagation analysis ==\n");
+    let spec = WorkloadSpec::uniform_random(4, 300)
+        .with_seed(77)
+        .with_checkpoint_prob(0.2);
+    analyze(ProtocolKind::Fdas, &spec);
+    analyze(ProtocolKind::Bcs, &spec);
+    analyze(ProtocolKind::NoForced, &spec);
+    println!(
+        "FDAS: every zigzag dependency is doubled (RDT) and failures stay local.\n\
+         BCS: no zigzag cycles (domino-free) but some dependencies untrackable.\n\
+         no-forced: undoubled zigzags, useless checkpoints, deep rollbacks."
+    );
+}

@@ -1,0 +1,140 @@
+//! Property tests over full simulations with failure injection: the
+//! paper's guarantees must survive arbitrary crash/recovery interleavings,
+//! correlated failures, lossy channels and both recovery modes.
+
+use proptest::prelude::*;
+use rdt_checkpointing::prelude::*;
+use rdt_core::GcKind;
+use rdt_protocols::ProtocolKind;
+use rdt_recovery::RecoveryMode;
+use rdt_sim::SimulationBuilder;
+
+fn spec(n: usize, steps: usize, seed: u64, crash: f64) -> WorkloadSpec {
+    WorkloadSpec::uniform_random(n, steps)
+        .with_seed(seed)
+        .with_checkpoint_prob(0.2)
+        .with_crash_prob(crash)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RDT-LGC's retention bounds hold across crash/recovery sessions, in
+    /// both recovery modes, under every RDT protocol.
+    #[test]
+    fn retention_bounds_survive_failures(
+        n in 2usize..6,
+        seed in 0u64..1000,
+        proto in prop::sample::select(ProtocolKind::RDT.to_vec()),
+        mode in prop::sample::select(vec![RecoveryMode::Coordinated, RecoveryMode::Uncoordinated]),
+    ) {
+        let report = SimulationBuilder::new(spec(n, 300, seed, 0.02))
+            .protocol(proto)
+            .garbage_collector(GcKind::RdtLgc)
+            .recovery_mode(mode)
+            .run()
+            .expect("simulation runs");
+        prop_assert!(
+            report.metrics.max_retained_per_process() <= n + 1,
+            "{proto}/{mode}: peak {} > n+1", report.metrics.max_retained_per_process()
+        );
+        prop_assert!(report.metrics.peak_global_retained <= n * (n + 1));
+    }
+
+    /// Recovery lines never name a component above the volatile state, and
+    /// every session rolls the faulty processes back.
+    #[test]
+    fn recovery_sessions_are_well_formed(
+        n in 2usize..5,
+        seed in 0u64..1000,
+        correlated in 0.0f64..0.5,
+    ) {
+        let config = SimConfig {
+            correlated_crash_prob: correlated,
+            ..SimConfig::default()
+        };
+        let report = SimulationBuilder::new(spec(n, 250, seed, 0.03))
+            .config(config)
+            .run()
+            .expect("simulation runs");
+        for session in &report.recovery_sessions {
+            prop_assert!(!session.faulty.is_empty());
+            prop_assert_eq!(session.line.len(), n);
+            for &(p, to) in &session.rolled_back {
+                prop_assert_eq!(session.line[p.index()], to);
+            }
+            // A faulty process always rolls back (its volatile state died).
+            for f in &session.faulty {
+                prop_assert!(
+                    session.rolled_back.iter().any(|(p, _)| p == f),
+                    "faulty {f} did not roll back"
+                );
+            }
+        }
+    }
+
+    /// The simulation is deterministic: identical parameters produce
+    /// identical reports, crash injection and all.
+    #[test]
+    fn simulation_is_deterministic(n in 2usize..5, seed in 0u64..1000) {
+        let build = || SimulationBuilder::new(spec(n, 200, seed, 0.02))
+            .record_trace()
+            .run()
+            .expect("simulation runs");
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.metrics, b.metrics);
+        prop_assert_eq!(a.trace, b.trace);
+        prop_assert_eq!(a.final_retained, b.final_retained);
+    }
+
+    /// Lossy channels do not break the bounds (lost messages simply carry
+    /// no causal information).
+    #[test]
+    fn loss_does_not_break_bounds(n in 2usize..5, seed in 0u64..1000, loss in 0.0f64..0.9) {
+        let report = SimulationBuilder::new(spec(n, 250, seed, 0.0))
+            .channel(ChannelConfig::lossy(loss))
+            .run()
+            .expect("simulation runs");
+        prop_assert!(report.metrics.max_retained_per_process() <= n + 1);
+    }
+
+    /// After any run, each process's dependency-vector self-entry equals
+    /// its last stable checkpoint index + 1 (it executes in the interval
+    /// the last checkpoint opened).
+    #[test]
+    fn final_state_is_internally_consistent(n in 2usize..5, seed in 0u64..1000) {
+        let report = SimulationBuilder::new(spec(n, 250, seed, 0.03))
+            .run()
+            .expect("simulation runs");
+        for (k, dv) in report.final_dvs.iter().enumerate() {
+            prop_assert_eq!(
+                dv.entry(ProcessId::new(k)).value(),
+                report.final_last_stable[k] + 1
+            );
+        }
+        // Whatever remains stored includes the last stable checkpoint.
+        for (k, retained) in report.final_retained.iter().enumerate() {
+            prop_assert!(retained.contains(&report.final_last_stable[k]));
+        }
+    }
+
+    /// The coordinated-baseline collectors (control rounds) also respect
+    /// safety: storage never dips below one checkpoint and recovery always
+    /// finds its targets (`recover` would panic otherwise).
+    #[test]
+    fn coordinated_collectors_survive_failures(
+        n in 2usize..5,
+        seed in 0u64..500,
+        gc in prop::sample::select(vec![GcKind::SimpleCoordinated, GcKind::WangGlobal]),
+    ) {
+        let report = SimulationBuilder::new(spec(n, 250, seed, 0.02))
+            .garbage_collector(gc)
+            .control_every(50)
+            .run()
+            .expect("simulation runs");
+        for retained in &report.final_retained {
+            prop_assert!(!retained.is_empty());
+        }
+    }
+}
