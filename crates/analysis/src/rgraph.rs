@@ -49,8 +49,7 @@ impl<'a> RollbackGraph<'a> {
             let (Some(recv_interval), src) = (m.recv_interval, m.src()) else {
                 continue;
             };
-            edges[src.index()][m.send_interval.value()]
-                .push((m.dst, recv_interval.value()));
+            edges[src.index()][m.send_interval.value()].push((m.dst, recv_interval.value()));
         }
         Self {
             ccp,
@@ -87,15 +86,13 @@ impl<'a> RollbackGraph<'a> {
     pub fn undone(&self, faulty: impl IntoIterator<Item = ProcessId>) -> UndoneIntervals {
         // min_undone[i] = lowest undone interval of p_i; the sentinel
         // vol + 1 means "nothing undone".
-        let mut min_undone: Vec<usize> = self
-            .volatile_interval
-            .iter()
-            .map(|&vol| vol + 1)
-            .collect();
+        let mut min_undone: Vec<usize> =
+            self.volatile_interval.iter().map(|&vol| vol + 1).collect();
         let mut work: VecDeque<(ProcessId, usize)> = VecDeque::new();
-        let mark = |p: ProcessId, gamma: usize,
-                        min_undone: &mut Vec<usize>,
-                        work: &mut VecDeque<(ProcessId, usize)>| {
+        let mark = |p: ProcessId,
+                    gamma: usize,
+                    min_undone: &mut Vec<usize>,
+                    work: &mut VecDeque<(ProcessId, usize)>| {
             let cur = min_undone[p.index()];
             if gamma < cur {
                 for g in gamma..cur {
@@ -145,16 +142,14 @@ impl<'a> RollbackGraph<'a> {
     /// radius.
     pub fn render_dot(&self, undone: Option<&UndoneIntervals>) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from(
-            "digraph rollback {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n",
-        );
+        let mut out =
+            String::from("digraph rollback {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
         for p in ProcessId::all(self.n()) {
             let _ = writeln!(out, "  subgraph cluster_{} {{", p.index());
             let _ = writeln!(out, "    label=\"{p}\";");
             let vol = self.volatile_interval[p.index()];
             for gamma in 1..=vol {
-                let is_undone =
-                    undone.is_some_and(|u| u.min_undone(p).is_some_and(|m| gamma >= m));
+                let is_undone = undone.is_some_and(|u| u.min_undone(p).is_some_and(|m| gamma >= m));
                 let style = if is_undone {
                     ", style=filled, fillcolor=salmon"
                 } else {
@@ -293,10 +288,7 @@ mod tests {
         assert!(!undone.rolls_back(p(0)));
         assert_eq!(undone.rolled_back_count(p(1)), 1); // volatile only
         assert_eq!(undone.total_rolled_back(), 1);
-        assert_eq!(
-            undone.surviving_checkpoint(p(1)),
-            CheckpointIndex::ZERO
-        );
+        assert_eq!(undone.surviving_checkpoint(p(1)), CheckpointIndex::ZERO);
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl OccupancyTimeline {
 
     /// The peak retention of one process.
     pub fn process_peak(&self, p: ProcessId) -> usize {
-        self.process_series(p).map(|s| s.retained).max().unwrap_or(0)
+        self.process_series(p)
+            .map(|s| s.retained)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Global occupancy over time: after each sample, the sum of the latest
@@ -108,7 +111,10 @@ impl OccupancyTimeline {
 
     /// The final global occupancy (the steady state the run settled into).
     pub fn final_global(&self) -> usize {
-        self.global_series().last().map(|&(_, t)| t).unwrap_or(self.n)
+        self.global_series()
+            .last()
+            .map(|&(_, t)| t)
+            .unwrap_or(self.n)
     }
 
     /// Time-averaged global occupancy, weighting each observed level by the

@@ -5,7 +5,70 @@ use std::ops::Index;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CheckpointIndex, Error, IntervalIndex, ProcessId, Result};
+use crate::{CheckpointIndex, Error, IntervalIndex, ProcessId, Result, UpdateSet};
+
+/// Vectors covering at most this many processes live entirely inline (no
+/// heap allocation for construction, cloning or merging).
+const INLINE_CAP: usize = 16;
+
+/// Storage for the entries: inline for small systems, heap beyond.
+///
+/// The representation is an implementation detail — equality, hashing and
+/// ordering are defined over the entry slice, and a given vector's
+/// representation is fixed by its length (`n ≤ 16` inline), so the two
+/// variants never compare against each other in practice.
+#[derive(Clone, Serialize, Deserialize)]
+enum Entries {
+    /// Up to [`INLINE_CAP`] entries stored in place.
+    Inline {
+        /// Number of live entries in `buf`.
+        len: u8,
+        /// Entry storage; `buf[len..]` is meaningless padding.
+        buf: [IntervalIndex; INLINE_CAP],
+    },
+    /// Arbitrary-size fallback.
+    Heap(Vec<IntervalIndex>),
+}
+
+impl Entries {
+    fn from_vec(entries: Vec<IntervalIndex>) -> Self {
+        if entries.len() <= INLINE_CAP {
+            let mut buf = [IntervalIndex::ZERO; INLINE_CAP];
+            buf[..entries.len()].copy_from_slice(&entries);
+            Entries::Inline {
+                len: entries.len() as u8,
+                buf,
+            }
+        } else {
+            Entries::Heap(entries)
+        }
+    }
+
+    fn zeros(n: usize) -> Self {
+        if n <= INLINE_CAP {
+            Entries::Inline {
+                len: n as u8,
+                buf: [IntervalIndex::ZERO; INLINE_CAP],
+            }
+        } else {
+            Entries::Heap(vec![IntervalIndex::ZERO; n])
+        }
+    }
+
+    fn as_slice(&self) -> &[IntervalIndex] {
+        match self {
+            Entries::Inline { len, buf } => &buf[..*len as usize],
+            Entries::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [IntervalIndex] {
+        match self {
+            Entries::Inline { len, buf } => &mut buf[..*len as usize],
+            Entries::Heap(v) => v,
+        }
+    }
+}
 
 /// A transitive dependency vector `DV` as maintained by every process of an
 /// RDT checkpointing protocol and piggybacked on every application message.
@@ -26,6 +89,11 @@ use crate::{CheckpointIndex, Error, IntervalIndex, ProcessId, Result};
 /// (`last_k_i(j) = DV(v_i)[j] − 1`) as
 /// [`last_known`](Self::last_known).
 ///
+/// Vectors of systems with `n ≤ 16` processes are stored inline — no heap
+/// allocation on construction, cloning, or merging — because the vector is
+/// the payload of the per-event hot path ([`merge_from`](Self::merge_from)
+/// on every receive, a clone into stable storage on every checkpoint).
+///
 /// # Example
 ///
 /// ```
@@ -37,9 +105,9 @@ use crate::{CheckpointIndex, Error, IntervalIndex, ProcessId, Result};
 /// dv.begin_next_interval(p0); // checkpoint s_0^0 stored
 /// assert_eq!(dv.entry(p0).value(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct DependencyVector {
-    entries: Vec<IntervalIndex>,
+    entries: Entries,
 }
 
 impl DependencyVector {
@@ -51,7 +119,7 @@ impl DependencyVector {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a system needs at least one process");
         Self {
-            entries: vec![IntervalIndex::ZERO; n],
+            entries: Entries::zeros(n),
         }
     }
 
@@ -65,13 +133,13 @@ impl DependencyVector {
     pub fn from_raw(raw: Vec<usize>) -> Self {
         assert!(!raw.is_empty(), "a system needs at least one process");
         Self {
-            entries: raw.into_iter().map(IntervalIndex::new).collect(),
+            entries: Entries::from_vec(raw.into_iter().map(IntervalIndex::new).collect()),
         }
     }
 
     /// The number of processes `n` this vector covers.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.as_slice().len()
     }
 
     /// Always `false`: vectors cover at least one process.
@@ -85,7 +153,7 @@ impl DependencyVector {
     ///
     /// Panics if `p` is out of range for this system size.
     pub fn entry(&self, p: ProcessId) -> IntervalIndex {
-        self.entries[p.index()]
+        self.entries.as_slice()[p.index()]
     }
 
     /// Fallible variant of [`entry`](Self::entry).
@@ -95,6 +163,7 @@ impl DependencyVector {
     /// Returns [`Error::ProcessOutOfRange`] if `p.index() >= n`.
     pub fn try_entry(&self, p: ProcessId) -> Result<IntervalIndex> {
         self.entries
+            .as_slice()
             .get(p.index())
             .copied()
             .ok_or(Error::ProcessOutOfRange {
@@ -106,6 +175,7 @@ impl DependencyVector {
     /// Iterates over `(process, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, IntervalIndex)> + '_ {
         self.entries
+            .as_slice()
             .iter()
             .enumerate()
             .map(|(i, &v)| (ProcessId::new(i), v))
@@ -113,12 +183,12 @@ impl DependencyVector {
 
     /// Raw entries as interval indices, in process order.
     pub fn as_slice(&self) -> &[IntervalIndex] {
-        &self.entries
+        self.entries.as_slice()
     }
 
     /// Raw entries as plain integers, in process order.
     pub fn to_raw(&self) -> Vec<usize> {
-        self.entries.iter().map(|e| e.value()).collect()
+        self.entries.as_slice().iter().map(|e| e.value()).collect()
     }
 
     /// Increments the owner's entry: called by `p_i` immediately after it
@@ -126,7 +196,7 @@ impl DependencyVector {
     ///
     /// Returns the interval the process now executes in.
     pub fn begin_next_interval(&mut self, owner: ProcessId) -> IntervalIndex {
-        let e = &mut self.entries[owner.index()];
+        let e = &mut self.entries.as_mut_slice()[owner.index()];
         *e = e.next();
         *e
     }
@@ -137,30 +207,45 @@ impl DependencyVector {
     ///
     /// Returns the processes whose entries were updated, i.e. those bringing
     /// *new causal information* — exactly the set for which RDT-LGC must
-    /// `release`/`link` (Algorithm 2, lines 4–5).
+    /// `release`/`link` (Algorithm 2, lines 4–5). The [`UpdateSet`] is a
+    /// bitset: reporting allocates nothing for systems of up to 128
+    /// processes.
     ///
     /// # Panics
     ///
     /// Panics if the vectors have different lengths.
-    pub fn merge_from(&mut self, other: &DependencyVector) -> Vec<ProcessId> {
+    pub fn merge_from(&mut self, other: &DependencyVector) -> UpdateSet {
+        let mut updated = UpdateSet::new();
+        self.merge_from_into(other, &mut updated);
+        updated
+    }
+
+    /// [`merge_from`](Self::merge_from) writing the update report into a
+    /// caller-owned set (cleared first). Lets hot loops reuse one
+    /// [`UpdateSet`] across events instead of constructing one per merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn merge_from_into(&mut self, other: &DependencyVector, updated: &mut UpdateSet) {
         assert_eq!(
             self.len(),
             other.len(),
             "dependency vectors must cover the same system"
         );
-        let mut updated = Vec::new();
+        updated.clear();
         for (i, (mine, theirs)) in self
             .entries
+            .as_mut_slice()
             .iter_mut()
-            .zip(other.entries.iter())
+            .zip(other.entries.as_slice())
             .enumerate()
         {
             if theirs > mine {
                 *mine = *theirs;
-                updated.push(ProcessId::new(i));
+                updated.insert(ProcessId::new(i));
             }
         }
-        updated
     }
 
     /// Whether merging `other` would bring new causal information, without
@@ -169,8 +254,9 @@ impl DependencyVector {
     pub fn would_learn_from(&self, other: &DependencyVector) -> bool {
         assert_eq!(self.len(), other.len());
         self.entries
+            .as_slice()
             .iter()
-            .zip(other.entries.iter())
+            .zip(other.entries.as_slice())
             .any(|(mine, theirs)| theirs > mine)
     }
 
@@ -192,23 +278,60 @@ impl DependencyVector {
     /// mutating either operand).
     pub fn join(&self, other: &DependencyVector) -> DependencyVector {
         assert_eq!(self.len(), other.len());
-        DependencyVector {
-            entries: self
-                .entries
-                .iter()
-                .zip(other.entries.iter())
-                .map(|(a, b)| (*a).max(*b))
-                .collect(),
+        let mut joined = self.clone();
+        for (mine, theirs) in joined
+            .entries
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.entries.as_slice())
+        {
+            *mine = (*mine).max(*theirs);
         }
+        joined
     }
 
-    /// Whether `self ≤ other` component-wise (causal-history containment).
-    pub fn le(&self, other: &DependencyVector) -> bool {
+    /// Whether `self ≤ other` component-wise (causal-history containment):
+    /// every causal dependency recorded here is also recorded in `other`.
+    pub fn dominated_by(&self, other: &DependencyVector) -> bool {
         assert_eq!(self.len(), other.len());
         self.entries
+            .as_slice()
             .iter()
-            .zip(other.entries.iter())
+            .zip(other.entries.as_slice())
             .all(|(a, b)| a <= b)
+    }
+
+    /// Deprecated name of [`dominated_by`](Self::dominated_by).
+    ///
+    /// The old name shadowed `PartialOrd::le`, silently changing meaning at
+    /// call sites that imported the trait (`a.le(&b)` resolved to the
+    /// inherent method, not the trait's).
+    #[deprecated(since = "0.1.0", note = "renamed to `dominated_by`")]
+    pub fn le(&self, other: &DependencyVector) -> bool {
+        self.dominated_by(other)
+    }
+}
+
+/// Equality is defined over the entry slice, independent of representation.
+impl PartialEq for DependencyVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.as_slice() == other.entries.as_slice()
+    }
+}
+
+impl Eq for DependencyVector {}
+
+impl std::hash::Hash for DependencyVector {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.entries.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for DependencyVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DependencyVector")
+            .field("entries", &self.entries.as_slice())
+            .finish()
     }
 }
 
@@ -216,14 +339,14 @@ impl Index<ProcessId> for DependencyVector {
     type Output = IntervalIndex;
 
     fn index(&self, p: ProcessId) -> &IntervalIndex {
-        &self.entries[p.index()]
+        &self.entries.as_slice()[p.index()]
     }
 }
 
 impl fmt::Display for DependencyVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, e) in self.entries.iter().enumerate() {
+        for (i, e) in self.entries.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -267,7 +390,7 @@ mod tests {
         let b = DependencyVector::from_raw(vec![1, 3, 5]);
         let updated = a.merge_from(&b);
         assert_eq!(a.to_raw(), vec![2, 3, 5]);
-        assert_eq!(updated, vec![p(1)]);
+        assert_eq!(updated.to_vec(), vec![p(1)]);
     }
 
     #[test]
@@ -312,12 +435,21 @@ mod tests {
     }
 
     #[test]
-    fn le_is_componentwise() {
+    fn dominated_by_is_componentwise() {
         let a = DependencyVector::from_raw(vec![1, 2, 3]);
         let b = DependencyVector::from_raw(vec![1, 3, 3]);
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        assert!(a.dominated_by(&a));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_le_still_works() {
+        let a = DependencyVector::from_raw(vec![1, 2]);
+        let b = DependencyVector::from_raw(vec![2, 2]);
         assert!(a.le(&b));
         assert!(!b.le(&a));
-        assert!(a.le(&a));
     }
 
     #[test]
@@ -334,5 +466,38 @@ mod tests {
             dv.try_entry(p(2)),
             Err(Error::ProcessOutOfRange { n: 2, .. })
         ));
+    }
+
+    #[test]
+    fn large_vectors_spill_to_the_heap_transparently() {
+        let n = INLINE_CAP * 3;
+        let mut big = DependencyVector::new(n);
+        big.begin_next_interval(p(n - 1));
+        assert_eq!(big.entry(p(n - 1)), IntervalIndex::new(1));
+        assert_eq!(big.len(), n);
+        let other =
+            DependencyVector::from_raw((0..n).map(|i| if i == 0 { 7 } else { 0 }).collect());
+        let updated = big.clone().merge_from(&other);
+        assert_eq!(updated.to_vec(), vec![p(0)]);
+        assert!(matches!(big.entries, Entries::Heap(_)));
+    }
+
+    #[test]
+    fn inline_and_heap_boundaries() {
+        let at_cap = DependencyVector::new(INLINE_CAP);
+        assert!(matches!(at_cap.entries, Entries::Inline { .. }));
+        let over = DependencyVector::new(INLINE_CAP + 1);
+        assert!(matches!(over.entries, Entries::Heap(_)));
+        // from_raw picks the same representation per length.
+        let from_raw = DependencyVector::from_raw(vec![0; INLINE_CAP]);
+        assert_eq!(at_cap, from_raw);
+    }
+
+    #[test]
+    fn debug_output_shows_entries() {
+        let dv = DependencyVector::from_raw(vec![1, 2]);
+        let s = format!("{dv:?}");
+        assert!(s.contains("DependencyVector"), "{s}");
+        assert!(s.contains("entries"), "{s}");
     }
 }

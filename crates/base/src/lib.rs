@@ -30,11 +30,12 @@
 //! let s0 = dv0.clone();               // DV stored with checkpoint s_0^0
 //! dv0.begin_next_interval(p0);
 //!
-//! // p0 sends a message to p1; p1 merges the piggybacked vector.
+//! // p0 sends a message to p1; p1 merges the piggybacked vector. The
+//! // update report is an allocation-free bitset.
 //! let mut dv1 = DependencyVector::new(n);
 //! dv1.begin_next_interval(p1);
 //! let updated = dv1.merge_from(&dv0);
-//! assert_eq!(updated, vec![p0]);
+//! assert_eq!(updated.to_vec(), vec![p0]);
 //!
 //! // p1's volatile state now causally depends on checkpoint s_0^0 (Eq. 2).
 //! assert!(dv1.dominates_checkpoint(p0, s0.entry(p0).as_checkpoint()));
@@ -50,9 +51,11 @@ mod error;
 mod ids;
 mod message;
 mod trace;
+mod update_set;
 
 pub use dv::DependencyVector;
 pub use error::{Error, Result};
 pub use ids::{CheckpointId, CheckpointIndex, IntervalIndex, ProcessId};
 pub use message::{Message, MessageId, MessageMeta, Payload};
 pub use trace::TraceEvent;
+pub use update_set::UpdateSet;

@@ -1,6 +1,7 @@
 //! Application messages and their piggybacked control information.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -46,14 +47,21 @@ pub struct MessageMeta {
     pub id: MessageId,
     /// Destination process.
     pub dst: ProcessId,
-    /// The sender's dependency vector at send time (`m.DV`).
-    pub dv: DependencyVector,
+    /// The sender's dependency vector at send time (`m.DV`), shared with
+    /// the sender's interned snapshot: constructing a message does not
+    /// deep-copy the vector.
+    pub dv: Arc<DependencyVector>,
 }
 
 impl MessageMeta {
-    /// Creates message metadata.
-    pub fn new(id: MessageId, dst: ProcessId, dv: DependencyVector) -> Self {
-        Self { id, dst, dv }
+    /// Creates message metadata. Accepts an owned vector (wrapped) or an
+    /// already-interned `Arc` (shared without copying).
+    pub fn new(id: MessageId, dst: ProcessId, dv: impl Into<Arc<DependencyVector>>) -> Self {
+        Self {
+            id,
+            dst,
+            dv: dv.into(),
+        }
     }
 
     /// The sending process.

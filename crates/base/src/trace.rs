@@ -91,7 +91,11 @@ impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceEvent::Checkpoint { process, forced } => {
-                write!(f, "ckpt {process}{}", if *forced { " (forced)" } else { "" })
+                write!(
+                    f,
+                    "ckpt {process}{}",
+                    if *forced { " (forced)" } else { "" }
+                )
             }
             TraceEvent::Send { id, to } => write!(f, "send {id} → {to}"),
             TraceEvent::Deliver { id } => write!(f, "deliver {id}"),

@@ -28,13 +28,13 @@ proptest! {
         let a = DependencyVector::from_raw(a);
         let b = DependencyVector::from_raw(b);
         let j = a.join(&b);
-        prop_assert!(a.le(&j));
-        prop_assert!(b.le(&j));
+        prop_assert!(a.dominated_by(&j));
+        prop_assert!(b.dominated_by(&j));
         // Any common upper bound dominates the join.
         let ub = DependencyVector::from_raw(
             a.to_raw().iter().zip(b.to_raw()).map(|(x, y)| (*x).max(y) + 1).collect(),
         );
-        prop_assert!(j.le(&ub));
+        prop_assert!(j.dominated_by(&ub));
     }
 
     /// `merge_from` makes the receiver equal to the join.
@@ -80,8 +80,8 @@ proptest! {
     fn le_partial_order(a in raw_vec(4), b in raw_vec(4)) {
         let a = DependencyVector::from_raw(a);
         let b = DependencyVector::from_raw(b);
-        prop_assert!(a.le(&a));
-        if a.le(&b) && b.le(&a) {
+        prop_assert!(a.dominated_by(&a));
+        if a.dominated_by(&b) && b.dominated_by(&a) {
             prop_assert_eq!(a, b);
         }
     }

@@ -1,0 +1,75 @@
+//! Equivalence of the bitset-based merge reporting against a reference
+//! implementation: `DependencyVector::merge_from` must report exactly the
+//! same updated set, and produce the same final vector, as the obvious
+//! `Vec<ProcessId>`-collecting merge it replaced — across system sizes
+//! that exercise the inline representation (n ≤ 16), the heap spill, and
+//! the `UpdateSet` high-bit spill (n > 128).
+
+use proptest::prelude::*;
+
+use rdt_base::{DependencyVector, ProcessId, UpdateSet};
+
+/// The pre-optimization reference: componentwise max, updates collected
+/// into a vector in ascending process order.
+fn reference_merge(mine: &mut [usize], theirs: &[usize]) -> Vec<ProcessId> {
+    assert_eq!(mine.len(), theirs.len());
+    let mut updated = Vec::new();
+    for (i, (m, t)) in mine.iter_mut().zip(theirs).enumerate() {
+        if *t > *m {
+            *m = *t;
+            updated.push(ProcessId::new(i));
+        }
+    }
+    updated
+}
+
+fn vec_pair(n: usize) -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (
+        prop::collection::vec(0usize..64, n),
+        prop::collection::vec(0usize..64, n),
+    )
+}
+
+fn check_equivalence(a: Vec<usize>, b: Vec<usize>) {
+    let mut reference = a.clone();
+    let expected_updates = reference_merge(&mut reference, &b);
+
+    let mut dv = DependencyVector::from_raw(a);
+    let other = DependencyVector::from_raw(b);
+    let updated = dv.merge_from(&other);
+
+    assert_eq!(dv.to_raw(), reference, "merged vectors diverged");
+    assert_eq!(updated.to_vec(), expected_updates, "update sets diverged");
+    assert_eq!(updated.len(), expected_updates.len());
+    assert_eq!(updated.is_empty(), expected_updates.is_empty());
+    for p in &expected_updates {
+        assert!(updated.contains(*p));
+    }
+    // The reusable-buffer variant reports identically.
+    let mut dv2 = DependencyVector::from_raw(reference.clone());
+    let mut scratch: UpdateSet = [ProcessId::new(0)].into_iter().collect();
+    dv2.merge_from_into(&other, &mut scratch);
+    assert!(scratch.is_empty(), "re-merge must clear the scratch set");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Inline representation (n ≤ 16).
+    #[test]
+    fn bitset_merge_matches_reference_inline(pair in vec_pair(7)) {
+        check_equivalence(pair.0, pair.1);
+    }
+
+    /// Heap representation, single bitset word (16 < n ≤ 128).
+    #[test]
+    fn bitset_merge_matches_reference_heap(pair in vec_pair(40)) {
+        check_equivalence(pair.0, pair.1);
+    }
+
+    /// Spilled bitset (n > 128).
+    #[test]
+    fn bitset_merge_matches_reference_spill(pair in vec_pair(150)) {
+        check_equivalence(pair.0, pair.1);
+    }
+}

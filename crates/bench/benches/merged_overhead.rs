@@ -2,44 +2,57 @@
 //! dependency-vector propagation both already perform dominates.
 //!
 //! Compares plain FDAS (no collector) against the merged FDAS + RDT-LGC
-//! (Algorithm 4) on identical event streams.
+//! (Algorithm 4) on identical event streams. The piggyback stream is
+//! prebuilt outside the timed region (it models the *peer's* traffic, not
+//! this process's work), and events run through the middleware's pooled
+//! `_into` entry points — the same way the simulator drives it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use rdt_base::{DependencyVector, ProcessId};
 use rdt_core::GcKind;
-use rdt_protocols::{Middleware, Piggyback, ProtocolKind};
+use rdt_protocols::{CheckpointReport, Middleware, Piggyback, ProtocolKind, ReceiveReport};
 
-/// A mixed stream: receive fresh info, occasionally checkpoint.
-fn run_stream(n: usize, events: usize, gc: GcKind) -> usize {
-    let mut mw = Middleware::new(ProcessId::new(0), n, ProtocolKind::Fdas, gc);
+const EVENTS: usize = 512;
+
+/// The peer traffic a mixed stream consumes: one fresh-info piggyback per
+/// non-checkpoint slot.
+fn peer_stream(n: usize) -> Vec<Piggyback> {
     let mut peer_dv = DependencyVector::new(n);
-    for k in 0..events {
-        if k % 7 == 0 {
-            mw.basic_checkpoint().expect("alive");
-        } else {
+    (0..EVENTS)
+        .map(|k| {
             let j = 1 + (k % (n - 1));
             peer_dv.begin_next_interval(ProcessId::new(j));
-            mw.receive_piggyback(&Piggyback {
-                dv: peer_dv.clone(),
-                index: 0,
-            })
-            .expect("alive");
+            Piggyback::new(peer_dv.clone(), 0)
+        })
+        .collect()
+}
+
+/// A mixed stream: receive fresh info, occasionally checkpoint.
+fn run_stream(n: usize, stream: &[Piggyback], gc: GcKind) -> usize {
+    let mut mw = Middleware::new(ProcessId::new(0), n, ProtocolKind::Fdas, gc);
+    let mut receive = ReceiveReport::default();
+    let mut checkpoint = CheckpointReport::default();
+    for (k, pb) in stream.iter().enumerate() {
+        if k % 7 == 0 {
+            mw.basic_checkpoint_into(&mut checkpoint).expect("alive");
+        } else {
+            mw.receive_piggyback_into(pb, &mut receive).expect("alive");
         }
     }
     mw.store().len()
 }
 
 fn bench_merged(c: &mut Criterion) {
-    const EVENTS: usize = 512;
     let mut group = c.benchmark_group("merged_overhead");
     group.throughput(Throughput::Elements(EVENTS as u64));
     for n in [8usize, 64] {
+        let stream = peer_stream(n);
         group.bench_with_input(BenchmarkId::new("fdas_plain", n), &n, |b, &n| {
-            b.iter(|| run_stream(n, EVENTS, GcKind::None));
+            b.iter(|| run_stream(n, &stream, GcKind::None));
         });
         group.bench_with_input(BenchmarkId::new("fdas_with_lgc", n), &n, |b, &n| {
-            b.iter(|| run_stream(n, EVENTS, GcKind::RdtLgc));
+            b.iter(|| run_stream(n, &stream, GcKind::RdtLgc));
         });
     }
     group.finish();

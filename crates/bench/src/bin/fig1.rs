@@ -15,17 +15,30 @@ fn main() {
     println!();
 
     let zz = fig.ccp.zigzag();
-    let g = |i: usize, idx: usize| GeneralCheckpoint::new(ProcessId::new(i), CheckpointIndex::new(idx));
+    let g =
+        |i: usize, idx: usize| GeneralCheckpoint::new(ProcessId::new(i), CheckpointIndex::new(idx));
     let rows = [
-        ("[m1, m2]", zz.is_causal_path(g(0, 0), &[m1, m2], g(2, 2)), "C-path (paper: C-path)"),
-        ("[m1, m4]", zz.is_causal_path(g(0, 0), &[m1, m4], g(2, 2)), "C-path (paper: C-path)"),
+        (
+            "[m1, m2]",
+            zz.is_causal_path(g(0, 0), &[m1, m2], g(2, 2)),
+            "C-path (paper: C-path)",
+        ),
+        (
+            "[m1, m4]",
+            zz.is_causal_path(g(0, 0), &[m1, m4], g(2, 2)),
+            "C-path (paper: C-path)",
+        ),
         (
             "[m5, m4]",
             zz.is_zigzag_path(g(0, 1), &[m5, m4], g(2, 2))
                 && !zz.is_causal_path(g(0, 1), &[m5, m4], g(2, 2)),
             "Z-path, non-causal (paper: Z-path)",
         ),
-        ("[m3]  ", zz.is_causal_path(g(0, 1), &[m3], g(2, 2)), "C-path doubling [m5, m4]"),
+        (
+            "[m3]  ",
+            zz.is_causal_path(g(0, 1), &[m3], g(2, 2)),
+            "C-path doubling [m5, m4]",
+        ),
     ];
     for (path, holds, label) in rows {
         println!("{path}  {}  {label}", if holds { "✓" } else { "✗" });

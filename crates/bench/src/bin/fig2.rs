@@ -26,8 +26,7 @@ fn main() {
         ProtocolKind::Fdi,
         ProtocolKind::Cbr,
     ] {
-        let run = run_script(2, &figure2_script(), protocol, GcKind::RdtLgc)
-            .expect("script runs");
+        let run = run_script(2, &figure2_script(), protocol, GcKind::RdtLgc).expect("script runs");
         let ccp = CcpBuilder::from_trace(2, &run.trace)
             .expect("crash-free trace")
             .build();

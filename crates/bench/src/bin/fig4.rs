@@ -65,7 +65,10 @@ fn main() {
     println!();
     println!(
         "eliminated on the fly: {:?}",
-        eliminated.iter().map(ToString::to_string).collect::<Vec<_>>()
+        eliminated
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
     for mw in &mws {
         println!(
@@ -78,7 +81,9 @@ fn main() {
     // Oracle cross-check of the knowledge gap (rebuild trace faithfully).
     let run = rdt_sim::run_script(n, &figure4_script(), ProtocolKind::Fdas, GcKind::RdtLgc)
         .expect("script runs");
-    let ccp = CcpBuilder::from_trace(n, &run.trace).expect("crash-free").build();
+    let ccp = CcpBuilder::from_trace(n, &run.trace)
+        .expect("crash-free")
+        .build();
     let s21 = CheckpointId::new(ProcessId::new(1), CheckpointIndex::new(1));
     println!();
     println!(

@@ -21,8 +21,13 @@ fn main() {
         "n", "per-proc", "peak/proc", "global", "peak global", "collected"
     );
     for n in 2..=10usize {
-        let run = run_script(n, &figure5_worst_case(n), ProtocolKind::Fdas, GcKind::RdtLgc)
-            .expect("script runs");
+        let run = run_script(
+            n,
+            &figure5_worst_case(n),
+            ProtocolKind::Fdas,
+            GcKind::RdtLgc,
+        )
+        .expect("script runs");
         let per_proc: Vec<usize> = (0..n)
             .map(|i| run.retained(ProcessId::new(i)).len())
             .collect();
@@ -38,11 +43,7 @@ fn main() {
             collected += report.eliminated.len();
             peak_global += mw.store().peak();
         }
-        let peak_proc = processes
-            .iter()
-            .map(|mw| mw.store().peak())
-            .max()
-            .unwrap();
+        let peak_proc = processes.iter().map(|mw| mw.store().peak()).max().unwrap();
         let after: usize = processes.iter().map(|mw| mw.store().len()).sum();
 
         println!(

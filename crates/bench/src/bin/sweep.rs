@@ -4,11 +4,16 @@
 //! ```sh
 //! cargo run --release -p rdt-bench --bin sweep -- \
 //!     n=8 steps=5000 seed=3 protocol=fdas gc=rdt-lgc pattern=ring \
-//!     ckpt=0.3 crash=0.005 loss=0.1 state-size=4096
+//!     ckpt=0.3 crash=0.005 loss=0.1 state-size=4096 runs=32
 //! ```
+//!
+//! With `runs=K` (K > 1) the sweep fans K runs out across all cores, each
+//! with a deterministic seed derived from `seed` — same results at any
+//! worker count — and prints aggregate statistics.
 //!
 //! Unknown keys abort with the list of valid ones.
 
+use rdt_bench::{derive_seed, par_map};
 use rdt_core::GcKind;
 use rdt_protocols::ProtocolKind;
 use rdt_recovery::RecoveryMode;
@@ -29,6 +34,7 @@ struct Args {
     state_size: usize,
     control_every: Option<u64>,
     mode: RecoveryMode,
+    runs: u64,
 }
 
 impl Default for Args {
@@ -46,6 +52,7 @@ impl Default for Args {
             state_size: 0,
             control_every: None,
             mode: RecoveryMode::Coordinated,
+            runs: 1,
         }
     }
 }
@@ -57,7 +64,9 @@ fn parse_protocol(v: &str) -> ProtocolKind {
         "fdi" => ProtocolKind::Fdi,
         "fdas" => ProtocolKind::Fdas,
         "bcs" => ProtocolKind::Bcs,
-        other => die(&format!("unknown protocol '{other}' (no-forced|cbr|fdi|fdas|bcs)")),
+        other => die(&format!(
+            "unknown protocol '{other}' (no-forced|cbr|fdi|fdas|bcs)"
+        )),
     }
 }
 
@@ -115,6 +124,13 @@ fn parse_args() -> Args {
                 args.control_every =
                     Some(value.parse().unwrap_or_else(|_| die("control-every must be an integer")));
             }
+            "runs" => {
+                args.runs = value
+                    .parse()
+                    .ok()
+                    .filter(|&r| r >= 1)
+                    .unwrap_or_else(|| die("runs must be a positive integer"));
+            }
             "mode" => {
                 args.mode = match value {
                     "coordinated" => RecoveryMode::Coordinated,
@@ -123,7 +139,7 @@ fn parse_args() -> Args {
                 }
             }
             other => die(&format!(
-                "unknown key '{other}' (n steps seed protocol gc pattern ckpt crash loss state-size control-every mode)"
+                "unknown key '{other}' (n steps seed protocol gc pattern ckpt crash loss state-size control-every mode runs)"
             )),
         }
     }
@@ -133,13 +149,10 @@ fn parse_args() -> Args {
     args
 }
 
-fn main() {
-    let args = parse_args();
-    println!("{args:#?}");
-
+fn run_one(args: &Args, seed: u64) -> rdt_sim::SimulationReport {
     let spec = WorkloadSpec::uniform_random(args.n, args.steps)
         .with_pattern(args.pattern)
-        .with_seed(args.seed)
+        .with_seed(seed)
         .with_checkpoint_prob(args.ckpt)
         .with_crash_prob(args.crash);
     let config = SimConfig {
@@ -148,13 +161,72 @@ fn main() {
         state_size: args.state_size,
         ..SimConfig::default()
     };
-    let report = SimulationBuilder::new(spec)
+    SimulationBuilder::new(spec)
         .protocol(args.protocol)
         .garbage_collector(args.gc)
         .config(config)
         .recovery_mode(args.mode)
         .run()
-        .expect("simulation runs");
+        .expect("simulation runs")
+}
+
+fn main() {
+    let args = parse_args();
+    println!("{args:#?}");
+
+    if args.runs > 1 {
+        // Fan the derived-seed runs out across every core; aggregate.
+        let seeds: Vec<u64> = (0..args.runs).map(|k| derive_seed(args.seed, k)).collect();
+        let reports = par_map(seeds, |seed| run_one(&args, seed));
+        let k = reports.len() as f64;
+        println!();
+        println!(
+            "aggregate over {} parallel runs (deterministic derived seeds):",
+            args.runs
+        );
+        println!(
+            "checkpoints: {:.1} basic + {:.1} forced, {:.1} collected (per-run mean)",
+            reports
+                .iter()
+                .map(|r| r.metrics.total_basic() as f64)
+                .sum::<f64>()
+                / k,
+            reports
+                .iter()
+                .map(|r| r.metrics.total_forced() as f64)
+                .sum::<f64>()
+                / k,
+            reports
+                .iter()
+                .map(|r| r.metrics.total_collected() as f64)
+                .sum::<f64>()
+                / k,
+        );
+        println!(
+            "retention: avg {:.2} per process, worst max {} (bound n+1 = {})",
+            reports
+                .iter()
+                .map(|r| r.metrics.avg_retained())
+                .sum::<f64>()
+                / k,
+            reports
+                .iter()
+                .map(|r| r.metrics.max_retained_per_process())
+                .max()
+                .unwrap_or(0),
+            args.n + 1
+        );
+        println!(
+            "recovery sessions: {} total across runs",
+            reports
+                .iter()
+                .map(|r| r.recovery_sessions.len())
+                .sum::<usize>()
+        );
+        return;
+    }
+
+    let report = run_one(&args, args.seed);
 
     println!();
     println!("ticks: {}", report.metrics.ticks);
@@ -164,10 +236,7 @@ fn main() {
         report.metrics.total_forced(),
         report.metrics.total_collected()
     );
-    println!(
-        "messages delivered: {}",
-        report.metrics.total_delivered()
-    );
+    println!("messages delivered: {}", report.metrics.total_delivered());
     println!(
         "retention: avg {:.2} / max {} per process (bound n+1 = {})",
         report.metrics.avg_retained(),

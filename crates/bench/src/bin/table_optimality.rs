@@ -43,7 +43,9 @@ fn main() {
                 .run()
                 .expect("simulation runs");
             let trace = report.trace.as_ref().expect("recorded");
-            let ccp = CcpBuilder::from_trace(n, trace).expect("crash-free").build();
+            let ccp = CcpBuilder::from_trace(n, trace)
+                .expect("crash-free")
+                .build();
             let obsolete = ccp.obsolete_set();
             let identifiable = ccp.causally_identifiable_obsolete_set();
 

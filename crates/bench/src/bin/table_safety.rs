@@ -8,7 +8,7 @@
 //! holds — shrink the horizon or slow the channel and it collects
 //! checkpoints future recovery lines still need.
 
-use rdt_bench::header;
+use rdt_bench::{header, par_sweep};
 use rdt_ccp::collection_safety_violations;
 use rdt_core::GcKind;
 use rdt_protocols::ProtocolKind;
@@ -22,7 +22,7 @@ fn main() {
     header(
         "table_safety (S6)",
         "GC safety violations vs the Theorem-1 oracle (audited per elimination)",
-        &format!("n = {n}, {steps} ops, ckpt prob 0.15, {seeds} seeds, FDAS"),
+        &format!("n = {n}, {steps} ops, ckpt prob 0.15, {seeds} derived seeds, FDAS"),
     );
     println!(
         "{:<18} {:<12} {:>10} {:>12} {:>12}",
@@ -47,32 +47,42 @@ fn main() {
         GcKind::TimeBased { horizon: 60 },
     ];
 
+    let cells: Vec<(GcKind, &str, ChannelConfig)> = collectors
+        .iter()
+        .flat_map(|&gc| channels.map(|(label, channel)| (gc, label, channel)))
+        .collect();
+    let measured = par_sweep(cells, seeds, 0, |&(gc, _, channel), seed| {
+        let spec = WorkloadSpec::uniform_random(n, steps)
+            .with_seed(seed)
+            .with_checkpoint_prob(0.15);
+        let config = SimConfig {
+            channel,
+            ..SimConfig::default()
+        };
+        let report = SimulationBuilder::new(spec)
+            .protocol(ProtocolKind::Fdas)
+            .garbage_collector(gc)
+            .config(config)
+            .record_trace()
+            .run()
+            .expect("simulation runs");
+        let violations = collection_safety_violations(n, &report.trace.unwrap())
+            .expect("crash-free trace replays")
+            .len();
+        (
+            report.metrics.total_collected(),
+            violations,
+            report.metrics.avg_retained(),
+        )
+    });
+    let mut grid = measured.into_iter();
+
     for gc in collectors {
-        for (label, channel) in channels {
-            let mut collected = 0usize;
-            let mut violations = 0usize;
-            let mut avg_stored = 0.0;
-            for seed in 0..seeds {
-                let spec = WorkloadSpec::uniform_random(n, steps)
-                    .with_seed(seed)
-                    .with_checkpoint_prob(0.15);
-                let config = SimConfig {
-                    channel,
-                    ..SimConfig::default()
-                };
-                let report = SimulationBuilder::new(spec)
-                    .protocol(ProtocolKind::Fdas)
-                    .garbage_collector(gc)
-                    .config(config)
-                    .record_trace()
-                    .run()
-                    .expect("simulation runs");
-                collected += report.metrics.total_collected();
-                avg_stored += report.metrics.avg_retained();
-                violations += collection_safety_violations(n, &report.trace.unwrap())
-                    .expect("crash-free trace replays")
-                    .len();
-            }
+        for (label, _channel) in channels {
+            let runs = grid.next().expect("grid covers every cell");
+            let collected: usize = runs.iter().map(|r| r.0).sum();
+            let violations: usize = runs.iter().map(|r| r.1).sum();
+            let avg_stored: f64 = runs.iter().map(|r| r.2).sum();
             println!(
                 "{:<18} {:<12} {:>10} {:>12} {:>12.2}",
                 gc.to_string(),

@@ -1,54 +1,84 @@
 //! Synthetic Table S1 — the practical evaluation the paper proposes as
 //! future work (Section 6): uncollected-checkpoint storage by collector,
 //! across system sizes and communication patterns.
+//!
+//! The `pattern × n × collector × seed` grid fans out across cores through
+//! the parallel sweep driver; per-run seeds are deterministic, so the
+//! printed table is identical at any worker count.
 
-use rdt_bench::{header, rule};
+use rdt_bench::{header, par_sweep, parallel::mean, rule};
 use rdt_core::GcKind;
 use rdt_protocols::ProtocolKind;
 use rdt_sim::SimulationBuilder;
 use rdt_workloads::{Pattern, WorkloadSpec};
 
+struct Cell {
+    pattern: Pattern,
+    n: usize,
+    gc: GcKind,
+}
+
+struct Measured {
+    avg: f64,
+    max: f64,
+    collected: f64,
+}
+
 fn main() {
     let steps = 4_000;
-    let seeds = [1u64, 2, 3];
+    let seeds = 3u64;
     header(
         "table_storage (S1)",
         "storage overhead by collector × pattern × n",
-        &format!("{steps} ops per run, mean over seeds {seeds:?}, FDAS, ckpt prob 0.3"),
+        &format!("{steps} ops per run, mean over {seeds} derived seeds, FDAS, ckpt prob 0.3"),
     );
     println!(
         "{:<8} {:>3}  {:<20} {:>9} {:>9} {:>10}",
         "pattern", "n", "collector", "avg/proc", "max/proc", "collected"
     );
 
-    for pattern in [
+    let patterns = [
         Pattern::UniformRandom,
         Pattern::Ring,
         Pattern::ClientServer { servers: 2 },
         Pattern::TokenRing,
-    ] {
+    ];
+    let mut cells = Vec::new();
+    for pattern in patterns {
         for n in [4usize, 8, 16] {
             for gc in GcKind::ALL {
-                let mut avgs = Vec::new();
-                let mut maxs = Vec::new();
-                let mut collected = Vec::new();
-                for &seed in &seeds {
-                    let spec = WorkloadSpec::uniform_random(n, steps)
-                        .with_pattern(pattern)
-                        .with_seed(seed)
-                        .with_checkpoint_prob(0.3);
-                    let mut b = SimulationBuilder::new(spec)
-                        .protocol(ProtocolKind::Fdas)
-                        .garbage_collector(gc);
-                    if gc.needs_control_messages() {
-                        b = b.control_every(1_000);
-                    }
-                    let report = b.run().expect("simulation runs");
-                    avgs.push(report.metrics.avg_retained());
-                    maxs.push(report.metrics.max_retained_per_process() as f64);
-                    collected.push(report.metrics.total_collected() as f64);
-                }
-                let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+                cells.push(Cell { pattern, n, gc });
+            }
+        }
+    }
+
+    let results = par_sweep(cells, seeds, 1, |cell, seed| {
+        let spec = WorkloadSpec::uniform_random(cell.n, steps)
+            .with_pattern(cell.pattern)
+            .with_seed(seed)
+            .with_checkpoint_prob(0.3);
+        let mut b = SimulationBuilder::new(spec)
+            .protocol(ProtocolKind::Fdas)
+            .garbage_collector(cell.gc);
+        if cell.gc.needs_control_messages() {
+            b = b.control_every(1_000);
+        }
+        let report = b.run().expect("simulation runs");
+        Measured {
+            avg: report.metrics.avg_retained(),
+            max: report.metrics.max_retained_per_process() as f64,
+            collected: report.metrics.total_collected() as f64,
+        }
+    });
+
+    let mut rows = results.iter();
+    for pattern in patterns {
+        for n in [4usize, 8, 16] {
+            for gc in GcKind::ALL {
+                let runs = rows.next().expect("grid covers every cell");
+                let avgs: Vec<f64> = runs.iter().map(|m| m.avg).collect();
+                let maxs: Vec<f64> = runs.iter().map(|m| m.max).collect();
+                let collected: Vec<f64> = runs.iter().map(|m| m.collected).collect();
                 println!(
                     "{:<8} {:>3}  {:<20} {:>9.2} {:>9.1} {:>10.0}",
                     pattern.to_string(),

@@ -21,6 +21,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod parallel;
+
+pub use parallel::{derive_seed, par_map, par_sweep};
+
 /// Prints a horizontal rule sized for the standard table width.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -42,8 +46,7 @@ pub fn mean_pm(values: &[f64]) -> String {
         return "-".to_string();
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var =
-        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
     format!("{mean:.2}±{:.2}", var.sqrt())
 }
 

@@ -43,10 +43,7 @@ use crate::builder::CcpBuilder;
 /// assert!(violations.is_empty());
 /// # Ok::<(), rdt_base::Error>(())
 /// ```
-pub fn collection_safety_violations(
-    n: usize,
-    trace: &[TraceEvent],
-) -> Result<Vec<CheckpointId>> {
+pub fn collection_safety_violations(n: usize, trace: &[TraceEvent]) -> Result<Vec<CheckpointId>> {
     let mut b = CcpBuilder::new(n);
     let mut violations = Vec::new();
     for ev in trace {
@@ -89,9 +86,7 @@ mod tests {
     #[test]
     fn collecting_a_superseded_lone_checkpoint_is_safe() {
         let trace = vec![ckpt(0), collect(0, 0)];
-        assert!(collection_safety_violations(2, &trace)
-            .unwrap()
-            .is_empty());
+        assert!(collection_safety_violations(2, &trace).unwrap().is_empty());
     }
 
     #[test]

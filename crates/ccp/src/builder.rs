@@ -139,7 +139,10 @@ impl CcpBuilder {
         if self.dropped.contains(&id) {
             return Err(Error::DuplicateDelivery(id));
         }
-        let record = self.messages.get_mut(&id).ok_or(Error::UnknownMessage(id))?;
+        let record = self
+            .messages
+            .get_mut(&id)
+            .ok_or(Error::UnknownMessage(id))?;
         if record.delivered() {
             return Err(Error::DuplicateDelivery(id));
         }
@@ -289,10 +292,7 @@ mod tests {
         let mut b = CcpBuilder::new(2);
         let m = b.send(p(0), p(1));
         b.deliver(m);
-        assert!(matches!(
-            b.try_deliver(m),
-            Err(Error::DuplicateDelivery(_))
-        ));
+        assert!(matches!(b.try_deliver(m), Err(Error::DuplicateDelivery(_))));
     }
 
     #[test]

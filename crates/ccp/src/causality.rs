@@ -86,10 +86,7 @@ mod tests {
         let ccp = chain();
         // s_1^1 → s_2^1 → v_3 (volatile of p3 is index 1).
         assert!(ccp.precedes(g(0, 1), ccp.volatile(p(2))));
-        assert!(ccp.precedes_volatile(
-            CheckpointId::new(p(0), CheckpointIndex::new(1)),
-            p(2)
-        ));
+        assert!(ccp.precedes_volatile(CheckpointId::new(p(0), CheckpointIndex::new(1)), p(2)));
     }
 
     #[test]

@@ -76,14 +76,14 @@ pub fn figure2() -> Figure2 {
     // m1: p2 → p1, received before s_1^1.
     let m1 = b.message(p2, p1);
     b.checkpoint(p1); // s_1^1
-    // m2: p1 → p2 sent after s_1^1, received in the same interval m1 was
-    // sent in ⇒ [m2, m1] is a Z-path from s_1^1 to s_1^1.
+                      // m2: p1 → p2 sent after s_1^1, received in the same interval m1 was
+                      // sent in ⇒ [m2, m1] is a Z-path from s_1^1 to s_1^1.
     let m2 = b.message(p1, p2);
     b.checkpoint(p2); // s_2^1
-    // m3: p2 → p1 sent after s_2^1, received before s_1^2.
+                      // m3: p2 → p1 sent after s_2^1, received before s_1^2.
     let m3 = b.message(p2, p1);
     b.checkpoint(p1); // s_1^2
-    // m4: p1 → p2 sent after s_1^2 ⇒ [m4, m3] cycles s_1^2 and s_2^1.
+                      // m4: p1 → p2 sent after s_1^2 ⇒ [m4, m3] cycles s_1^2 and s_2^1.
     let m4 = b.message(p1, p2);
     Figure2 {
         ccp: b.build(),
@@ -303,7 +303,8 @@ mod tests {
         let fig = figure3();
         let p3 = ProcessId::new(2);
         let slast3 = GeneralCheckpoint::new(p3, fig.ccp.last_stable(p3));
-        let slast2 = GeneralCheckpoint::new(ProcessId::new(1), fig.ccp.last_stable(ProcessId::new(1)));
+        let slast2 =
+            GeneralCheckpoint::new(ProcessId::new(1), fig.ccp.last_stable(ProcessId::new(1)));
         assert!(fig.ccp.precedes(slast2, slast3));
         let rl = fig.ccp.recovery_line(&fig.faulty);
         assert_ne!(rl.component(p3), slast3);

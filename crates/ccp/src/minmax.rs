@@ -124,7 +124,10 @@ mod tests {
 
     /// Brute force: enumerate all consistent global checkpoints containing
     /// the targets; return (min-by-sum, max-by-sum).
-    fn brute(ccp: &Ccp, targets: &[GeneralCheckpoint]) -> Option<(GlobalCheckpoint, GlobalCheckpoint)> {
+    fn brute(
+        ccp: &Ccp,
+        targets: &[GeneralCheckpoint],
+    ) -> Option<(GlobalCheckpoint, GlobalCheckpoint)> {
         let ceilings: Vec<usize> = ccp
             .processes()
             .map(|q| ccp.volatile(q).index.value())
@@ -133,9 +136,7 @@ mod tests {
         let mut idx = vec![0usize; ccp.n()];
         'outer: loop {
             let gc = GlobalCheckpoint::from_raw(idx.clone());
-            let contains = targets
-                .iter()
-                .all(|t| gc.component(t.process) == *t);
+            let contains = targets.iter().all(|t| gc.component(t.process) == *t);
             if contains && ccp.is_consistent_global(&gc) {
                 all.push(gc);
             }
@@ -163,8 +164,16 @@ mod tests {
         assert!(ccp.is_rdt());
         for target in [g(0, 1), g(1, 1), g(2, 1), g(1, 0)] {
             let (bmin, bmax) = brute(&ccp, &[target]).expect("target is consistent");
-            assert_eq!(ccp.min_consistent_containing(&[target]), Some(bmin), "{target:?}");
-            assert_eq!(ccp.max_consistent_containing(&[target]), Some(bmax), "{target:?}");
+            assert_eq!(
+                ccp.min_consistent_containing(&[target]),
+                Some(bmin),
+                "{target:?}"
+            );
+            assert_eq!(
+                ccp.max_consistent_containing(&[target]),
+                Some(bmax),
+                "{target:?}"
+            );
         }
     }
 
@@ -203,9 +212,7 @@ mod tests {
     #[test]
     fn conflicting_targets_on_same_process_yield_none() {
         let ccp = chain();
-        assert!(ccp
-            .min_consistent_containing(&[g(0, 0), g(0, 1)])
-            .is_none());
+        assert!(ccp.min_consistent_containing(&[g(0, 0), g(0, 1)]).is_none());
     }
 
     #[test]

@@ -26,9 +26,9 @@ impl Ccp {
             "{s} is not a stable checkpoint of this CCP"
         );
         let next = GeneralCheckpoint::new(s.process, s.index.next());
-        !self.processes().any(|f| {
-            self.last_stable_precedes(f, next) && !self.last_stable_precedes(f, g)
-        })
+        !self
+            .processes()
+            .any(|f| self.last_stable_precedes(f, next) && !self.last_stable_precedes(f, g))
     }
 
     /// **Theorem 2** — the causal-knowledge-only sufficient condition:

@@ -143,9 +143,8 @@ impl ZigzagAnalysis {
         link_ok: impl Fn(&MessageRecord, &MessageRecord) -> bool,
     ) -> Option<Vec<MessageId>> {
         let m = self.msgs.len();
-        let is_start = |r: &MessageRecord| {
-            r.src() == a.process && r.send_interval.value() > a.index.value()
-        };
+        let is_start =
+            |r: &MessageRecord| r.src() == a.process && r.send_interval.value() > a.index.value();
         let is_end = |r: &MessageRecord| {
             r.dst == b.process && r.recv_interval.expect("delivered").value() <= b.index.value()
         };

@@ -49,7 +49,8 @@ impl Ccp {
     /// `cargo run -p rdt-bench --bin fig1 | …` or pipe the output of this
     /// method through `dot -Tsvg`.
     pub fn render_dot(&self) -> String {
-        let mut out = String::from("digraph ccp {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+        let mut out =
+            String::from("digraph ccp {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
         let obsolete = self.obsolete_set();
         for p in self.processes() {
             let _ = writeln!(out, "  subgraph cluster_{} {{", p.index());
@@ -63,14 +64,23 @@ impl Ccp {
                 } else {
                     ""
                 };
-                let _ = writeln!(out, "    {name} [label=\"s{}^{}\"{style}];", p.index() + 1, g);
+                let _ = writeln!(
+                    out,
+                    "    {name} [label=\"s{}^{}\"{style}];",
+                    p.index() + 1,
+                    g
+                );
                 if let Some(prev) = prev {
                     let _ = writeln!(out, "    {prev} -> {name} [style=dotted];");
                 }
                 prev = Some(name);
             }
             let vol = format!("v{}", p.index());
-            let _ = writeln!(out, "    {vol} [label=\"v{}\", shape=ellipse];", p.index() + 1);
+            let _ = writeln!(
+                out,
+                "    {vol} [label=\"v{}\", shape=ellipse];",
+                p.index() + 1
+            );
             if let Some(prev) = prev {
                 let _ = writeln!(out, "    {prev} -> {vol} [style=dotted];");
             }
@@ -79,7 +89,11 @@ impl Ccp {
         for m in self.messages().filter(|m| m.delivered()) {
             // Attach edges between the interval-opening checkpoints.
             let src_ck = m.send_interval.value().saturating_sub(1);
-            let dst_ck = m.recv_interval.expect("delivered").value().saturating_sub(1);
+            let dst_ck = m
+                .recv_interval
+                .expect("delivered")
+                .value()
+                .saturating_sub(1);
             let _ = writeln!(
                 out,
                 "  c{}_{} -> c{}_{} [label=\"{}#{}\", color=blue];",
@@ -147,6 +161,9 @@ mod tests {
         b.deliver(m);
         b.send(ProcessId::new(0), ProcessId::new(2));
         let s = b.build().summary();
-        assert_eq!(s, "3 processes, 3 stable checkpoints, 2 messages (1 delivered)");
+        assert_eq!(
+            s,
+            "3 processes, 3 stable checkpoints, 2 messages (1 delivered)"
+        );
     }
 }

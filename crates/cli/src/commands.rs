@@ -1,12 +1,11 @@
 //! The `simulate`, `analyze` and `audit` subcommands.
 
-use serde::Serialize;
-
 use rdt_analysis::{worst_single_failure, CcpStats, OccupancyTimeline};
 use rdt_base::ProcessId;
 use rdt_ccp::{collection_safety_violations, CcpBuilder};
 use rdt_sim::{SimulationBuilder, SimulationReport};
 
+use crate::json::Json;
 use crate::opts::RunOpts;
 
 /// Runs the simulator once with the given options.
@@ -32,7 +31,7 @@ fn run_with(
     builder.run().map_err(|e| format!("simulation failed: {e}"))
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct SimulateSummary {
     n: usize,
     steps: usize,
@@ -50,17 +49,67 @@ struct SimulateSummary {
     peak_global_retained: usize,
     avg_retained: f64,
     per_process_retained: Vec<usize>,
-    #[serde(skip_serializing_if = "Option::is_none")]
     occupancy: Option<OccupancySummary>,
 }
 
-#[derive(Debug, Serialize)]
+impl SimulateSummary {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("n", Json::UInt(self.n as u64))
+            .field("steps", Json::UInt(self.steps as u64))
+            .field("protocol", Json::Str(self.protocol.clone()))
+            .field("gc", Json::Str(self.gc.clone()))
+            .field("ticks", Json::UInt(self.ticks))
+            .field("delivered", Json::UInt(self.delivered))
+            .field("lost", Json::UInt(self.lost))
+            .field("basic_checkpoints", Json::UInt(self.basic_checkpoints))
+            .field("forced_checkpoints", Json::UInt(self.forced_checkpoints))
+            .field("collected", Json::UInt(self.collected as u64))
+            .field("recovery_sessions", Json::UInt(self.recovery_sessions))
+            .field("rolled_back", Json::UInt(self.rolled_back))
+            .field("max_retained", Json::UInt(self.max_retained as u64))
+            .field(
+                "peak_global_retained",
+                Json::UInt(self.peak_global_retained as u64),
+            )
+            .field("avg_retained", Json::Float(self.avg_retained))
+            .field(
+                "per_process_retained",
+                Json::uints(self.per_process_retained.iter().copied()),
+            )
+            .maybe(
+                "occupancy",
+                self.occupancy.as_ref().map(OccupancySummary::to_json),
+            )
+            .build()
+    }
+}
+
+#[derive(Debug)]
 struct OccupancySummary {
     global_peak: usize,
     global_peak_at: u64,
     time_averaged_global: f64,
     final_global: usize,
     per_process_peak: Vec<usize>,
+}
+
+impl OccupancySummary {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("global_peak", Json::UInt(self.global_peak as u64))
+            .field("global_peak_at", Json::UInt(self.global_peak_at))
+            .field(
+                "time_averaged_global",
+                Json::Float(self.time_averaged_global),
+            )
+            .field("final_global", Json::UInt(self.final_global as u64))
+            .field(
+                "per_process_peak",
+                Json::uints(self.per_process_peak.iter().copied()),
+            )
+            .build()
+    }
 }
 
 /// `rdt simulate` — run a workload and report the storage metrics.
@@ -100,10 +149,13 @@ pub fn simulate(opts: &RunOpts, occupancy: bool) -> Result<(), String> {
         occupancy,
     };
     if opts.json {
-        println!("{}", to_json(&summary)?);
+        println!("{}", summary.to_json().pretty());
         return Ok(());
     }
-    println!("simulated {} ops on {} processes over {} ticks", summary.steps, summary.n, summary.ticks);
+    println!(
+        "simulated {} ops on {} processes over {} ticks",
+        summary.steps, summary.n, summary.ticks
+    );
     println!("protocol {}  gc {}", summary.protocol, summary.gc);
     println!(
         "messages: {} delivered, {} lost",
@@ -123,7 +175,10 @@ pub fn simulate(opts: &RunOpts, occupancy: bool) -> Result<(), String> {
         "retention: max {} on one process (peak global {}), time-averaged {:.2}",
         summary.max_retained, summary.peak_global_retained, summary.avg_retained
     );
-    println!("final per-process occupancy: {:?}", summary.per_process_retained);
+    println!(
+        "final per-process occupancy: {:?}",
+        summary.per_process_retained
+    );
     if let Some(occ) = &summary.occupancy {
         println!(
             "timeline: global peak {} at tick {}, time-averaged {:.2}, final {}",
@@ -134,7 +189,7 @@ pub fn simulate(opts: &RunOpts, occupancy: bool) -> Result<(), String> {
     Ok(())
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct AnalyzeSummary {
     rdt: bool,
     stable_checkpoints: usize,
@@ -149,6 +204,41 @@ struct AnalyzeSummary {
     worst_failure_process: Option<String>,
     worst_failure_rolled_back: Option<usize>,
     worst_failure_reaches_initial: Option<bool>,
+}
+
+impl AnalyzeSummary {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("rdt", Json::Bool(self.rdt))
+            .field(
+                "stable_checkpoints",
+                Json::UInt(self.stable_checkpoints as u64),
+            )
+            .field("delivered", Json::UInt(self.delivered as u64))
+            .field("causal_density", Json::Float(self.causal_density))
+            .field("zigzag_density", Json::Float(self.zigzag_density))
+            .field("doubling_ratio", Json::Float(self.doubling_ratio))
+            .field("useless", Json::UInt(self.useless as u64))
+            .field("obsolete", Json::UInt(self.obsolete as u64))
+            .field(
+                "causally_identifiable_obsolete",
+                Json::UInt(self.causally_identifiable_obsolete as u64),
+            )
+            .field("optimality_gap", Json::UInt(self.optimality_gap as u64))
+            .maybe(
+                "worst_failure_process",
+                self.worst_failure_process.clone().map(Json::Str),
+            )
+            .maybe(
+                "worst_failure_rolled_back",
+                self.worst_failure_rolled_back.map(|v| Json::UInt(v as u64)),
+            )
+            .maybe(
+                "worst_failure_reaches_initial",
+                self.worst_failure_reaches_initial.map(Json::Bool),
+            )
+            .build()
+    }
 }
 
 /// `rdt analyze` — run crash-free, replay the trace into a CCP and report
@@ -170,7 +260,10 @@ pub fn analyze(opts: &RunOpts, dot: Option<&str>) -> Result<(), String> {
             return Ok(());
         }
         Some("rgraph") => {
-            print!("{}", rdt_analysis::RollbackGraph::new(&ccp).render_dot(None));
+            print!(
+                "{}",
+                rdt_analysis::RollbackGraph::new(&ccp).render_dot(None)
+            );
             return Ok(());
         }
         Some(other) => return Err(format!("--dot takes 'ccp' or 'rgraph', not '{other}'")),
@@ -194,7 +287,7 @@ pub fn analyze(opts: &RunOpts, dot: Option<&str>) -> Result<(), String> {
         worst_failure_reaches_initial: worst.as_ref().map(|w| w.reached_initial),
     };
     if opts.json {
-        println!("{}", to_json(&summary)?);
+        println!("{}", summary.to_json().pretty());
         return Ok(());
     }
     println!("pattern: {stats}");
@@ -212,17 +305,34 @@ pub fn analyze(opts: &RunOpts, dot: Option<&str>) -> Result<(), String> {
             w.faulty[0],
             w.total(),
             w.affected_processes(),
-            if w.reached_initial { " — DOMINO to the initial state" } else { "" }
+            if w.reached_initial {
+                " — DOMINO to the initial state"
+            } else {
+                ""
+            }
         );
     }
     Ok(())
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct AuditSummary {
     collector: String,
     collected: usize,
     violations: Vec<String>,
+}
+
+impl AuditSummary {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("collector", Json::Str(self.collector.clone()))
+            .field("collected", Json::UInt(self.collected as u64))
+            .field(
+                "violations",
+                Json::Arr(self.violations.iter().cloned().map(Json::Str).collect()),
+            )
+            .build()
+    }
 }
 
 /// `rdt audit` — run crash-free and check every garbage-collection event
@@ -241,7 +351,7 @@ pub fn audit(opts: &RunOpts) -> Result<(), String> {
         violations: violations.iter().map(|c| c.to_string()).collect(),
     };
     if opts.json {
-        println!("{}", to_json(&summary)?);
+        println!("{}", summary.to_json().pretty());
     } else {
         println!(
             "{}: {} checkpoints collected, {} safety violations",
@@ -274,7 +384,7 @@ pub fn line(opts: &RunOpts) -> Result<(), String> {
     let ccp = CcpBuilder::from_trace(opts.spec.n, &trace)
         .map_err(|e| format!("trace replay failed: {e}"))?
         .build();
-    #[derive(Debug, Serialize)]
+    #[derive(Debug)]
     struct Line {
         faulty: String,
         line: Vec<usize>,
@@ -294,7 +404,19 @@ pub fn line(opts: &RunOpts) -> Result<(), String> {
         })
         .collect();
     if opts.json {
-        println!("{}", to_json(&lines)?);
+        let doc = Json::Arr(
+            lines
+                .iter()
+                .map(|l| {
+                    Json::obj()
+                        .field("faulty", Json::Str(l.faulty.clone()))
+                        .field("line", Json::uints(l.line.iter().copied()))
+                        .field("rolled_back", Json::UInt(l.rolled_back as u64))
+                        .build()
+                })
+                .collect(),
+        );
+        println!("{}", doc.pretty());
     } else {
         for l in &lines {
             println!(
@@ -304,8 +426,4 @@ pub fn line(opts: &RunOpts) -> Result<(), String> {
         }
     }
     Ok(())
-}
-
-fn to_json<T: Serialize>(value: &T) -> Result<String, String> {
-    serde_json::to_string_pretty(value).map_err(|e| e.to_string())
 }

@@ -1,0 +1,178 @@
+//! Minimal JSON emission for the `--json` output mode.
+//!
+//! The build environment has no crates registry, so instead of
+//! `serde_json` the subcommands construct [`Json`] values explicitly and
+//! pretty-print them here. The emitted documents are plain JSON (RFC 8259)
+//! and stable across runs for identical reports.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (covers every counter the CLI reports).
+    UInt(u64),
+    /// A floating-point number, emitted with three decimals.
+    Float(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Object builder preserving field order.
+    pub fn obj() -> ObjBuilder {
+        ObjBuilder(Vec::new())
+    }
+
+    /// Array of unsigned integers.
+    pub fn uints<I: IntoIterator<Item = usize>>(values: I) -> Json {
+        Json::Arr(values.into_iter().map(|v| Json::UInt(v as u64)).collect())
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing-newline-free
+    /// body, matching `serde_json::to_string_pretty` conventions.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.3}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Builder returned by [`Json::obj`].
+pub struct ObjBuilder(Vec<(&'static str, Json)>);
+
+impl ObjBuilder {
+    /// Appends a field.
+    pub fn field(mut self, key: &'static str, value: Json) -> Self {
+        self.0.push((key, value));
+        self
+    }
+
+    /// Appends a field only when `value` is `Some`.
+    pub fn maybe(mut self, key: &'static str, value: Option<Json>) -> Self {
+        if let Some(value) = value {
+            self.0.push((key, value));
+        }
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Json {
+        Json::Obj(self.0)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_pretty_output() {
+        let doc = Json::obj()
+            .field("n", Json::UInt(4))
+            .field("name", Json::Str("a\"b".into()))
+            .field("xs", Json::uints([1, 2]))
+            .maybe("absent", None)
+            .maybe("present", Some(Json::Bool(true)))
+            .build();
+        let text = doc.pretty();
+        assert!(text.contains("\"n\": 4"));
+        assert!(text.contains("\\\"b\""));
+        assert!(!text.contains("absent"));
+        assert!(text.contains("\"present\": true"));
+        assert!(text.starts_with("{\n") && text.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_containers_render_compact() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+}

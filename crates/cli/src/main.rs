@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 mod commands;
+mod json;
 mod opts;
 
 use clap::Command;

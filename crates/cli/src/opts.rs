@@ -88,47 +88,87 @@ pub fn parse_gc(s: &str) -> Result<GcKind, String> {
 
 /// Attaches the shared workload/simulation arguments to a subcommand.
 pub fn with_common_args(cmd: Command) -> Command {
-    cmd.arg(arg_with_default("processes", 'n', "number of processes", "4"))
-        .arg(arg_with_default("steps", 's', "application operations", "500"))
-        .arg(arg_with_default("seed", 'S', "workload seed", "0"))
-        .arg(arg_with_default(
-            "pattern",
-            'p',
-            "traffic pattern (uniform, ring, token-ring, client-server:<k>, bursty:<k>)",
-            "uniform",
-        ))
-        .arg(arg_with_default("protocol", 'P', "checkpointing protocol", "fdas"))
-        .arg(arg_with_default(
-            "gc",
-            'g',
-            "garbage collector (rdt-lgc, none, simple, wang, time:<horizon>)",
-            "rdt-lgc",
-        ))
-        .arg(arg_with_default(
-            "checkpoint-prob",
-            'c',
-            "per-op basic checkpoint probability",
-            "0.2",
-        ))
-        .arg(arg_with_default("crash-prob", 'x', "per-op crash probability", "0.0"))
-        .arg(arg_with_default("loss", 'l', "message loss probability", "0.0"))
-        .arg(arg_with_default("min-delay", 'd', "minimum message delay (ticks)", "1"))
-        .arg(arg_with_default("max-delay", 'D', "maximum message delay (ticks)", "20"))
-        .arg(
-            Arg::new("control-every")
-                .long("control-every")
-                .help("coordinator control round period, in ticks (coordinated collectors)")
-                .value_name("TICKS"),
-        )
-        .arg(
-            Arg::new("json")
-                .long("json")
-                .help("emit machine-readable JSON instead of tables")
-                .action(clap::ArgAction::SetTrue),
-        )
+    cmd.arg(arg_with_default(
+        "processes",
+        'n',
+        "number of processes",
+        "4",
+    ))
+    .arg(arg_with_default(
+        "steps",
+        's',
+        "application operations",
+        "500",
+    ))
+    .arg(arg_with_default("seed", 'S', "workload seed", "0"))
+    .arg(arg_with_default(
+        "pattern",
+        'p',
+        "traffic pattern (uniform, ring, token-ring, client-server:<k>, bursty:<k>)",
+        "uniform",
+    ))
+    .arg(arg_with_default(
+        "protocol",
+        'P',
+        "checkpointing protocol",
+        "fdas",
+    ))
+    .arg(arg_with_default(
+        "gc",
+        'g',
+        "garbage collector (rdt-lgc, none, simple, wang, time:<horizon>)",
+        "rdt-lgc",
+    ))
+    .arg(arg_with_default(
+        "checkpoint-prob",
+        'c',
+        "per-op basic checkpoint probability",
+        "0.2",
+    ))
+    .arg(arg_with_default(
+        "crash-prob",
+        'x',
+        "per-op crash probability",
+        "0.0",
+    ))
+    .arg(arg_with_default(
+        "loss",
+        'l',
+        "message loss probability",
+        "0.0",
+    ))
+    .arg(arg_with_default(
+        "min-delay",
+        'd',
+        "minimum message delay (ticks)",
+        "1",
+    ))
+    .arg(arg_with_default(
+        "max-delay",
+        'D',
+        "maximum message delay (ticks)",
+        "20",
+    ))
+    .arg(
+        Arg::new("control-every")
+            .long("control-every")
+            .help("coordinator control round period, in ticks (coordinated collectors)")
+            .value_name("TICKS"),
+    )
+    .arg(
+        Arg::new("json")
+            .long("json")
+            .help("emit machine-readable JSON instead of tables")
+            .action(clap::ArgAction::SetTrue),
+    )
 }
 
-fn arg_with_default(name: &'static str, short: char, help: &'static str, default: &'static str) -> Arg {
+fn arg_with_default(
+    name: &'static str,
+    short: char,
+    help: &'static str,
+    default: &'static str,
+) -> Arg {
     Arg::new(name)
         .long(name)
         .short(short)
@@ -195,7 +235,10 @@ pub fn run_opts(m: &ArgMatches) -> Result<RunOpts, String> {
         },
         control_every: m
             .get_one::<String>("control-every")
-            .map(|v| v.parse::<u64>().map_err(|e| format!("--control-every: {e}")))
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("--control-every: {e}"))
+            })
             .transpose()?,
         ..SimConfig::default()
     };
@@ -223,7 +266,10 @@ mod tests {
             parse_pattern("client-server:2").unwrap(),
             Pattern::ClientServer { servers: 2 }
         );
-        assert_eq!(parse_pattern("bursty:8").unwrap(), Pattern::Bursty { burst: 8 });
+        assert_eq!(
+            parse_pattern("bursty:8").unwrap(),
+            Pattern::Bursty { burst: 8 }
+        );
         assert!(parse_pattern("mesh").is_err());
         assert!(parse_pattern("bursty").is_err());
         assert!(parse_pattern("bursty:x").is_err());

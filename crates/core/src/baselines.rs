@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use rdt_base::{CheckpointIndex, DependencyVector, ProcessId};
+use rdt_base::{CheckpointIndex, DependencyVector, UpdateSet};
 
 use crate::store::CheckpointStore;
 use crate::theorem1::theorem1_pins;
@@ -25,22 +25,22 @@ impl GarbageCollector for NoGc {
         GcKind::None
     }
 
-    fn after_checkpoint(
+    fn after_checkpoint_into(
         &mut self,
         _store: &mut CheckpointStore,
         _index: CheckpointIndex,
         _dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex> {
-        Vec::new()
+        _eliminated: &mut Vec<CheckpointIndex>,
+    ) {
     }
 
-    fn after_receive(
+    fn after_receive_into(
         &mut self,
         _store: &mut CheckpointStore,
-        _updated: &[ProcessId],
+        _updated: &UpdateSet,
         _dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex> {
-        Vec::new()
+        _eliminated: &mut Vec<CheckpointIndex>,
+    ) {
     }
 
     fn after_rollback(
@@ -86,22 +86,22 @@ impl GarbageCollector for SimpleCoordinatedGc {
         GcKind::SimpleCoordinated
     }
 
-    fn after_checkpoint(
+    fn after_checkpoint_into(
         &mut self,
         _store: &mut CheckpointStore,
         _index: CheckpointIndex,
         _dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex> {
-        Vec::new()
+        _eliminated: &mut Vec<CheckpointIndex>,
+    ) {
     }
 
-    fn after_receive(
+    fn after_receive_into(
         &mut self,
         _store: &mut CheckpointStore,
-        _updated: &[ProcessId],
+        _updated: &UpdateSet,
         _dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex> {
-        Vec::new()
+        _eliminated: &mut Vec<CheckpointIndex>,
+    ) {
     }
 
     fn after_rollback(
@@ -125,8 +125,7 @@ impl GarbageCollector for SimpleCoordinatedGc {
         };
         self.rounds += 1;
         let floor = line[store.owner().index()];
-        let doomed: Vec<CheckpointIndex> =
-            store.indices().take_while(|&i| i < floor).collect();
+        let doomed: Vec<CheckpointIndex> = store.indices().take_while(|&i| i < floor).collect();
         for d in &doomed {
             store.remove(*d).expect("stored");
         }
@@ -180,22 +179,22 @@ impl GarbageCollector for WangGlobalGc {
         GcKind::WangGlobal
     }
 
-    fn after_checkpoint(
+    fn after_checkpoint_into(
         &mut self,
         _store: &mut CheckpointStore,
         _index: CheckpointIndex,
         _dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex> {
-        Vec::new()
+        _eliminated: &mut Vec<CheckpointIndex>,
+    ) {
     }
 
-    fn after_receive(
+    fn after_receive_into(
         &mut self,
         _store: &mut CheckpointStore,
-        _updated: &[ProcessId],
+        _updated: &UpdateSet,
         _dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex> {
-        Vec::new()
+        _eliminated: &mut Vec<CheckpointIndex>,
+    ) {
     }
 
     fn after_rollback(
@@ -276,9 +275,7 @@ impl TimeBasedGc {
         let deadline = self.now.saturating_sub(self.horizon);
         let doomed: Vec<CheckpointIndex> = store
             .indices()
-            .filter(|&i| {
-                i != last && self.stored_at.get(&i).copied().unwrap_or(0) < deadline
-            })
+            .filter(|&i| i != last && self.stored_at.get(&i).copied().unwrap_or(0) < deadline)
             .collect();
         for d in &doomed {
             store.remove(*d).expect("stored");
@@ -295,23 +292,24 @@ impl GarbageCollector for TimeBasedGc {
         }
     }
 
-    fn after_checkpoint(
+    fn after_checkpoint_into(
         &mut self,
         store: &mut CheckpointStore,
         index: CheckpointIndex,
         _dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex> {
+        eliminated: &mut Vec<CheckpointIndex>,
+    ) {
         self.stored_at.insert(index, self.now);
-        self.expire(store)
+        eliminated.extend(self.expire(store));
     }
 
-    fn after_receive(
+    fn after_receive_into(
         &mut self,
         _store: &mut CheckpointStore,
-        _updated: &[ProcessId],
+        _updated: &UpdateSet,
         _dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex> {
-        Vec::new()
+        _eliminated: &mut Vec<CheckpointIndex>,
+    ) {
     }
 
     fn after_rollback(
@@ -341,7 +339,7 @@ impl GarbageCollector for TimeBasedGc {
 
 #[cfg(test)]
 mod tests {
-    use rdt_base::IntervalIndex;
+    use rdt_base::{IntervalIndex, ProcessId};
 
     use super::*;
 
@@ -364,10 +362,10 @@ mod tests {
         let mut gc = NoGc::new();
         let mut store = store_with_chain(0, 5, 2);
         let dv = DependencyVector::from_raw(vec![5, 0]);
+        assert!(gc.after_checkpoint(&mut store, idx(4), &dv).is_empty());
         assert!(gc
-            .after_checkpoint(&mut store, idx(4), &dv)
+            .after_receive(&mut store, &UpdateSet::new(), &dv)
             .is_empty());
-        assert!(gc.after_receive(&mut store, &[], &dv).is_empty());
         assert_eq!(store.len(), 5);
     }
 
@@ -408,10 +406,7 @@ mod tests {
         // Owner p0 with 4 lone checkpoints: only the last is non-obsolete.
         let mut store = store_with_chain(0, 4, 2);
         let dv = DependencyVector::from_raw(vec![4, 0]);
-        let li = LastIntervals::from_intervals(vec![
-            IntervalIndex::new(4),
-            IntervalIndex::new(1),
-        ]);
+        let li = LastIntervals::from_intervals(vec![IntervalIndex::new(4), IntervalIndex::new(1)]);
         let gone = gc.on_control(&mut store, &ControlInfo::LastIntervals(li), &dv);
         assert_eq!(gone, vec![idx(0), idx(1), idx(2)]);
         assert_eq!(store.indices().collect::<Vec<_>>(), vec![idx(3)]);
@@ -426,10 +421,7 @@ mod tests {
         store.insert(idx(0), DependencyVector::from_raw(vec![0, 0]));
         store.insert(idx(1), DependencyVector::from_raw(vec![1, 2]));
         let dv = DependencyVector::from_raw(vec![2, 2]);
-        let li = LastIntervals::from_intervals(vec![
-            IntervalIndex::new(2),
-            IntervalIndex::new(2),
-        ]);
+        let li = LastIntervals::from_intervals(vec![IntervalIndex::new(2), IntervalIndex::new(2)]);
         let gone = gc.on_control(&mut store, &ControlInfo::LastIntervals(li), &dv);
         // s^0 is pinned by p1 (s_1^last → s^1, ↛ s^0): nothing collected.
         assert!(gone.is_empty());
@@ -504,10 +496,7 @@ mod tests {
         let mut gc = WangGlobalGc::new(2);
         let mut store = store_with_chain(0, 5, 2);
         let dv = DependencyVector::from_raw(vec![3, 0]);
-        let li = LastIntervals::from_intervals(vec![
-            IntervalIndex::new(3),
-            IntervalIndex::new(1),
-        ]);
+        let li = LastIntervals::from_intervals(vec![IntervalIndex::new(3), IntervalIndex::new(1)]);
         let gone = gc.after_rollback(&mut store, idx(2), Some(&li), &dv);
         // 3, 4 truncated; 0, 1 obsolete; 2 retained.
         assert_eq!(gone, vec![idx(3), idx(4), idx(0), idx(1)]);

@@ -57,10 +57,7 @@ impl CcbArena {
     ///
     /// Panics if the handle is dangling.
     pub fn inc(&mut self, r: CcbRef) {
-        self.slots[r.0]
-            .as_mut()
-            .expect("live CCB")
-            .rc += 1;
+        self.slots[r.0].as_mut().expect("live CCB").rc += 1;
     }
 
     /// Decrements the reference counter (procedure `release`, lines 2–5);
@@ -108,10 +105,7 @@ impl CcbArena {
 
     /// Live `(index, rc)` pairs, unordered.
     pub fn iter_live(&self) -> impl Iterator<Item = (CheckpointIndex, u32)> + '_ {
-        self.slots
-            .iter()
-            .flatten()
-            .map(|ccb| (ccb.index, ccb.rc))
+        self.slots.iter().flatten().map(|ccb| (ccb.index, ccb.rc))
     }
 
     /// Removes every live CCB (used when rebuilding state in a rollback).

@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use rdt_base::{CheckpointIndex, DependencyVector, ProcessId};
+use rdt_base::{CheckpointIndex, DependencyVector, ProcessId, UpdateSet};
 
 use crate::ccb::{CcbArena, CcbRef};
 use crate::store::CheckpointStore;
@@ -24,7 +24,7 @@ use crate::traits::{GarbageCollector, GcKind, LastIntervals};
 /// # Example
 ///
 /// ```
-/// use rdt_base::{CheckpointIndex, DependencyVector, ProcessId};
+/// use rdt_base::{CheckpointIndex, DependencyVector, ProcessId, UpdateSet};
 /// use rdt_core::{CheckpointStore, GarbageCollector, RdtLgc};
 ///
 /// let p0 = ProcessId::new(0);
@@ -165,39 +165,47 @@ impl GarbageCollector for RdtLgc {
 
     /// "On taking checkpoint" (Algorithm 2): release the previous own CCB
     /// and create a new one for the just-stored checkpoint.
-    fn after_checkpoint(
+    fn after_checkpoint_into(
         &mut self,
         store: &mut CheckpointStore,
         index: CheckpointIndex,
         _dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex> {
+        eliminated: &mut Vec<CheckpointIndex>,
+    ) {
         debug_assert!(store.contains(index), "checkpoint stored before GC runs");
-        let eliminated = self.release(self.owner, store);
+        eliminated.extend(self.release(self.owner, store));
         self.new_own_ccb(index);
-        eliminated.into_iter().collect()
     }
 
     /// "On receiving m" (Algorithm 2): each process that contributed new
     /// causal information now denies the collection of our last stable
     /// checkpoint — release its old pin and link it to ours.
-    fn after_receive(
+    fn after_receive_into(
         &mut self,
         store: &mut CheckpointStore,
-        updated: &[ProcessId],
+        updated: &UpdateSet,
         _dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex> {
-        let mut eliminated = Vec::new();
-        for &j in updated {
+        eliminated: &mut Vec<CheckpointIndex>,
+    ) {
+        let own = self.uc[self.owner.index()];
+        for j in updated.iter() {
             debug_assert_ne!(
                 j, self.owner,
                 "a process cannot receive new causal information about itself"
             );
+            // release(j) followed by link(j, i) is a net no-op when UC[j]
+            // already references the own CCB (the common case in
+            // news-heavy streams between checkpoints): the dec can never
+            // free it — UC[i] holds a reference — and the re-link restores
+            // the exact pre-release state.
+            if self.uc[j.index()] == own {
+                continue;
+            }
             if let Some(freed) = self.release(j, store) {
                 eliminated.push(freed);
             }
             self.link_to_own(j);
         }
-        eliminated
     }
 
     /// Algorithm 3 (a process rolling back to `ri`): discard later
@@ -388,9 +396,7 @@ mod tests {
         let li = LastIntervals::from_last_stable(&[idx(2), idx(0)]);
         let mut dv = a.store.dv(idx(2)).unwrap().clone();
         dv.begin_next_interval(p(0));
-        let gone = a
-            .gc
-            .after_rollback(&mut a.store, idx(2), Some(&li), &dv);
+        let gone = a.gc.after_rollback(&mut a.store, idx(2), Some(&li), &dv);
         a.dv = dv;
         // s^0 was pinned only because of b's OLD run: with LI[1] = 1 and
         // DV(s^0)[1] = 0 < 1, is s^0 still pinned? Its successor s^2 has
@@ -423,7 +429,7 @@ mod tests {
         a.receive(&b.dv); // pins s^0
         a.checkpoint(); // s^1
         a.checkpoint(); // s^2; store = {0, 1?…}
-        // store now {0, 2}: s^1 was collected (only UC[0] referenced it).
+                        // store now {0, 2}: s^1 was collected (only UC[0] referenced it).
         let mut dv = a.store.dv(idx(0)).unwrap().clone();
         dv.begin_next_interval(p(0));
         let li = LastIntervals::from_last_stable(&[idx(0), idx(0)]);

@@ -1,6 +1,6 @@
 //! Per-process stable-storage model for checkpoints.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
@@ -15,10 +15,19 @@ use rdt_base::{CheckpointIndex, DependencyVector, Error, ProcessId, Result};
 /// space bounds are measured: RDT-LGC retains at most `n` checkpoints per
 /// process, `n + 1` transiently while a new checkpoint is being stored but
 /// the previous one has not yet been released (Section 4.5).
+///
+/// Entries live in a deque sorted by checkpoint index. Checkpoint indices
+/// are assigned monotonically, so insertion is an O(1) back-append (a
+/// binary search only runs in the never-taken out-of-order case); lookups
+/// binary-search; and since garbage collection almost always eliminates
+/// the *oldest* retained checkpoint, removal usually shifts the short
+/// front side — O(1) for the dominant pattern. For the n-bounded occupancy
+/// RDT-LGC guarantees, this beats a `BTreeMap` on every hot operation, and
+/// the unbounded `NoGc` baseline only ever appends.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckpointStore {
     owner: ProcessId,
-    map: BTreeMap<CheckpointIndex, StoredCheckpoint>,
+    entries: VecDeque<(CheckpointIndex, StoredCheckpoint)>,
     peak: usize,
     total_stored: usize,
     total_collected: usize,
@@ -29,6 +38,12 @@ pub struct CheckpointStore {
 
 /// One stable checkpoint at rest: its dependency vector (stored for
 /// recovery, Section 4.2) and the application-state size it occupies.
+///
+/// The vector lives inline in the entry: with the sorted-vector layout an
+/// insert is a single append-move and a removal a short memmove, so for
+/// systems of up to 16 processes (inline vectors) the whole store cycle —
+/// insert, collect, remove — runs without touching the allocator or an
+/// atomic refcount.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct StoredCheckpoint {
     dv: DependencyVector,
@@ -40,7 +55,7 @@ impl CheckpointStore {
     pub fn new(owner: ProcessId) -> Self {
         Self {
             owner,
-            map: BTreeMap::new(),
+            entries: VecDeque::new(),
             peak: 0,
             total_stored: 0,
             total_collected: 0,
@@ -72,13 +87,26 @@ impl CheckpointStore {
     ///
     /// Panics if `index` is already present.
     pub fn insert_with_size(&mut self, index: CheckpointIndex, dv: DependencyVector, bytes: usize) {
-        let prev = self.map.insert(index, StoredCheckpoint { dv, bytes });
-        assert!(prev.is_none(), "checkpoint {index} stored twice");
+        let stored = StoredCheckpoint { dv, bytes };
+        match self.entries.back() {
+            // The always-taken path: checkpoint indices grow monotonically.
+            Some(&(last, _)) if index > last => self.entries.push_back((index, stored)),
+            None => self.entries.push_back((index, stored)),
+            Some(_) => match self.position(index) {
+                Ok(_) => panic!("checkpoint {index} stored twice"),
+                Err(at) => self.entries.insert(at, (index, stored)),
+            },
+        }
         self.total_stored += 1;
-        self.peak = self.peak.max(self.map.len());
+        self.peak = self.peak.max(self.entries.len());
         self.bytes += bytes;
         self.peak_bytes = self.peak_bytes.max(self.bytes);
         self.total_bytes_stored += bytes;
+    }
+
+    /// Binary-search position of `index` in the sorted entry vector.
+    fn position(&self, index: CheckpointIndex) -> std::result::Result<usize, usize> {
+        self.entries.binary_search_by_key(&index, |&(i, _)| i)
     }
 
     /// Eliminates checkpoint `index`.
@@ -87,16 +115,18 @@ impl CheckpointStore {
     ///
     /// [`Error::CheckpointNotInStorage`] if absent.
     pub fn remove(&mut self, index: CheckpointIndex) -> Result<()> {
-        self.map
-            .remove(&index)
-            .map(|stored| {
+        match self.position(index) {
+            Ok(at) => {
+                let (_, stored) = self.entries.remove(at).expect("position is in bounds");
                 self.total_collected += 1;
                 self.bytes -= stored.bytes;
-            })
-            .ok_or(Error::CheckpointNotInStorage {
+                Ok(())
+            }
+            Err(_) => Err(Error::CheckpointNotInStorage {
                 process: self.owner,
                 index,
-            })
+            }),
+        }
     }
 
     /// The dependency vector stored with `index`.
@@ -105,9 +135,9 @@ impl CheckpointStore {
     ///
     /// [`Error::CheckpointNotInStorage`] if absent.
     pub fn dv(&self, index: CheckpointIndex) -> Result<&DependencyVector> {
-        self.map
-            .get(&index)
-            .map(|stored| &stored.dv)
+        self.position(index)
+            .ok()
+            .map(|at| &self.entries[at].1.dv)
             .ok_or(Error::CheckpointNotInStorage {
                 process: self.owner,
                 index,
@@ -116,32 +146,32 @@ impl CheckpointStore {
 
     /// Whether `index` is currently stored.
     pub fn contains(&self, index: CheckpointIndex) -> bool {
-        self.map.contains_key(&index)
+        self.position(index).is_ok()
     }
 
     /// Number of checkpoints currently stored.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.entries.len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.entries.is_empty()
     }
 
     /// Stored indices in ascending order.
     pub fn indices(&self) -> impl DoubleEndedIterator<Item = CheckpointIndex> + '_ {
-        self.map.keys().copied()
+        self.entries.iter().map(|&(i, _)| i)
     }
 
     /// `(index, dv)` pairs in ascending index order.
     pub fn iter(&self) -> impl DoubleEndedIterator<Item = (CheckpointIndex, &DependencyVector)> {
-        self.map.iter().map(|(k, v)| (*k, &v.dv))
+        self.entries.iter().map(|(i, s)| (*i, &s.dv))
     }
 
     /// The most recent stored checkpoint, if any.
     pub fn last(&self) -> Option<CheckpointIndex> {
-        self.map.keys().next_back().copied()
+        self.entries.back().map(|&(i, _)| i)
     }
 
     /// Maximum number of simultaneously stored checkpoints observed.
@@ -177,13 +207,15 @@ impl CheckpointStore {
     /// Removes every checkpoint with index strictly greater than `ri`
     /// (rollback discards them, Algorithm 3 line 4). Returns them.
     pub fn truncate_after(&mut self, ri: CheckpointIndex) -> Vec<CheckpointIndex> {
-        let doomed: Vec<CheckpointIndex> =
-            self.map.range(ri.next()..).map(|(k, _)| *k).collect();
-        for d in &doomed {
-            if let Some(stored) = self.map.remove(d) {
-                self.total_collected += 1;
-                self.bytes -= stored.bytes;
-            }
+        let cut = match self.position(ri) {
+            Ok(at) => at + 1,
+            Err(at) => at,
+        };
+        let mut doomed = Vec::with_capacity(self.entries.len() - cut);
+        for (index, stored) in self.entries.drain(cut..) {
+            self.total_collected += 1;
+            self.bytes -= stored.bytes;
+            doomed.push(index);
         }
         doomed
     }
@@ -268,7 +300,10 @@ mod tests {
         let mut s = store_with(&[0, 1, 2, 3, 4]);
         let doomed = s.truncate_after(idx(2));
         assert_eq!(doomed, vec![idx(3), idx(4)]);
-        assert_eq!(s.indices().collect::<Vec<_>>(), vec![idx(0), idx(1), idx(2)]);
+        assert_eq!(
+            s.indices().collect::<Vec<_>>(),
+            vec![idx(0), idx(1), idx(2)]
+        );
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub(crate) fn theorem1_pins(
     let mut pins: Vec<Vec<ProcessId>> = vec![Vec::new(); indices.len()];
     for f in ProcessId::all(li.len()) {
         let target = li.entry(f);
-        let split = indices.partition_point(|&idx| store.dv(idx).expect("stored").entry(f) < target);
+        let split =
+            indices.partition_point(|&idx| store.dv(idx).expect("stored").entry(f) < target);
         if split == 0 {
             continue;
         }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use rdt_base::{CheckpointIndex, DependencyVector, IntervalIndex, ProcessId};
+use rdt_base::{CheckpointIndex, DependencyVector, IntervalIndex, ProcessId, UpdateSet};
 
 use crate::store::CheckpointStore;
 
@@ -17,12 +17,7 @@ pub struct LastIntervals(Vec<IntervalIndex>);
 impl LastIntervals {
     /// Builds from per-process last-stable indices (`LI[j] = last_s(j)+1`).
     pub fn from_last_stable(last_stable: &[CheckpointIndex]) -> Self {
-        Self(
-            last_stable
-                .iter()
-                .map(|c| c.interval_after())
-                .collect(),
-        )
+        Self(last_stable.iter().map(|c| c.interval_after()).collect())
     }
 
     /// Builds directly from interval indices.
@@ -133,9 +128,7 @@ impl GcKind {
             GcKind::None => Box::new(crate::baselines::NoGc::new()),
             GcKind::SimpleCoordinated => Box::new(crate::baselines::SimpleCoordinatedGc::new()),
             GcKind::WangGlobal => Box::new(crate::baselines::WangGlobalGc::new(n)),
-            GcKind::TimeBased { horizon } => {
-                Box::new(crate::baselines::TimeBasedGc::new(horizon))
-            }
+            GcKind::TimeBased { horizon } => Box::new(crate::baselines::TimeBasedGc::new(horizon)),
         }
     }
 }
@@ -180,22 +173,57 @@ pub trait GarbageCollector: fmt::Debug + Send {
     /// Called right after checkpoint `index` (with vector `dv`) was written
     /// to `store` ("On taking checkpoint", Algorithm 2). The store already
     /// contains the new checkpoint — the paper's transient `n + 1` occupancy.
+    ///
+    /// Eliminated checkpoints are **appended** to `eliminated`, a
+    /// caller-owned scratch buffer reused across events — the hot path
+    /// allocates nothing here.
+    fn after_checkpoint_into(
+        &mut self,
+        store: &mut CheckpointStore,
+        index: CheckpointIndex,
+        dv: &DependencyVector,
+        eliminated: &mut Vec<CheckpointIndex>,
+    );
+
+    /// Allocating convenience wrapper over
+    /// [`after_checkpoint_into`](Self::after_checkpoint_into).
     fn after_checkpoint(
         &mut self,
         store: &mut CheckpointStore,
         index: CheckpointIndex,
         dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex>;
+    ) -> Vec<CheckpointIndex> {
+        let mut eliminated = Vec::new();
+        self.after_checkpoint_into(store, index, dv, &mut eliminated);
+        eliminated
+    }
 
     /// Called after a received message merged new causal information for the
     /// processes in `updated` ("On receiving m", Algorithm 2). `dv` is the
-    /// post-merge dependency vector.
+    /// post-merge dependency vector. The update report is the bitset
+    /// [`DependencyVector::merge_from`] produced, and eliminations are
+    /// **appended** to the caller-owned `eliminated` buffer — no allocation
+    /// crosses this boundary on the hot path.
+    fn after_receive_into(
+        &mut self,
+        store: &mut CheckpointStore,
+        updated: &UpdateSet,
+        dv: &DependencyVector,
+        eliminated: &mut Vec<CheckpointIndex>,
+    );
+
+    /// Allocating convenience wrapper over
+    /// [`after_receive_into`](Self::after_receive_into).
     fn after_receive(
         &mut self,
         store: &mut CheckpointStore,
-        updated: &[ProcessId],
+        updated: &UpdateSet,
         dv: &DependencyVector,
-    ) -> Vec<CheckpointIndex>;
+    ) -> Vec<CheckpointIndex> {
+        let mut eliminated = Vec::new();
+        self.after_receive_into(store, updated, dv, &mut eliminated);
+        eliminated
+    }
 
     /// Recovery session, rolling-back process (Algorithm 3): the process has
     /// restored checkpoint `ri`; `li` is the distributed last-interval vector
@@ -272,10 +300,8 @@ mod tests {
 
     #[test]
     fn last_intervals_from_last_stable() {
-        let li = LastIntervals::from_last_stable(&[
-            CheckpointIndex::new(2),
-            CheckpointIndex::new(0),
-        ]);
+        let li =
+            LastIntervals::from_last_stable(&[CheckpointIndex::new(2), CheckpointIndex::new(0)]);
         assert_eq!(li.entry(ProcessId::new(0)), IntervalIndex::new(3));
         assert_eq!(li.entry(ProcessId::new(1)), IntervalIndex::new(1));
         assert_eq!(li.to_string(), "LI(3, 1)");

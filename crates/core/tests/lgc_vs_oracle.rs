@@ -55,7 +55,6 @@ impl System {
         sys
     }
 
-
     /// Online checkpoint without touching the mirror (the mirror already
     /// contains the initial checkpoints).
     fn checkpoint_online_only(&mut self, p: ProcessId) {

@@ -1,11 +1,13 @@
 //! The checkpointing middleware: protocol + garbage collector + stable
 //! storage, merged as in the paper's Algorithm 4.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use rdt_base::{
     CheckpointIndex, DependencyVector, Error, Message, MessageId, MessageMeta, Payload, ProcessId,
-    Result,
+    Result, UpdateSet,
 };
 use rdt_core::{CheckpointStore, ControlInfo, GarbageCollector, GcKind, LastIntervals};
 
@@ -19,12 +21,22 @@ pub struct ReceiveReport {
     /// Checkpoints eliminated by garbage collection during this receive
     /// (including any triggered by the forced checkpoint).
     pub eliminated: Vec<CheckpointIndex>,
-    /// Processes whose entries gained new causal information.
-    pub updated: Vec<ProcessId>,
+    /// Processes whose entries gained new causal information, as the
+    /// allocation-free bitset the merge produced.
+    pub updated: UpdateSet,
+}
+
+impl ReceiveReport {
+    /// Resets the report for reuse, keeping buffer capacity.
+    fn clear_for_reuse(&mut self) {
+        self.forced = None;
+        self.eliminated.clear();
+        self.updated.clear();
+    }
 }
 
 /// What happened while taking a checkpoint.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckpointReport {
     /// The index stored.
     pub stored: CheckpointIndex,
@@ -84,6 +96,10 @@ pub struct Middleware {
     basic_count: u64,
     crashed: bool,
     state_size: usize,
+    /// Interned snapshot of `dv` shared with outgoing piggybacks and
+    /// messages; invalidated whenever `dv` mutates (copy-on-write: a burst
+    /// of sends within one interval shares a single allocation).
+    dv_snapshot: Option<Arc<DependencyVector>>,
 }
 
 impl Middleware {
@@ -107,6 +123,7 @@ impl Middleware {
             basic_count: 0,
             crashed: false,
             state_size: 0,
+            dv_snapshot: None,
         };
         mw.take_checkpoint(false);
         mw
@@ -159,6 +176,7 @@ impl Middleware {
             basic_count: 0,
             crashed: true,
             state_size: 0,
+            dv_snapshot: None,
         }
     }
 
@@ -230,19 +248,33 @@ impl Middleware {
     /// Stores a checkpoint: insert first, then run GC, then advance the
     /// interval ("On taking checkpoint", Algorithms 2 and 4).
     fn take_checkpoint(&mut self, forced: bool) -> CheckpointReport {
+        let mut eliminated = Vec::new();
+        let stored = self.take_checkpoint_into(forced, &mut eliminated);
+        CheckpointReport { stored, eliminated }
+    }
+
+    /// [`take_checkpoint`](Self::take_checkpoint) appending eliminations to
+    /// a caller-owned scratch buffer; returns the stored index. The
+    /// allocation-free core every checkpoint path funnels through.
+    fn take_checkpoint_into(
+        &mut self,
+        forced: bool,
+        eliminated: &mut Vec<CheckpointIndex>,
+    ) -> CheckpointIndex {
         let index = self.dv.entry(self.owner).as_checkpoint();
+        // A plain clone: for inline vectors (n <= 16) this is a pure
+        // memcpy into the store's entry — no allocation, no refcount.
         self.store
             .insert_with_size(index, self.dv.clone(), self.state_size);
-        let eliminated = self.gc.after_checkpoint(&mut self.store, index, &self.dv);
+        self.gc
+            .after_checkpoint_into(&mut self.store, index, &self.dv, eliminated);
         self.protocol.note_checkpoint(forced);
         if !forced {
             self.basic_count += 1;
         }
         self.dv.begin_next_interval(self.owner);
-        CheckpointReport {
-            stored: index,
-            eliminated,
-        }
+        self.dv_snapshot = None;
+        index
     }
 
     /// Takes a basic (application-initiated) checkpoint.
@@ -253,6 +285,20 @@ impl Middleware {
     pub fn basic_checkpoint(&mut self) -> Result<CheckpointReport> {
         self.ensure_alive()?;
         Ok(self.take_checkpoint(false))
+    }
+
+    /// [`basic_checkpoint`](Self::basic_checkpoint) writing into a reused
+    /// report (cleared first, capacity kept): the zero-allocation variant
+    /// for event loops.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ProcessCrashed`] while crashed.
+    pub fn basic_checkpoint_into(&mut self, report: &mut CheckpointReport) -> Result<()> {
+        self.ensure_alive()?;
+        report.eliminated.clear();
+        report.stored = self.take_checkpoint_into(false, &mut report.eliminated);
+        Ok(())
     }
 
     /// Sends a message: piggybacks the dependency vector (and the BCS index)
@@ -272,12 +318,16 @@ impl Middleware {
     /// The message piggybacks the vector as of the send event; the forced
     /// checkpoint opens the *next* interval, so the send is the last
     /// communication event of its interval, as the CAS model requires.
-    pub fn send_reported(&mut self, to: ProcessId, payload: Payload) -> (Message, Option<CheckpointReport>) {
+    pub fn send_reported(
+        &mut self,
+        to: ProcessId,
+        payload: Payload,
+    ) -> (Message, Option<CheckpointReport>) {
         assert!(!self.crashed, "crashed processes do not send");
         self.protocol.note_send();
         let id = MessageId::new(self.owner, self.seq);
         self.seq += 1;
-        let msg = Message::new(MessageMeta::new(id, to, self.dv.clone()), payload);
+        let msg = Message::new(MessageMeta::new(id, to, self.shared_dv()), payload);
         let forced = self
             .protocol
             .must_force_after_send()
@@ -285,14 +335,25 @@ impl Middleware {
         (msg, forced)
     }
 
+    /// The interned snapshot of the current dependency vector: cloned
+    /// lazily on the first request after a local mutation, shared (one
+    /// atomic increment) by every subsequent send in the same interval.
+    fn shared_dv(&mut self) -> Arc<DependencyVector> {
+        match &self.dv_snapshot {
+            Some(snapshot) => Arc::clone(snapshot),
+            None => {
+                let snapshot = Arc::new(self.dv.clone());
+                self.dv_snapshot = Some(Arc::clone(&snapshot));
+                snapshot
+            }
+        }
+    }
+
     /// The full piggyback for the last send (dependency vector plus BCS
     /// index). [`Message`] carries only the vector; protocols needing the
-    /// index transport this alongside.
-    pub fn piggyback(&self) -> Piggyback {
-        Piggyback {
-            dv: self.dv.clone(),
-            index: self.protocol.index(),
-        }
+    /// index transport this alongside. The vector is shared, not copied.
+    pub fn piggyback(&mut self) -> Piggyback {
+        Piggyback::new(self.shared_dv(), self.protocol.index())
     }
 
     /// Processes a received message (Algorithm 4's receive handler):
@@ -305,12 +366,7 @@ impl Middleware {
     /// [`Error::ProcessCrashed`] while crashed (the message is lost;
     /// simulators may choose to re-deliver).
     pub fn receive(&mut self, msg: &Message) -> Result<ReceiveReport> {
-        self.receive_piggyback(
-            &Piggyback {
-                dv: msg.meta.dv.clone(),
-                index: 0,
-            },
-        )
+        self.receive_piggyback(&Piggyback::new(Arc::clone(&msg.meta.dv), 0))
     }
 
     /// [`receive`](Self::receive) with an explicit [`Piggyback`] (used when
@@ -320,19 +376,41 @@ impl Middleware {
     ///
     /// [`Error::ProcessCrashed`] while crashed.
     pub fn receive_piggyback(&mut self, m: &Piggyback) -> Result<ReceiveReport> {
-        self.ensure_alive()?;
         let mut report = ReceiveReport::default();
-        if self.protocol.must_force(&self.dv, m) {
-            let ck = self.take_checkpoint(true);
-            report.forced = Some(ck.stored);
-            report.eliminated.extend(ck.eliminated);
-        }
-        report.updated = self.dv.merge_from(&m.dv);
-        report
-            .eliminated
-            .extend(self.gc.after_receive(&mut self.store, &report.updated, &self.dv));
-        self.protocol.note_receive(m);
+        self.receive_piggyback_into(m, &mut report)?;
         Ok(report)
+    }
+
+    /// [`receive_piggyback`](Self::receive_piggyback) writing into a reused
+    /// report (cleared first, capacity kept): the zero-allocation variant
+    /// for event loops — merge reporting is a bitset, eliminations land in
+    /// the report's recycled buffer, and the piggyback is only read.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ProcessCrashed`] while crashed.
+    pub fn receive_piggyback_into(
+        &mut self,
+        m: &Piggyback,
+        report: &mut ReceiveReport,
+    ) -> Result<()> {
+        self.ensure_alive()?;
+        report.clear_for_reuse();
+        if self.protocol.must_force(&self.dv, m) {
+            report.forced = Some(self.take_checkpoint_into(true, &mut report.eliminated));
+        }
+        self.dv.merge_from_into(&m.dv, &mut report.updated);
+        if !report.updated.is_empty() {
+            self.dv_snapshot = None;
+            self.gc.after_receive_into(
+                &mut self.store,
+                &report.updated,
+                &self.dv,
+                &mut report.eliminated,
+            );
+        }
+        self.protocol.note_receive(m);
+        Ok(())
     }
 
     /// Crashes the process: volatile state is lost, stable storage persists.
@@ -364,9 +442,8 @@ impl Middleware {
         let mut dv = self.store.dv(ri).expect("checked").clone();
         dv.begin_next_interval(self.owner);
         self.dv = dv;
-        let eliminated = self
-            .gc
-            .after_rollback(&mut self.store, ri, li, &self.dv);
+        self.dv_snapshot = None;
+        let eliminated = self.gc.after_rollback(&mut self.store, ri, li, &self.dv);
         self.protocol.note_checkpoint(true); // clears `sent`; not counted
         self.crashed = false;
         Ok(RollbackReport {
@@ -443,7 +520,7 @@ mod tests {
         let m1 = b.send(p(0), Payload::empty());
         let r = a.receive(&m1).unwrap();
         assert!(r.forced.is_none());
-        assert_eq!(r.updated, vec![p(1)]);
+        assert_eq!(r.updated.to_vec(), vec![p(1)]);
         // a sends, then receives fresher info: forced.
         let _out = a.send(p(1), Payload::empty());
         b.basic_checkpoint().unwrap();

@@ -2,6 +2,7 @@
 //! decision rules.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -106,12 +107,28 @@ impl fmt::Display for ProtocolKind {
 /// The control information a protocol piggybacks on application messages:
 /// the dependency vector all RDT protocols propagate (Section 4.2) plus the
 /// scalar checkpoint index used by BCS.
+///
+/// The vector is interned behind an [`Arc`] shared with the sender's
+/// snapshot cache: constructing, cloning and queueing piggybacks is
+/// pointer-cheap, and a burst of sends from an unchanged interval shares
+/// one allocation (the middleware copies on local mutation).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Piggyback {
     /// The sender's dependency vector at send time (`m.DV`).
-    pub dv: DependencyVector,
+    pub dv: Arc<DependencyVector>,
     /// The sender's BCS checkpoint index (ignored by other protocols).
     pub index: u64,
+}
+
+impl Piggyback {
+    /// Creates a piggyback from an owned vector (wrapped) or an interned
+    /// `Arc` (shared without copying).
+    pub fn new(dv: impl Into<Arc<DependencyVector>>, index: u64) -> Self {
+        Self {
+            dv: dv.into(),
+            index,
+        }
+    }
 }
 
 /// Per-process protocol state: the flags the forced-checkpoint rules read.
@@ -206,10 +223,7 @@ mod tests {
     use super::*;
 
     fn pb(raw: Vec<usize>, index: u64) -> Piggyback {
-        Piggyback {
-            dv: DependencyVector::from_raw(raw),
-            index,
-        }
+        Piggyback::new(DependencyVector::from_raw(raw), index)
     }
 
     #[test]
@@ -309,7 +323,10 @@ mod tests {
         let stale = pb(vec![0, 0], 0);
         assert!(!s.must_force(&dv, &stale), "no send yet in this interval");
         s.note_send();
-        assert!(s.must_force(&dv, &stale), "even stale info breaks MRS order");
+        assert!(
+            s.must_force(&dv, &stale),
+            "even stale info breaks MRS order"
+        );
         s.note_checkpoint(true);
         assert!(!s.must_force(&dv, &stale));
     }

@@ -13,8 +13,7 @@ use rdt_protocols::Middleware;
 pub type FaultySet = BTreeSet<ProcessId>;
 
 /// How a recovery session distributes information (Section 4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum RecoveryMode {
     /// The manager distributes the last-interval vector `LI`; rolling-back
     /// processes run Algorithm 3 with global information and the others
@@ -74,7 +73,6 @@ pub struct RecoveryManager {
     mode: RecoveryMode,
 }
 
-
 impl RecoveryManager {
     /// A coordinated-mode manager.
     pub fn new() -> Self {
@@ -124,9 +122,9 @@ impl RecoveryManager {
                 let i = mw.owner();
                 // Volatile candidate first for non-faulty processes.
                 if !faulty.contains(&i) {
-                    let blocked = faulty.iter().any(|&f| {
-                        mw.dv().dominates_checkpoint(f, last_stable[f.index()])
-                    });
+                    let blocked = faulty
+                        .iter()
+                        .any(|&f| mw.dv().dominates_checkpoint(f, last_stable[f.index()]));
                     if !blocked {
                         return mw.last_stable().next();
                     }
@@ -144,7 +142,25 @@ impl RecoveryManager {
                         return idx;
                     }
                 }
-                unreachable!("s_i^0 is preceded by nothing: Lemma 1 is total")
+                // Lemma 1 is total over the full CCP (s_i^0 is preceded by
+                // nothing), but an *unsafe* collector — the time-based
+                // baseline when its delay assumption breaks — may have
+                // eliminated every unblocked checkpoint. Degrade to the
+                // oldest survivor: the closest available approximation of
+                // the true line, and exactly the data-loss scenario the
+                // paper's safety comparison quantifies. A provably safe
+                // collector reaching this fallback is a bug, not a model
+                // property — keep the old invariant check for those.
+                debug_assert!(
+                    mw.gc_kind().needs_time_assumptions(),
+                    "recovery line exhausted {i}'s stored checkpoints under \
+                     safe collector {:?}: Lemma 1 must be total",
+                    mw.gc_kind()
+                );
+                mw.store()
+                    .indices()
+                    .next()
+                    .expect("stable storage retains at least one checkpoint")
             })
             .collect()
     }
@@ -314,8 +330,8 @@ mod tests {
         let mut mws = chain();
         mws[0].crash();
         let faulty: FaultySet = [p(0)].into_iter().collect();
-        let report = RecoveryManager::with_mode(RecoveryMode::Uncoordinated)
-            .recover(&mut mws, &faulty);
+        let report =
+            RecoveryManager::with_mode(RecoveryMode::Uncoordinated).recover(&mut mws, &faulty);
         assert!(report.li.is_none());
         assert!(!mws[0].is_crashed());
     }

@@ -1,19 +1,17 @@
 //! The deterministic discrete-event simulator.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rdt_base::{Payload, ProcessId, Result, TraceEvent};
 use rdt_core::{ControlInfo, GcKind, LastIntervals};
-use rdt_protocols::{Middleware, Piggyback, ProtocolKind};
+use rdt_protocols::{CheckpointReport, Middleware, Piggyback, ProtocolKind, ReceiveReport};
 use rdt_recovery::{RecoveryManager, RecoveryMode, RecoverySessionReport};
 use rdt_workloads::{AppOp, WorkloadSpec};
 
 use crate::config::{ChannelConfig, SimConfig};
 use crate::metrics::Metrics;
+use crate::queue::BucketQueue;
 
 /// Outcome of a simulation run.
 #[derive(Debug, Clone)]
@@ -145,39 +143,26 @@ impl SimulationBuilder {
     }
 }
 
+/// Reports reused across every event of a run (cleared, never
+/// reallocated).
+#[derive(Debug, Default)]
+struct EventScratch {
+    receive: ReceiveReport,
+    checkpoint: CheckpointReport,
+}
+
 #[derive(Debug)]
 enum EventKind {
     App(AppOp),
     Deliver {
         to: ProcessId,
         id: rdt_base::MessageId,
+        /// The sender's piggyback; the vector inside is `Arc`-shared with
+        /// the sender's snapshot, so queueing a delivery copies pointers,
+        /// not entries.
         pb: Piggyback,
     },
     ControlRound,
-}
-
-#[derive(Debug)]
-struct Queued {
-    at: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Queued {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-impl Eq for Queued {}
-impl PartialOrd for Queued {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Queued {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// The discrete-event simulation state.
@@ -185,7 +170,7 @@ impl Ord for Queued {
 pub struct Simulation {
     time: u64,
     seq: u64,
-    queue: BinaryHeap<Reverse<Queued>>,
+    queue: BucketQueue<EventKind>,
     processes: Vec<Middleware>,
     rng: StdRng,
     config: SimConfig,
@@ -212,7 +197,7 @@ impl Simulation {
         let mut sim = Self {
             time: 0,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: BucketQueue::new(),
             processes: (0..n)
                 .map(|i| {
                     let mut mw = Middleware::new(ProcessId::new(i), n, protocol, gc);
@@ -236,8 +221,18 @@ impl Simulation {
     }
 
     /// Schedules an operation stream, one op per
-    /// [`ticks_per_op`](SimConfig::ticks_per_op).
+    /// [`ticks_per_op`](SimConfig::ticks_per_op), pre-sizing the recording
+    /// buffers from the op count so the hot loop never reallocates them.
     pub fn schedule_ops(&mut self, ops: &[AppOp]) {
+        if self.config.record_trace {
+            // Sends dominate: send + deliver + occasional forced
+            // checkpoint/collect per op. 3x covers every observed mix.
+            self.trace.reserve(ops.len() * 3 + 16);
+        }
+        if self.config.record_occupancy {
+            // One sample per handled event: app op + delivery.
+            self.occupancy.reserve(ops.len() * 2 + 16);
+        }
         for (k, op) in ops.iter().enumerate() {
             let at = k as u64 * self.config.ticks_per_op;
             self.horizon = self.horizon.max(at);
@@ -248,7 +243,7 @@ impl Simulation {
     fn push_at(&mut self, at: u64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Queued { at, seq, kind }));
+        self.queue.push(at, seq, kind);
     }
 
     /// Runs until the event queue drains.
@@ -257,11 +252,17 @@ impl Simulation {
     ///
     /// Propagates middleware errors (none occur under normal scheduling).
     pub fn run_to_completion(&mut self) -> Result<()> {
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            self.time = ev.at.max(self.time);
-            match ev.kind {
-                EventKind::App(op) => self.handle_app(op)?,
-                EventKind::Deliver { to, id, pb } => self.handle_deliver(to, id, pb)?,
+        // One report of each kind serves the whole run: the middleware's
+        // `_into` entry points clear and refill them, so the per-event loop
+        // performs no report allocation.
+        let mut scratch = EventScratch::default();
+        while let Some((at, _seq, kind)) = self.queue.pop() {
+            self.time = at.max(self.time);
+            match kind {
+                EventKind::App(op) => self.handle_app(op, &mut scratch)?,
+                EventKind::Deliver { to, id, pb } => {
+                    self.handle_deliver(to, id, pb, &mut scratch)?
+                }
                 EventKind::ControlRound => self.handle_control_round(),
             }
         }
@@ -288,21 +289,21 @@ impl Simulation {
         }
     }
 
-    fn handle_app(&mut self, op: AppOp) -> Result<()> {
+    fn handle_app(&mut self, op: AppOp, scratch: &mut EventScratch) -> Result<()> {
         match op {
             AppOp::Checkpoint(p) => {
                 if self.processes[p.index()].is_crashed() {
                     return Ok(());
                 }
                 self.tick_process(p);
-                let report = self.processes[p.index()].basic_checkpoint()?;
+                self.processes[p.index()].basic_checkpoint_into(&mut scratch.checkpoint)?;
                 if self.config.record_trace {
                     self.trace.push(TraceEvent::Checkpoint {
                         process: p,
                         forced: false,
                     });
                 }
-                self.trace_collects(p, &report.eliminated);
+                self.trace_collects(p, &scratch.checkpoint.eliminated);
                 self.sample(p);
             }
             AppOp::Send { from, to } => {
@@ -366,6 +367,7 @@ impl Simulation {
         to: ProcessId,
         id: rdt_base::MessageId,
         pb: Piggyback,
+        scratch: &mut EventScratch,
     ) -> Result<()> {
         if self.processes[to.index()].is_crashed() {
             self.metrics.per_process[to.index()].lost += 1;
@@ -375,10 +377,10 @@ impl Simulation {
             return Ok(());
         }
         self.tick_process(to);
-        let report = self.processes[to.index()].receive_piggyback(&pb)?;
+        self.processes[to.index()].receive_piggyback_into(&pb, &mut scratch.receive)?;
         self.metrics.per_process[to.index()].delivered += 1;
         if self.config.record_trace {
-            if report.forced.is_some() {
+            if scratch.receive.forced.is_some() {
                 self.trace.push(TraceEvent::Checkpoint {
                     process: to,
                     forced: true,
@@ -386,7 +388,7 @@ impl Simulation {
             }
             self.trace.push(TraceEvent::Deliver { id });
         }
-        self.trace_collects(to, &report.eliminated);
+        self.trace_collects(to, &scratch.receive.eliminated);
         self.sample(to);
         Ok(())
     }
@@ -395,16 +397,32 @@ impl Simulation {
         self.metrics.control_rounds += 1;
         // Coordinator with reliable control messages: sees everyone's
         // stable-store state (the coordination RDT-LGC does *without*).
-        let all: rdt_recovery::FaultySet = (0..self.processes.len()).map(ProcessId::new).collect();
-        let line = self.manager.recovery_line(&self.processes, &all);
-        let last_stable: Vec<_> = self.processes.iter().map(|m| m.last_stable()).collect();
-        let li = LastIntervals::from_last_stable(&last_stable);
-        let infos = [
-            ControlInfo::GlobalLine(line),
-            ControlInfo::LastIntervals(li),
-        ];
+        // Each ControlInfo variant is built once per round — and only when
+        // the configured collector actually consumes it — then delivered to
+        // every process by reference.
+        let gc_kind = self.processes[0].gc_kind();
+        let info = if gc_kind.needs_control_messages() {
+            match gc_kind {
+                GcKind::SimpleCoordinated => {
+                    let all: rdt_recovery::FaultySet =
+                        (0..self.processes.len()).map(ProcessId::new).collect();
+                    Some(ControlInfo::GlobalLine(
+                        self.manager.recovery_line(&self.processes, &all),
+                    ))
+                }
+                _ => {
+                    let last_stable: Vec<_> =
+                        self.processes.iter().map(|m| m.last_stable()).collect();
+                    Some(ControlInfo::LastIntervals(LastIntervals::from_last_stable(
+                        &last_stable,
+                    )))
+                }
+            }
+        } else {
+            None
+        };
         for k in 0..self.processes.len() {
-            for info in &infos {
+            if let Some(info) = &info {
                 let collected = self.processes[k].control(info);
                 self.trace_collects(ProcessId::new(k), &collected);
             }
@@ -440,23 +458,23 @@ impl Simulation {
             }
         }
         // All in-transit messages are lost (the recovered CCP excludes
-        // them, Section 2.2).
-        let drained = std::mem::take(&mut self.queue);
-        for Reverse(ev) in drained {
-            match ev.kind {
-                EventKind::Deliver { to, id, .. } => {
-                    self.metrics.per_process[to.index()].lost += 1;
-                    if self.config.record_trace {
-                        self.trace.push(TraceEvent::Drop { id });
+        // them, Section 2.2): an in-place retain over the bucket queue,
+        // dropping deliveries in deterministic (at, seq) order. No queue
+        // rebuild, no re-pushes.
+        let metrics = &mut self.metrics;
+        let trace = &mut self.trace;
+        let record_trace = self.config.record_trace;
+        self.queue.retain(
+            |kind| !matches!(kind, EventKind::Deliver { .. }),
+            |_, kind| {
+                if let EventKind::Deliver { to, id, .. } = kind {
+                    metrics.per_process[to.index()].lost += 1;
+                    if record_trace {
+                        trace.push(TraceEvent::Drop { id });
                     }
                 }
-                other => self.queue.push(Reverse(Queued {
-                    at: ev.at,
-                    seq: ev.seq,
-                    kind: other,
-                })),
-            }
-        }
+            },
+        );
 
         let report = self.manager.recover(&mut self.processes, &faulty);
         self.metrics.recovery_sessions += 1;

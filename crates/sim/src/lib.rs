@@ -32,6 +32,7 @@
 mod config;
 mod engine;
 mod metrics;
+mod queue;
 mod script;
 mod threaded;
 

@@ -94,7 +94,10 @@ impl Metrics {
         if self.per_process.is_empty() {
             return 0.0;
         }
-        self.per_process.iter().map(|m| m.avg_retained()).sum::<f64>()
+        self.per_process
+            .iter()
+            .map(|m| m.avg_retained())
+            .sum::<f64>()
             / self.per_process.len() as f64
     }
 

@@ -1,0 +1,426 @@
+//! An integer-tick bucket (calendar) queue for the discrete-event engine.
+//!
+//! The simulator schedules events at integer ticks that are never in the
+//! past, almost always within a short horizon of the current time (message
+//! delays, op spacing, control periods). A ring of per-tick buckets makes
+//! `push` and `pop` O(1) for that common case — no comparisons, no heap
+//! percolation — while a `BTreeMap` overflow absorbs far-future events
+//! (they migrate into the ring as time approaches). Within a tick, events
+//! pop in push (sequence) order, so the total order is exactly the
+//! `(at, seq)` order the previous `BinaryHeap<Reverse<…>>` implementation
+//! produced; `tests/queue_equiv.rs` proves the equivalence against a heap
+//! reference, operation by operation.
+//!
+//! Crash sessions use [`retain`](BucketQueue::retain) to drop in-transit
+//! deliveries **in place** — the old engine rebuilt the whole heap
+//! (`mem::take` + re-push of every surviving event) on every crash.
+//!
+//! Exhausted buckets are recycled through a pool, so a long simulation
+//! reuses a handful of allocations regardless of event count.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// How many ticks ahead of the ring base events stay in the ring. Chosen
+/// to cover default op spacing (10 ticks), maximum channel delays (tens of
+/// ticks) and control periods with room to spare, while keeping the idle
+/// ring walk trivial.
+const WINDOW: u64 = 1024;
+
+/// One per-tick bucket: events in push (= `seq`) order.
+type Bucket<T> = VecDeque<(u64, T)>;
+
+/// A priority queue over `(at, seq)` keys, specialized for monotone
+/// discrete-event scheduling.
+///
+/// Invariants the caller must uphold (the simulator does by construction):
+///
+/// * `seq` strictly increases across pushes;
+/// * `at` is never below the tick of the most recently popped event.
+///
+/// Both are `debug_assert`ed.
+#[derive(Debug)]
+pub(crate) struct BucketQueue<T> {
+    /// Tick represented by `ring[0]`.
+    base: u64,
+    /// Per-tick buckets for `base .. base + ring.len()`, each in `seq`
+    /// order by construction (pushes arrive with increasing `seq`).
+    ring: VecDeque<Bucket<T>>,
+    /// Events at ticks `>= base + WINDOW`, keyed by tick.
+    overflow: BTreeMap<u64, Bucket<T>>,
+    /// Total queued events.
+    len: usize,
+    /// Recycled bucket storage.
+    pool: Vec<Bucket<T>>,
+    /// Highest `seq` pushed so far (monotonicity check).
+    last_seq: u64,
+}
+
+impl<T> BucketQueue<T> {
+    /// An empty queue starting at tick 0.
+    pub(crate) fn new() -> Self {
+        Self {
+            base: 0,
+            ring: VecDeque::new(),
+            overflow: BTreeMap::new(),
+            len: 0,
+            pool: Vec::new(),
+            last_seq: 0,
+        }
+    }
+
+    /// Number of queued events.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are queued.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn fresh_bucket(pool: &mut Vec<Bucket<T>>) -> Bucket<T> {
+        pool.pop().unwrap_or_default()
+    }
+
+    /// Ensures `ring[offset]` exists, growing the ring from the pool.
+    fn grow_ring_to(&mut self, offset: usize) {
+        if self.ring.len() <= offset {
+            let pool = &mut self.pool;
+            self.ring
+                .resize_with(offset + 1, || Self::fresh_bucket(pool));
+        }
+    }
+
+    /// Enqueues `item` at tick `at` with sequence number `seq`.
+    pub(crate) fn push(&mut self, at: u64, seq: u64, item: T) {
+        debug_assert!(
+            self.last_seq == 0 || seq > self.last_seq,
+            "sequence numbers must increase"
+        );
+        debug_assert!(at >= self.base, "cannot schedule into the past");
+        self.last_seq = seq;
+        let at = at.max(self.base);
+        if at >= self.base + WINDOW {
+            self.overflow.entry(at).or_default().push_back((seq, item));
+        } else {
+            let offset = (at - self.base) as usize;
+            self.grow_ring_to(offset);
+            self.ring[offset].push_back((seq, item));
+        }
+        self.len += 1;
+    }
+
+    /// Dequeues the earliest event as `(at, seq, item)`, in `(at, seq)`
+    /// order.
+    pub(crate) fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if let Some(front) = self.ring.front_mut() {
+                if let Some((seq, item)) = front.pop_front() {
+                    self.len -= 1;
+                    return Some((self.base, seq, item));
+                }
+                // Bucket exhausted: recycle it and advance one tick.
+                let spent = self.ring.pop_front().expect("front exists");
+                self.pool.push(spent);
+                self.base += 1;
+                self.migrate_overflow();
+                continue;
+            }
+            // Ring empty: jump straight to the first overflow tick.
+            let (&at, _) = self
+                .overflow
+                .first_key_value()
+                .expect("len > 0 with an empty ring means overflow has events");
+            self.base = at;
+            self.migrate_overflow();
+        }
+    }
+
+    /// Moves overflow buckets whose tick entered the ring window into the
+    /// ring. Buckets move wholesale — they are already `seq`-sorted, and
+    /// ring slots for overflow ticks are empty by construction (events for
+    /// those ticks kept landing in the overflow until now).
+    fn migrate_overflow(&mut self) {
+        while let Some((&at, _)) = self.overflow.first_key_value() {
+            if at >= self.base + WINDOW {
+                break;
+            }
+            let bucket = self.overflow.remove(&at).expect("first key exists");
+            let offset = (at - self.base) as usize;
+            self.grow_ring_to(offset);
+            debug_assert!(
+                self.ring[offset].is_empty(),
+                "ring and overflow must stay disjoint"
+            );
+            let empty = std::mem::replace(&mut self.ring[offset], bucket);
+            self.pool.push(empty);
+        }
+    }
+
+    /// Keeps only the events for which `keep` returns `true`, preserving
+    /// `(at, seq)` order. Removed events are handed to `drop_fn` in
+    /// `(at, seq)` order together with their tick. Buckets are filtered
+    /// through pooled scratch storage — one element move per event, no
+    /// queue rebuild. This is the crash-session drain: the old engine
+    /// `mem::take`-and-re-pushed its entire heap here.
+    pub(crate) fn retain(
+        &mut self,
+        mut keep: impl FnMut(&T) -> bool,
+        mut drop_fn: impl FnMut(u64, T),
+    ) {
+        let len = &mut self.len;
+        let pool = &mut self.pool;
+        let mut filter = |bucket: &mut Bucket<T>, at: u64| {
+            if bucket.is_empty() {
+                return;
+            }
+            let mut old = std::mem::replace(bucket, Self::fresh_bucket(pool));
+            for (seq, item) in old.drain(..) {
+                if keep(&item) {
+                    bucket.push_back((seq, item));
+                } else {
+                    *len -= 1;
+                    drop_fn(at, item);
+                }
+            }
+            // The drained storage goes back to the pool: repeated crash
+            // sessions reuse the same buffers instead of churning them.
+            pool.push(old);
+        };
+        for (offset, bucket) in self.ring.iter_mut().enumerate() {
+            filter(bucket, self.base + offset as u64);
+        }
+        for (&at, bucket) in self.overflow.iter_mut() {
+            filter(bucket, at);
+        }
+        // Ticks whose overflow bucket emptied out are dropped (their
+        // storage is recycled when `filter` replaced them — the emptied
+        // originals were consumed above).
+        let emptied: Vec<u64> = self
+            .overflow
+            .iter()
+            .filter(|(_, b)| b.is_empty())
+            .map(|(&at, _)| at)
+            .collect();
+        for at in emptied {
+            if let Some(bucket) = self.overflow.remove(&at) {
+                self.pool.push(bucket);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    //! The bucket queue must pop events in exactly the `(at, seq)` order of
+    //! the `BinaryHeap<Reverse<…>>` it replaced, under arbitrary interleaved
+    //! pushes, pops and crash-style retains.
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    use proptest::prelude::*;
+
+    use super::BucketQueue;
+
+    /// One scripted step: numbers map onto the currently legal moves.
+    #[derive(Debug, Clone, Copy)]
+    struct Op {
+        kind: u8,
+        delay: u64,
+        payload: u8,
+    }
+
+    fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            (0u8..8, 0u64..2500, 0u8..4).prop_map(|(kind, delay, payload)| Op {
+                kind,
+                delay,
+                payload,
+            }),
+            1..max,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn pops_match_binary_heap_reference(script in ops(120)) {
+            let mut bucket: BucketQueue<u8> = BucketQueue::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64, u8)>> = BinaryHeap::new();
+            let mut time = 0u64;
+            let mut seq = 1u64;
+            for op in script {
+                match op.kind {
+                    // Push (weighted: most ops are pushes, spanning the
+                    // ring window and the overflow).
+                    0..=4 => {
+                        let at = time + op.delay;
+                        bucket.push(at, seq, op.payload);
+                        heap.push(Reverse((at, seq, op.payload)));
+                        seq += 1;
+                    }
+                    // Pop from both; results must agree exactly.
+                    5..=6 => {
+                        let expected = heap.pop().map(|Reverse(e)| e);
+                        let got = bucket.pop();
+                        prop_assert_eq!(got, expected);
+                        if let Some((at, _, _)) = got {
+                            time = time.max(at);
+                        }
+                    }
+                    // Crash-style retain: drop one payload class from both.
+                    _ => {
+                        let doomed = op.payload;
+                        let mut dropped = Vec::new();
+                        bucket.retain(|&p| p != doomed, |at, p| dropped.push((at, p)));
+                        let mut expected_dropped = Vec::new();
+                        let survivors: Vec<Reverse<(u64, u64, u8)>> = heap
+                            .drain()
+                            .filter(|Reverse((at, s, p))| {
+                                if *p == doomed {
+                                    expected_dropped.push((*at, *s, *p));
+                                    false
+                                } else {
+                                    true
+                                }
+                            })
+                            .collect();
+                        heap.extend(survivors);
+                        // The bucket queue reports drops in (at, seq) order.
+                        expected_dropped.sort_unstable();
+                        let expected_dropped: Vec<(u64, u8)> = expected_dropped
+                            .into_iter()
+                            .map(|(at, _, p)| (at, p))
+                            .collect();
+                        prop_assert_eq!(dropped, expected_dropped);
+                    }
+                }
+            }
+            // Drain the tails; they must agree to the last event.
+            loop {
+                let expected = heap.pop().map(|Reverse(e)| e);
+                let got = bucket.pop();
+                prop_assert_eq!(got, expected);
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T>(q: &mut BucketQueue<T>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, _)) = q.pop() {
+            out.push((at, seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_at_seq_order() {
+        let mut q = BucketQueue::new();
+        q.push(5, 1, "a");
+        q.push(3, 2, "b");
+        q.push(5, 3, "c");
+        q.push(3, 4, "d");
+        assert_eq!(q.len(), 4);
+        assert_eq!(drain(&mut q), vec![(3, 2), (3, 4), (5, 1), (5, 3)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut q: BucketQueue<u8> = BucketQueue::new();
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn push_at_current_tick_while_draining() {
+        let mut q = BucketQueue::new();
+        q.push(10, 1, ());
+        let (at, _, ()) = q.pop().expect("queued");
+        assert_eq!(at, 10);
+        // Delay-zero push onto the tick being processed pops next.
+        q.push(10, 2, ());
+        q.push(11, 3, ());
+        assert_eq!(drain(&mut q), vec![(10, 2), (11, 3)]);
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        let mut q = BucketQueue::new();
+        q.push(0, 1, "now");
+        q.push(WINDOW * 3, 2, "later");
+        q.push(WINDOW * 3 + 1, 3, "latest");
+        assert_eq!(
+            drain(&mut q),
+            vec![(0, 1), (WINDOW * 3, 2), (WINDOW * 3 + 1, 3)]
+        );
+    }
+
+    #[test]
+    fn overflow_tick_jump_skips_idle_ticks() {
+        let mut q = BucketQueue::new();
+        q.push(WINDOW * 10, 1, ());
+        // One pop must not walk WINDOW*10 ring slots; it jumps.
+        assert_eq!(
+            q.pop().map(|(at, seq, _)| (at, seq)),
+            Some((WINDOW * 10, 1))
+        );
+    }
+
+    #[test]
+    fn retain_drops_in_order_and_preserves_the_rest() {
+        let mut q = BucketQueue::new();
+        q.push(1, 1, 10);
+        q.push(1, 2, 11);
+        q.push(2, 3, 10);
+        q.push(WINDOW + 5, 4, 11);
+        q.push(WINDOW + 5, 5, 10);
+        let mut dropped = Vec::new();
+        q.retain(|&v| v == 10, |at, v| dropped.push((at, v)));
+        assert_eq!(dropped, vec![(1, 11), (WINDOW + 5, 11)]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(drain(&mut q), vec![(1, 1), (2, 3), (WINDOW + 5, 5)]);
+    }
+
+    #[test]
+    fn retain_on_partially_consumed_tick() {
+        let mut q = BucketQueue::new();
+        q.push(0, 1, 1);
+        q.push(0, 2, 2);
+        q.push(0, 3, 3);
+        assert_eq!(q.pop().map(|(_, s, _)| s), Some(1));
+        let mut dropped = Vec::new();
+        q.retain(|&v| v != 2, |_, v| dropped.push(v));
+        assert_eq!(dropped, vec![2]);
+        assert_eq!(drain(&mut q), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn buckets_are_recycled() {
+        let mut q = BucketQueue::new();
+        for round in 0..100u64 {
+            q.push(round * 3, round * 2 + 1, ());
+            q.push(round * 3 + 1, round * 2 + 2, ());
+            let _ = q.pop();
+            let _ = q.pop();
+        }
+        assert!(q.is_empty());
+        // The pool keeps bucket allocations bounded regardless of rounds.
+        assert!(q.pool.len() <= 8, "pool grew to {}", q.pool.len());
+    }
+}

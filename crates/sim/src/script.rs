@@ -153,8 +153,13 @@ mod tests {
     #[test]
     fn figure5_reaches_the_tight_bound() {
         for n in 2..6 {
-            let run =
-                run_script(n, &figure5_worst_case(n), ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
+            let run = run_script(
+                n,
+                &figure5_worst_case(n),
+                ProtocolKind::Fdas,
+                GcKind::RdtLgc,
+            )
+            .unwrap();
             for i in 0..n {
                 assert_eq!(run.retained(p(i)).len(), n, "n = {n}");
             }

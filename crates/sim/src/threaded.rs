@@ -14,7 +14,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use rdt_base::{Payload, ProcessId};
 use rdt_core::GcKind;
-use rdt_protocols::{Middleware, Piggyback, ProtocolKind};
+use rdt_protocols::{Middleware, Piggyback, ProtocolKind, ReceiveReport};
 use rdt_workloads::AppOp;
 
 /// What travels between process threads.
@@ -59,12 +59,7 @@ impl ThreadedReport {
 /// # Panics
 ///
 /// Panics if a process thread panics (middleware invariant violation).
-pub fn run_threaded(
-    n: usize,
-    ops: &[AppOp],
-    protocol: ProtocolKind,
-    gc: GcKind,
-) -> ThreadedReport {
+pub fn run_threaded(n: usize, ops: &[AppOp], protocol: ProtocolKind, gc: GcKind) -> ThreadedReport {
     assert!(n > 0, "a system needs at least one process");
     let (msg_txs, msg_rxs): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
         (0..n).map(|_| unbounded()).unzip();
@@ -81,6 +76,9 @@ pub fn run_threaded(
             std::thread::spawn(move || {
                 let mut farewells = 0usize;
                 let mut stopped = false;
+                // One reusable report per process thread: receives allocate
+                // nothing at steady state.
+                let mut report = ReceiveReport::default();
                 loop {
                     if stopped && farewells == n - 1 {
                         return mw;
@@ -88,7 +86,8 @@ pub fn run_threaded(
                     crossbeam::channel::select! {
                         recv(msg_rx) -> env => match env.expect("peers outlive messages") {
                             Envelope::App(pb) => {
-                                mw.receive_piggyback(&pb).expect("process is alive");
+                                mw.receive_piggyback_into(&pb, &mut report)
+                                    .expect("process is alive");
                             }
                             Envelope::Farewell => farewells += 1,
                         },

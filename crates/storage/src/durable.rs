@@ -271,10 +271,7 @@ mod tests {
         let dir = scratch("alien");
         let durable = DurableStore::open(&dir, ProcessId::new(0)).unwrap();
         fs::write(dir.join("notes.txt"), b"hello").unwrap();
-        assert!(matches!(
-            durable.indices(),
-            Err(Error::UnrecognizedFile(_))
-        ));
+        assert!(matches!(durable.indices(), Err(Error::UnrecognizedFile(_))));
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -225,14 +225,9 @@ mod tests {
     fn restart_round_trips_through_the_filesystem() {
         let dir = scratch("restart");
         {
-            let mut mw = MirroredMiddleware::create(
-                &dir,
-                p(0),
-                2,
-                ProtocolKind::Fdas,
-                GcKind::RdtLgc,
-            )
-            .unwrap();
+            let mut mw =
+                MirroredMiddleware::create(&dir, p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc)
+                    .unwrap();
             mw.basic_checkpoint().unwrap();
             mw.basic_checkpoint().unwrap();
         } // crash: everything volatile is gone

@@ -21,6 +21,7 @@ fn scratch(tag: u64) -> PathBuf {
 }
 
 #[derive(Debug, Clone, Copy)]
+#[allow(dead_code)] // generated uniformly; `b` is unused by this op set
 struct Op {
     kind: u8,
     a: usize,

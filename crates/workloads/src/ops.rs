@@ -159,7 +159,10 @@ mod tests {
         assert_eq!(
             s.ops(),
             &[
-                ScriptOp::Send { from: p(0), to: p(1) },
+                ScriptOp::Send {
+                    from: p(0),
+                    to: p(1)
+                },
                 ScriptOp::Deliver { send_ordinal: 0 }
             ]
         );
@@ -168,7 +171,11 @@ mod tests {
     #[test]
     fn app_op_display() {
         assert_eq!(
-            AppOp::Send { from: p(0), to: p(2) }.to_string(),
+            AppOp::Send {
+                from: p(0),
+                to: p(2)
+            }
+            .to_string(),
             "send p1 → p3"
         );
         assert_eq!(AppOp::Checkpoint(p(1)).to_string(), "checkpoint p2");

@@ -173,13 +173,32 @@ impl WorkloadSpec {
 /// Mutable pattern state across a generation run.
 #[derive(Debug)]
 enum PatternState {
-    UniformRandom { n: usize },
-    Ring { n: usize },
-    ClientServer { n: usize, servers: usize },
-    Bursty { n: usize, burst: usize, left: usize, pair: (usize, usize) },
-    TokenRing { n: usize, holder: usize },
-    Star { n: usize },
-    Pipeline { n: usize },
+    UniformRandom {
+        n: usize,
+    },
+    Ring {
+        n: usize,
+    },
+    ClientServer {
+        n: usize,
+        servers: usize,
+    },
+    Bursty {
+        n: usize,
+        burst: usize,
+        left: usize,
+        pair: (usize, usize),
+    },
+    TokenRing {
+        n: usize,
+        holder: usize,
+    },
+    Star {
+        n: usize,
+    },
+    Pipeline {
+        n: usize,
+    },
 }
 
 impl PatternState {
@@ -221,7 +240,12 @@ impl PatternState {
                     (from, rng.gen_range(*servers..*n))
                 }
             }
-            PatternState::Bursty { n, burst, left, pair } => {
+            PatternState::Bursty {
+                n,
+                burst,
+                left,
+                pair,
+            } => {
                 if *left == 0 {
                     let from = rng.gen_range(0..*n);
                     let to = (from + 1 + rng.gen_range(0..*n - 1)) % *n;
@@ -377,7 +401,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "0 < servers < n")]
     fn client_server_validates_tier_size() {
-        let _ = WorkloadSpec::uniform_random(3, 10)
-            .with_pattern(Pattern::ClientServer { servers: 3 });
+        let _ =
+            WorkloadSpec::uniform_random(3, 10).with_pattern(Pattern::ClientServer { servers: 3 });
     }
 }

@@ -38,8 +38,7 @@ fn main() {
     println!();
     println!("== Online execution of the same traffic ==");
     for protocol in [ProtocolKind::NoForced, ProtocolKind::Fdas] {
-        let run = run_script(2, &figure2_script(), protocol, GcKind::RdtLgc)
-            .expect("script runs");
+        let run = run_script(2, &figure2_script(), protocol, GcKind::RdtLgc).expect("script runs");
         let ccp = CcpBuilder::from_trace(2, &run.trace)
             .expect("crash-free trace")
             .build();

@@ -39,7 +39,11 @@ fn main() {
         "p1 stable store before the crash: {:?}",
         a.store().indices().map(|i| i.value()).collect::<Vec<_>>()
     );
-    println!("  on disk: {} checksummed records in {:?}", disk_a.indices().unwrap().len(), disk_a.dir());
+    println!(
+        "  on disk: {} checksummed records in {:?}",
+        disk_a.indices().unwrap().len(),
+        disk_a.dir()
+    );
 
     // p0 dies: drop the middleware. Only the files survive.
     drop(a);

@@ -8,10 +8,10 @@
 //! cargo run --example paper_trace
 //! ```
 
-use rdt_checkpointing::prelude::*;
-use rdt_checkpointing::workloads::ScriptOp;
-use rdt_checkpointing::workloads::figures::figure4_script;
 use rdt_base::Payload;
+use rdt_checkpointing::prelude::*;
+use rdt_checkpointing::workloads::figures::figure4_script;
+use rdt_checkpointing::workloads::ScriptOp;
 
 fn fmt_uc(uc: &[Option<rdt_base::CheckpointIndex>]) -> String {
     let inner: Vec<String> = uc
@@ -41,8 +41,7 @@ fn main() {
     let mut mws: Vec<Middleware> = (0..n)
         .map(|i| Middleware::new(ProcessId::new(i), n, ProtocolKind::Fdas, GcKind::RdtLgc))
         .collect();
-    let mut pending: Vec<Option<(ProcessId, rdt_checkpointing::protocols::Piggyback)>> =
-        Vec::new();
+    let mut pending: Vec<Option<(ProcessId, rdt_checkpointing::protocols::Piggyback)>> = Vec::new();
     let mut eliminated: Vec<String> = Vec::new();
 
     println!("== Figure 4: RDT-LGC execution trace ==");

@@ -16,7 +16,10 @@ fn main() {
         .generate();
 
     println!("== threaded runtime ==");
-    println!("running {} ops over {n} OS threads (FDAS + RDT-LGC)...", ops.len());
+    println!(
+        "running {} ops over {n} OS threads (FDAS + RDT-LGC)...",
+        ops.len()
+    );
     let report = run_threaded(n, &ops, ProtocolKind::Fdas, GcKind::RdtLgc);
 
     for mw in &report.processes {

@@ -53,7 +53,12 @@ fn main() {
         GcKind::TimeBased { horizon: 60 },
     ] {
         let (collected, violations) = audit(gc, &spec);
-        println!("{:<20} {:>10} {:>12}", gc.to_string(), collected, violations);
+        println!(
+            "{:<20} {:>10} {:>12}",
+            gc.to_string(),
+            collected,
+            violations
+        );
         if gc == GcKind::RdtLgc {
             assert_eq!(violations, 0, "Theorem 4: RDT-LGC is safe");
         }

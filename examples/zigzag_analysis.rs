@@ -6,8 +6,8 @@
 //! cargo run --example zigzag_analysis
 //! ```
 
-use rdt_checkpointing::prelude::*;
 use rdt_checkpointing::analysis::worst_single_failure;
+use rdt_checkpointing::prelude::*;
 
 fn analyze(protocol: ProtocolKind, spec: &WorkloadSpec) {
     let report = SimulationBuilder::new(spec.clone())

@@ -1,0 +1,284 @@
+//! Offline shim for `criterion` covering the API surface this workspace's
+//! benches use: groups, `bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `Throughput`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, one calibration ramp (doubling batch
+//! sizes until a batch exceeds ~1/10 of the measurement budget) followed by
+//! timed batches until the budget is spent; the reported statistic is the
+//! best (minimum) per-iteration mean across batches, a low-noise estimator
+//! for short deterministic kernels.
+//!
+//! Environment:
+//! * `BENCH_QUICK=1` — shrink the measurement budget ~20× (CI smoke mode).
+//! * `BENCH_JSON=<path>` — append one JSON object per benchmark to
+//!   `<path>` (line-delimited; see BENCHMARKS.md).
+//!
+//! Swap `[workspace.dependencies]` to the real crates.io `criterion` for
+//! statistically rigorous results when a registry is reachable.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+fn measure_budget() -> Duration {
+    if std::env::var_os("BENCH_QUICK").is_some() {
+        Duration::from_millis(15)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            name: String::new(),
+            param: param.to_string(),
+        }
+    }
+}
+
+/// How per-iteration inputs are batched in `iter_batched`.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: large batches.
+    SmallInput,
+    /// Large inputs: small batches.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input parameter.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        let label = if id.name.is_empty() {
+            id.param.clone()
+        } else {
+            format!("{}/{}", id.name, id.param)
+        };
+        self.report(&label, &bencher);
+        self
+    }
+
+    /// Runs one benchmark without a parameter.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        self.report(&name.into(), &bencher);
+        self
+    }
+
+    /// Finishes the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+
+    fn report(&self, bench: &str, bencher: &Bencher) {
+        let mean_ns = bencher.best_mean_ns;
+        let per_element = match self.throughput {
+            Some(Throughput::Elements(e)) if e > 0 => Some(mean_ns / e as f64),
+            _ => None,
+        };
+        match per_element {
+            Some(pe) => println!(
+                "bench {:<40} {:>14.1} ns/iter {:>10.2} ns/elem",
+                format!("{}/{}", self.name, bench),
+                mean_ns,
+                pe
+            ),
+            None => println!(
+                "bench {:<40} {:>14.1} ns/iter",
+                format!("{}/{}", self.name, bench),
+                mean_ns
+            ),
+        }
+        if let Some(path) = std::env::var_os("BENCH_JSON") {
+            let line = format!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"batches\":{}}}\n",
+                self.name, bench, mean_ns, bencher.batches
+            );
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .expect("BENCH_JSON path is writable");
+            file.write_all(line.as_bytes()).expect("bench json write");
+        }
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best_mean_ns: f64,
+    batches: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, called repeatedly in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let budget = measure_budget();
+        // Calibrate: double the batch size until one batch costs >= 1/10
+        // of the budget (or a hard cap for very slow bodies).
+        let mut batch: u64 = 1;
+        let batch_floor = budget / 10;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= batch_floor || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure: repeat batches until the budget is spent; keep the best
+        // per-iteration mean.
+        let mut best = f64::INFINITY;
+        let mut batches = 0u64;
+        let deadline = Instant::now() + budget;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let took = start.elapsed();
+            best = best.min(took.as_nanos() as f64 / batch as f64);
+            batches += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.best_mean_ns = best;
+        self.batches = batches;
+    }
+
+    /// Measures `f` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let budget = measure_budget();
+        let mut best = f64::INFINITY;
+        let mut batches = 0u64;
+        let deadline = Instant::now() + budget;
+        // Inputs are built one per measured call; timing covers only `f`.
+        loop {
+            const BATCH: usize = 16;
+            let inputs: Vec<I> = (0..BATCH).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(f(input));
+            }
+            let took = start.elapsed();
+            best = best.min(took.as_nanos() as f64 / BATCH as f64);
+            batches += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.best_mean_ns = best;
+        self.batches = batches;
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something_positive() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("noop", 0), &0u64, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline shim for `crossbeam` covering the surface this workspace uses:
+//! `channel::{unbounded, Sender, Receiver}` and the `select!` macro over
+//! `recv` arms.
+//!
+//! Channels are unbounded MPMC queues built on `Mutex<VecDeque>` +
+//! `Condvar`; `select!` polls its arms round-robin with a short parked
+//! sleep between sweeps. Adequate for the threaded test runtime; swap
+//! `[workspace.dependencies]` to the real crates.io `crossbeam` when a
+//! registry is reachable.
+
+/// Multi-producer multi-consumer unbounded channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Error returned when every receiver is gone (never observed through
+    /// this shim's API: receivers do not track their own count).
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by `recv` when the channel is empty and every sender
+    /// is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by `try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// No message is queued and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; never blocks.
+        ///
+        /// # Errors
+        ///
+        /// This shim cannot observe receiver disconnection, so `send`
+        /// always succeeds; the `Result` mirrors the real API.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::SeqCst);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake blocked receivers so they observe
+                // disconnection.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or the channel disconnects.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] if the channel is empty and all senders dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.0.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.0.ready.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when additionally all senders
+        /// dropped.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.0.queue.lock().expect("channel poisoned");
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::SeqCst) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    pub use crate::select;
+}
+
+/// Waits on multiple `recv` operations, executing the first arm whose
+/// channel produces a message (or disconnects, yielding `Err`).
+///
+/// Supports the subset `recv($rx) -> $pattern => $body` this workspace
+/// uses. Arms are polled round-robin with a brief sleep between sweeps.
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $var:pat => $body:expr),+ $(,)?) => {{
+        loop {
+            $(
+                match ($rx).try_recv() {
+                    Ok(v) => {
+                        let $var =
+                            ::core::result::Result::<_, $crate::channel::RecvError>::Ok(v);
+                        break $body;
+                    }
+                    Err($crate::channel::TryRecvError::Disconnected) => {
+                        let $var =
+                            ::core::result::Result::<_, $crate::channel::RecvError>::Err(
+                                $crate::channel::RecvError,
+                            );
+                        break $body;
+                    }
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                }
+            )+
+            ::std::thread::sleep(::std::time::Duration::from_micros(20));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn disconnection_is_observed() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        let (tx2, rx2) = channel::unbounded::<u8>();
+        tx2.send(1).unwrap();
+        drop(tx2);
+        // Queued messages drain before disconnection reports.
+        assert_eq!(rx2.recv(), Ok(1));
+        assert!(rx2.recv().is_err());
+    }
+
+    #[test]
+    fn select_prefers_ready_channel() {
+        let (tx_a, rx_a) = channel::unbounded::<u8>();
+        let (_tx_b, rx_b) = channel::unbounded::<u8>();
+        tx_a.send(9).unwrap();
+        let got = select! {
+            recv(rx_a) -> v => v.unwrap(),
+            recv(rx_b) -> v => v.unwrap(),
+        };
+        assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = channel::unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += rx.recv().unwrap();
+        }
+        h.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+}

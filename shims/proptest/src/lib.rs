@@ -1,0 +1,419 @@
+//! Offline shim for `proptest` covering the API surface this workspace's
+//! property tests use: the `proptest!` macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(N))]`), integer-range and
+//! tuple strategies, `prop_map`, `prop::collection::vec`,
+//! `prop::sample::{select, Index}`, `any::<T>()`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//! * **no shrinking** — a failing case reports its inputs via the panic
+//!   message (every strategy value is `Debug`-printable at the call site)
+//!   but is not minimized;
+//! * generation is driven by the workspace's deterministic `rand` shim,
+//!   seeded per test from the test name, so failures reproduce across
+//!   runs; set `PROPTEST_SEED` to explore a different stream, and
+//!   `PROPTEST_CASES` to override every test's case count.
+//!
+//! Swap `[workspace.dependencies]` to the real crates.io `proptest` when a
+//! registry is reachable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Run-time configuration accepted by `proptest!`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The effective case count, honouring `PROPTEST_CASES`.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// The generator handed to strategies (deterministic per test).
+pub type TestRng = StdRng;
+
+/// Builds the per-test generator: seeded from the test's full path so each
+/// property sees an independent, reproducible stream.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5eed_u64);
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64 ^ base;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: f64 = rng.gen();
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical strategy, selected via [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (e.g. `any::<prop::sample::Index>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy combinators and sampling helpers, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Size specification for [`vec`]: a fixed length or a range.
+        pub trait SizeRange {
+            /// Draws a length.
+            fn sample_len(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn sample_len(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for core::ops::Range<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl SizeRange for core::ops::RangeInclusive<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+        pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy produced by [`vec`].
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.size.sample_len(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Arbitrary, Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy yielding uniformly chosen clones of the given values.
+        ///
+        /// # Panics
+        ///
+        /// Generation panics if `values` is empty.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            Select { values }
+        }
+
+        /// Strategy produced by [`select`].
+        pub struct Select<T: Clone> {
+            values: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                assert!(!self.values.is_empty(), "select over no values");
+                self.values[rng.gen_range(0..self.values.len())].clone()
+            }
+        }
+
+        /// An index into a collection whose length is only known at use
+        /// time: `index(len)` maps the sampled raw value uniformly into
+        /// `0..len`.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// Projects into `0..len`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "cannot index an empty collection");
+                self.0 % len
+            }
+        }
+
+        /// Strategy for [`Index`].
+        pub struct IndexStrategy;
+
+        impl Strategy for IndexStrategy {
+            type Value = Index;
+
+            fn generate(&self, rng: &mut TestRng) -> Index {
+                Index(rng.gen_range(0..usize::MAX))
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = IndexStrategy;
+
+            fn arbitrary() -> IndexStrategy {
+                IndexStrategy
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    // With an explicit config attribute.
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest!(@impl ($config) $($(#[$meta])* fn $name($($arg in $strat),+) $body)+);
+    };
+    // Default config.
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default())
+                          $($(#[$meta])* fn $name($($arg in $strat),+) $body)+);
+    };
+    (@impl ($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.effective_cases() {
+                    $(let $arg = ($strat).generate(&mut rng);)+
+                    let case_info = format!(
+                        concat!("case {} of ", stringify!($name),
+                                $(" ", stringify!($arg), "={:?}",)+),
+                        case $(, &$arg)+
+                    );
+                    let run = move || -> ::core::result::Result<(), ()> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)).is_err() {
+                        panic!("property failed: {case_info}");
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0u8..2) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 2);
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in prop::collection::vec((0usize..5, 0usize..5).prop_map(|(a, b)| a + b), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&s| s <= 8));
+        }
+
+        #[test]
+        fn select_and_index(choice in prop::sample::select(vec![2usize, 4, 6]), ix in any::<prop::sample::Index>()) {
+            prop_assert_eq!(choice % 2, 0);
+            prop_assert!(ix.index(5) < 5);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_rng("t");
+        let mut b = crate::test_rng("t");
+        let strat = 0usize..1000;
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

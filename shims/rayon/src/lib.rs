@@ -1,0 +1,140 @@
+//! Offline shim for `rayon` covering the surface this workspace uses:
+//! `into_par_iter().map(..).collect()` over vectors, preserving input
+//! order, plus `current_num_threads`.
+//!
+//! Work is distributed dynamically over `std::thread::scope` workers
+//! pulling indices from an atomic counter — long-running items (a slow
+//! simulation seed) do not stall the other workers. Swap
+//! `[workspace.dependencies]` to the real crates.io `rayon` when a
+//! registry is reachable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads parallel operations use.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Starts a parallel pipeline over `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel pipeline over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` on the worker pool.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel pipeline; consumed by [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the pipeline and collects results **in input order**.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        let workers = current_num_threads().min(n.max(1));
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|item| Mutex::new(Some(item)))
+            .collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let item = slots[index]
+                        .lock()
+                        .expect("unpoisoned")
+                        .take()
+                        .expect("each slot is taken once");
+                    let output = f(item);
+                    *results[index].lock().expect("unpoisoned") = Some(output);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("unpoisoned")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+}
+
+/// The items commonly imported from `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<u8> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

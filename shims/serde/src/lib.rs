@@ -1,0 +1,21 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros.
+//!
+//! The workspace uses serde only as `#[derive(Serialize, Deserialize)]`
+//! annotations; nothing serializes through serde's data model (the on-disk
+//! codec in `rdt-storage` is hand-rolled). Blanket impls keep any
+//! `T: Serialize` bounds satisfiable. Swap `[workspace.dependencies]` to
+//! the real crates.io `serde` when a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

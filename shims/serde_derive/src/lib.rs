@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations (no crate actually serializes through serde's data model),
+//! so empty expansions keep every annotated type compiling in the
+//! network-less build environment. Swap `[workspace.dependencies]` to the
+//! real crates.io `serde` to restore full functionality.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

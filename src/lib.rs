@@ -58,11 +58,11 @@ pub use rdt_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use rdt_analysis::{CcpStats, OccupancyTimeline, PropagationReport, RollbackGraph};
     pub use rdt_base::{
         CheckpointId, CheckpointIndex, DependencyVector, IntervalIndex, Message, MessageId,
         MessageMeta, Payload, ProcessId,
     };
-    pub use rdt_analysis::{CcpStats, OccupancyTimeline, PropagationReport, RollbackGraph};
     pub use rdt_ccp::{Ccp, CcpBuilder, GeneralCheckpoint, GlobalCheckpoint};
     pub use rdt_core::{CheckpointStore, GarbageCollector, GcKind, LastIntervals, RdtLgc};
     pub use rdt_protocols::{Middleware, ProtocolKind};

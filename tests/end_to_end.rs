@@ -4,13 +4,7 @@
 use rdt_checkpointing::ccp::CcpBuilder;
 use rdt_checkpointing::prelude::*;
 
-fn sim(
-    n: usize,
-    steps: usize,
-    seed: u64,
-    protocol: ProtocolKind,
-    gc: GcKind,
-) -> SimulationReport {
+fn sim(n: usize, steps: usize, seed: u64, protocol: ProtocolKind, gc: GcKind) -> SimulationReport {
     SimulationBuilder::new(
         WorkloadSpec::uniform_random(n, steps)
             .with_seed(seed)
@@ -42,7 +36,9 @@ fn lgc_safety_and_optimality_hold_on_simulated_executions() {
     for seed in 0..5 {
         let report = sim(4, 200, seed, ProtocolKind::Fdas, GcKind::RdtLgc);
         let trace = report.trace.as_ref().expect("trace recorded");
-        let ccp = CcpBuilder::from_trace(4, trace).expect("crash-free").build();
+        let ccp = CcpBuilder::from_trace(4, trace)
+            .expect("crash-free")
+            .build();
         let obsolete = ccp.obsolete_set();
         let identifiable = ccp.causally_identifiable_obsolete_set();
 
@@ -135,7 +131,9 @@ fn lossy_channels_preserve_all_guarantees() {
     .run()
     .expect("simulation runs");
     let trace = report.trace.as_ref().expect("trace recorded");
-    let ccp = CcpBuilder::from_trace(n, trace).expect("crash-free").build();
+    let ccp = CcpBuilder::from_trace(n, trace)
+        .expect("crash-free")
+        .build();
     assert!(ccp.is_rdt());
     assert!(report.metrics.max_retained_per_process() <= n + 1);
     let lost: u64 = report.metrics.per_process.iter().map(|m| m.lost).sum();
@@ -153,9 +151,7 @@ fn simulation_is_deterministic_in_the_seed() {
 #[test]
 fn threaded_and_des_agree_on_guarantees() {
     let n = 4;
-    let ops = WorkloadSpec::uniform_random(n, 300)
-        .with_seed(5)
-        .generate();
+    let ops = WorkloadSpec::uniform_random(n, 300).with_seed(5).generate();
     let threaded = run_threaded(n, &ops, ProtocolKind::Fdas, GcKind::RdtLgc);
     assert!(threaded.max_peak_retained() <= n + 1);
 }

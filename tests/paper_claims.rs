@@ -30,7 +30,10 @@ fn claim_figure2_domino() {
 fn claim_figure3_recovery_line() {
     let fig = figure3();
     let line = fig.ccp.recovery_line(&fig.faulty);
-    assert_eq!(line, fig.ccp.brute_force_recovery_line(&fig.faulty).unwrap());
+    assert_eq!(
+        line,
+        fig.ccp.brute_force_recovery_line(&fig.faulty).unwrap()
+    );
     // Window obsolete set = the paper's five (+ the unrealizable c_1^8 pin,
     // see DESIGN.md/EXPERIMENTS.md).
     let window: Vec<_> = fig
@@ -61,10 +64,7 @@ fn claim_figure4_trace() {
     // …and really is obsolete by Theorem 1, yet not causally identifiable.
     let ccp = CcpBuilder::from_trace(3, &run.trace).unwrap().build();
     for (p, i) in expect.retained_obsolete {
-        let id = rdt_base::CheckpointId::new(
-            ProcessId::new(p),
-            rdt_base::CheckpointIndex::new(i),
-        );
+        let id = rdt_base::CheckpointId::new(ProcessId::new(p), rdt_base::CheckpointIndex::new(i));
         assert!(ccp.is_obsolete(id), "{id}");
         assert!(!ccp.is_causally_identifiable_obsolete(id), "{id}");
     }
@@ -75,11 +75,14 @@ fn claim_figure4_trace() {
 #[test]
 fn claim_figure5_tight_bounds() {
     for n in 2..7 {
-        let run =
-            run_script(n, &figure5_worst_case(n), ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
-        let total: usize = (0..n)
-            .map(|i| run.retained(ProcessId::new(i)).len())
-            .sum();
+        let run = run_script(
+            n,
+            &figure5_worst_case(n),
+            ProtocolKind::Fdas,
+            GcKind::RdtLgc,
+        )
+        .unwrap();
+        let total: usize = (0..n).map(|i| run.retained(ProcessId::new(i)).len()).sum();
         assert_eq!(total, n * n, "n² steady state, n = {n}");
         let mut processes = run.processes;
         let mut peak_total = 0;
