@@ -5,7 +5,9 @@ use std::ops::Index;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CheckpointIndex, Error, IntervalIndex, ProcessId, Result, UpdateSet};
+use crate::{
+    CheckpointIndex, DvEntry, Error, Incarnation, IntervalIndex, ProcessId, Result, UpdateSet,
+};
 
 /// Vectors covering at most this many processes live entirely inline (no
 /// heap allocation for construction, cloning or merging).
@@ -17,6 +19,10 @@ const INLINE_CAP: usize = 16;
 /// ordering are defined over the entry slice, and a given vector's
 /// representation is fixed by its length (`n ≤ 16` inline), so the two
 /// variants never compare against each other in practice.
+// The size asymmetry is the design: the large Inline variant IS the
+// no-allocation fast path, and every vector of a given system size uses one
+// fixed variant, so no memory is "wasted" on the small one.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Serialize, Deserialize)]
 enum Entries {
     /// Up to [`INLINE_CAP`] entries stored in place.
@@ -24,16 +30,16 @@ enum Entries {
         /// Number of live entries in `buf`.
         len: u8,
         /// Entry storage; `buf[len..]` is meaningless padding.
-        buf: [IntervalIndex; INLINE_CAP],
+        buf: [DvEntry; INLINE_CAP],
     },
     /// Arbitrary-size fallback.
-    Heap(Vec<IntervalIndex>),
+    Heap(Vec<DvEntry>),
 }
 
 impl Entries {
-    fn from_vec(entries: Vec<IntervalIndex>) -> Self {
+    fn from_vec(entries: Vec<DvEntry>) -> Self {
         if entries.len() <= INLINE_CAP {
-            let mut buf = [IntervalIndex::ZERO; INLINE_CAP];
+            let mut buf = [DvEntry::ZERO; INLINE_CAP];
             buf[..entries.len()].copy_from_slice(&entries);
             Entries::Inline {
                 len: entries.len() as u8,
@@ -48,21 +54,21 @@ impl Entries {
         if n <= INLINE_CAP {
             Entries::Inline {
                 len: n as u8,
-                buf: [IntervalIndex::ZERO; INLINE_CAP],
+                buf: [DvEntry::ZERO; INLINE_CAP],
             }
         } else {
-            Entries::Heap(vec![IntervalIndex::ZERO; n])
+            Entries::Heap(vec![DvEntry::ZERO; n])
         }
     }
 
-    fn as_slice(&self) -> &[IntervalIndex] {
+    fn as_slice(&self) -> &[DvEntry] {
         match self {
             Entries::Inline { len, buf } => &buf[..*len as usize],
             Entries::Heap(v) => v,
         }
     }
 
-    fn as_mut_slice(&mut self) -> &mut [IntervalIndex] {
+    fn as_mut_slice(&mut self) -> &mut [DvEntry] {
         match self {
             Entries::Inline { len, buf } => &mut buf[..*len as usize],
             Entries::Heap(v) => v,
@@ -133,7 +139,25 @@ impl DependencyVector {
     pub fn from_raw(raw: Vec<usize>) -> Self {
         assert!(!raw.is_empty(), "a system needs at least one process");
         Self {
-            entries: Entries::from_vec(raw.into_iter().map(IntervalIndex::new).collect()),
+            entries: Entries::from_vec(
+                raw.into_iter()
+                    .map(|g| DvEntry::new(Incarnation::ZERO, IntervalIndex::new(g)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Builds a vector from `(incarnation, interval)` pairs — the
+    /// fully-qualified counterpart of [`from_raw`](Self::from_raw) for
+    /// post-rollback scenarios.
+    pub fn from_lineages(raw: Vec<(u32, usize)>) -> Self {
+        assert!(!raw.is_empty(), "a system needs at least one process");
+        Self {
+            entries: Entries::from_vec(
+                raw.into_iter()
+                    .map(|(v, g)| DvEntry::new(Incarnation::new(v), IntervalIndex::new(g)))
+                    .collect(),
+            ),
         }
     }
 
@@ -147,13 +171,36 @@ impl DependencyVector {
         false
     }
 
-    /// The entry for process `p`.
+    /// The *interval component* of the entry for process `p`.
+    ///
+    /// Interval indices are only comparable within one incarnation; use
+    /// [`lineage`](Self::lineage) whenever the execution may have rolled
+    /// back.
     ///
     /// # Panics
     ///
     /// Panics if `p` is out of range for this system size.
     pub fn entry(&self, p: ProcessId) -> IntervalIndex {
+        self.entries.as_slice()[p.index()].interval
+    }
+
+    /// The full incarnation-qualified entry for process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for this system size.
+    pub fn lineage(&self, p: ProcessId) -> DvEntry {
         self.entries.as_slice()[p.index()]
+    }
+
+    /// The incarnation component of the entry for process `p` — the newest
+    /// incarnation of `p` this vector has causally heard of.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for this system size.
+    pub fn incarnation_of(&self, p: ProcessId) -> Incarnation {
+        self.entries.as_slice()[p.index()].incarnation
     }
 
     /// Fallible variant of [`entry`](Self::entry).
@@ -165,30 +212,43 @@ impl DependencyVector {
         self.entries
             .as_slice()
             .get(p.index())
-            .copied()
+            .map(|e| e.interval)
             .ok_or(Error::ProcessOutOfRange {
                 process: p,
                 n: self.len(),
             })
     }
 
-    /// Iterates over `(process, entry)` pairs.
+    /// Iterates over `(process, interval)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, IntervalIndex)> + '_ {
         self.entries
             .as_slice()
             .iter()
             .enumerate()
-            .map(|(i, &v)| (ProcessId::new(i), v))
+            .map(|(i, v)| (ProcessId::new(i), v.interval))
     }
 
-    /// Raw entries as interval indices, in process order.
-    pub fn as_slice(&self) -> &[IntervalIndex] {
+    /// Incarnation-qualified entries, in process order.
+    pub fn as_slice(&self) -> &[DvEntry] {
         self.entries.as_slice()
     }
 
-    /// Raw entries as plain integers, in process order.
+    /// Raw interval components as plain integers, in process order.
     pub fn to_raw(&self) -> Vec<usize> {
-        self.entries.as_slice().iter().map(|e| e.value()).collect()
+        self.entries
+            .as_slice()
+            .iter()
+            .map(|e| e.interval.value())
+            .collect()
+    }
+
+    /// Raw `(incarnation, interval)` components, in process order.
+    pub fn to_raw_lineages(&self) -> Vec<(u32, usize)> {
+        self.entries
+            .as_slice()
+            .iter()
+            .map(|e| (e.incarnation.value(), e.interval.value()))
+            .collect()
     }
 
     /// Increments the owner's entry: called by `p_i` immediately after it
@@ -197,7 +257,32 @@ impl DependencyVector {
     /// Returns the interval the process now executes in.
     pub fn begin_next_interval(&mut self, owner: ProcessId) -> IntervalIndex {
         let e = &mut self.entries.as_mut_slice()[owner.index()];
-        *e = e.next();
+        *e = e.next_interval();
+        e.interval
+    }
+
+    /// Opens a fresh incarnation after a rollback: called by `p_i` right
+    /// after restoring a checkpoint, with the *globally fresh* incarnation
+    /// number assigned by the recovery layer (strictly greater than any the
+    /// process has used before — note the restored vector may carry an older
+    /// incarnation than the execution that just died).
+    ///
+    /// The owner's entry becomes `(incarnation, restored interval + 1)`:
+    /// re-executed intervals reuse indices, but the incarnation component
+    /// keeps them distinguishable from the abandoned attempt's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `incarnation` does not exceed the restored entry's — reused
+    /// `(incarnation, interval)` pairs would re-introduce the aliasing this
+    /// type exists to prevent.
+    pub fn resume_incarnation(&mut self, owner: ProcessId, incarnation: Incarnation) -> DvEntry {
+        let e = &mut self.entries.as_mut_slice()[owner.index()];
+        assert!(
+            incarnation > e.incarnation,
+            "a rollback must open a strictly newer incarnation"
+        );
+        *e = DvEntry::new(incarnation, e.interval.next());
         *e
     }
 
@@ -264,8 +349,38 @@ impl DependencyVector {
     /// state (volatile or checkpointed) whose dependency vector is `self`?
     ///
     /// `c_a^α → state ⟺ α < DV(state)[a]`.
+    ///
+    /// Compares raw interval indices, i.e. answers the question *within one
+    /// incarnation of `p_a`*. Recovery-line computations over executions
+    /// that may have rolled back must use
+    /// [`dominates_live_checkpoint`](Self::dominates_live_checkpoint).
     pub fn dominates_checkpoint(&self, a: ProcessId, alpha: CheckpointIndex) -> bool {
         alpha.value() < self.entry(a).value()
+    }
+
+    /// Incarnation-aware Equation 2: does checkpoint `c_a^α` of `p_a`'s
+    /// **live** incarnation causally precede this state?
+    ///
+    /// An entry from a dead incarnation of `p_a` never dominates: the
+    /// surviving prefix of every dead incarnation lies at or below the live
+    /// execution's restore points, so whatever part of the recorded
+    /// dependency still refers to existing states cannot exceed `p_a`'s
+    /// current last stable checkpoint. The dead remainder refers to states
+    /// already discarded by an earlier recovery session and must not block a
+    /// live checkpoint — the orphaned-knowledge failure mode this predicate
+    /// eliminates.
+    pub fn dominates_live_checkpoint(
+        &self,
+        a: ProcessId,
+        alpha: CheckpointIndex,
+        live: Incarnation,
+    ) -> bool {
+        let e = self.lineage(a);
+        debug_assert!(
+            e.incarnation <= live,
+            "knowledge of {a} cannot be newer than its own incarnation"
+        );
+        e.incarnation == live && alpha.value() < e.interval.value()
     }
 
     /// Equation 3 of the paper: the last checkpoint of `p_j` known here,
@@ -339,7 +454,7 @@ impl Index<ProcessId> for DependencyVector {
     type Output = IntervalIndex;
 
     fn index(&self, p: ProcessId) -> &IntervalIndex {
-        &self.entries.as_slice()[p.index()]
+        &self.entries.as_slice()[p.index()].interval
     }
 }
 
@@ -450,6 +565,57 @@ mod tests {
         let b = DependencyVector::from_raw(vec![2, 2]);
         assert!(a.le(&b));
         assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn merge_prefers_newer_incarnations_over_higher_intervals() {
+        // Stale knowledge of p1's dead incarnation 0, interval 9, is
+        // superseded by live knowledge (incarnation 1, interval 3).
+        let mut a = DependencyVector::from_lineages(vec![(0, 2), (0, 9)]);
+        let b = DependencyVector::from_lineages(vec![(0, 1), (1, 3)]);
+        let updated = a.merge_from(&b);
+        assert_eq!(updated.to_vec(), vec![p(1)]);
+        assert_eq!(a.to_raw_lineages(), vec![(0, 2), (1, 3)]);
+        // The reverse merge learns nothing: dead knowledge never overwrites
+        // live knowledge.
+        let mut b2 = b.clone();
+        assert!(b2
+            .merge_from(&DependencyVector::from_lineages(vec![(0, 1), (0, 9)]))
+            .is_empty());
+        assert_eq!(b2.lineage(p(1)), b.lineage(p(1)));
+    }
+
+    #[test]
+    fn resume_incarnation_bumps_and_advances() {
+        let mut dv = DependencyVector::from_lineages(vec![(0, 3), (0, 1)]);
+        let e = dv.resume_incarnation(p(0), Incarnation::new(2));
+        assert_eq!(e, DvEntry::new(Incarnation::new(2), IntervalIndex::new(4)));
+        assert_eq!(dv.incarnation_of(p(0)), Incarnation::new(2));
+        assert_eq!(dv.entry(p(0)).value(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly newer incarnation")]
+    fn resume_incarnation_rejects_reuse() {
+        let mut dv = DependencyVector::from_lineages(vec![(1, 3)]);
+        dv.resume_incarnation(p(0), Incarnation::new(1));
+    }
+
+    #[test]
+    fn dead_incarnation_entries_never_dominate_live_checkpoints() {
+        // Entry (0, 9) for p1, whose live incarnation is 1: no domination,
+        // whatever the checkpoint index.
+        let dv = DependencyVector::from_lineages(vec![(0, 1), (0, 9)]);
+        assert!(dv.dominates_checkpoint(p(1), CheckpointIndex::new(2)));
+        assert!(!dv.dominates_live_checkpoint(p(1), CheckpointIndex::new(2), Incarnation::new(1)));
+        // Same-incarnation knowledge dominates as in Equation 2.
+        assert!(dv.dominates_live_checkpoint(p(1), CheckpointIndex::new(2), Incarnation::ZERO));
+    }
+
+    #[test]
+    fn display_shows_incarnation_qualified_entries() {
+        let dv = DependencyVector::from_lineages(vec![(0, 1), (2, 4)]);
+        assert_eq!(dv.to_string(), "(1, 4@2)");
     }
 
     #[test]

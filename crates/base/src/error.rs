@@ -56,6 +56,13 @@ pub enum Error {
     DuplicateDelivery(crate::MessageId),
     /// A trace event is not supported in the current context.
     UnsupportedTraceEvent(String),
+    /// A recovery-line computation exhausted a process's stored checkpoints
+    /// under a collector whose safety guarantees forbid it (Lemma-1 totality
+    /// violated — a garbage-collection safety bug, not a model property).
+    RecoveryLineExhausted {
+        /// The process whose stored checkpoints were all blocked.
+        process: ProcessId,
+    },
 }
 
 impl fmt::Display for Error {
@@ -80,6 +87,12 @@ impl fmt::Display for Error {
             Error::UnknownMessage(id) => write!(f, "unknown message {id}"),
             Error::DuplicateDelivery(id) => write!(f, "message {id} delivered or dropped twice"),
             Error::UnsupportedTraceEvent(what) => write!(f, "unsupported trace event: {what}"),
+            Error::RecoveryLineExhausted { process } => {
+                write!(
+                    f,
+                    "recovery line exhausted the stored checkpoints of {process} under a safe collector"
+                )
+            }
         }
     }
 }

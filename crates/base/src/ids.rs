@@ -1,4 +1,27 @@
 //! Typed indices for processes, checkpoints and checkpoint intervals.
+//!
+//! # The incarnation model
+//!
+//! Interval indices alone do not survive rollbacks: after a process restores
+//! checkpoint `γ` it re-executes intervals `γ+1, γ+2, …`, *reusing* the
+//! indices of the execution it just abandoned. Causal knowledge about the
+//! dead attempt (a dependency-vector entry recorded before the rollback)
+//! then aliases knowledge about the live one, and a recovery manager
+//! comparing raw interval indices can mistake a dependency on a rolled-back
+//! state for a dependency on the live state — the failure mode that made
+//! Lemma-1 recovery non-total under repeated crashes.
+//!
+//! Following Strom and Yemini's optimistic-recovery scheme, every interval
+//! is therefore qualified by the **incarnation** of the execution it belongs
+//! to: a per-process counter starting at `0` and bumped on every rollback.
+//! The pair ([`Incarnation`], [`IntervalIndex`]) — a [`DvEntry`] — orders
+//! lexicographically: any knowledge about a newer incarnation supersedes
+//! knowledge about an older one, because the first interval of incarnation
+//! `v+1` (the restored checkpoint's successor) is the upper bound of the
+//! *surviving* prefix of incarnation `v`. Entries from dead incarnations
+//! consequently never refer to states above the live process's last stable
+//! checkpoint, which is what restores Lemma 1's totality (see
+//! `rdt-recovery`).
 
 use std::fmt;
 
@@ -209,6 +232,119 @@ impl fmt::Display for CheckpointId {
     }
 }
 
+/// The incarnation number `ν` of a process execution: `0` for the initial
+/// run, bumped by one on every rollback (whether the process itself failed
+/// or it rolled back as a dependent of a failed process).
+///
+/// Interval indices are only meaningful *within* an incarnation — rollback
+/// reuses them — so causal knowledge is exchanged as
+/// ([`Incarnation`], [`IntervalIndex`]) pairs ([`DvEntry`]). See the
+/// [module docs](self) for the model.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Incarnation(u32);
+
+impl Incarnation {
+    /// The initial incarnation (`ν = 0`): no rollback has happened yet.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates an incarnation number.
+    pub const fn new(v: u32) -> Self {
+        Self(v)
+    }
+
+    /// The raw incarnation number.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The incarnation a rollback opens.
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Incarnation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Incarnation {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+/// An incarnation-qualified interval — the unit of causal knowledge stored
+/// in dependency-vector entries and last-interval vectors.
+///
+/// Ordering is lexicographic (incarnation first): knowledge of a newer
+/// incarnation always supersedes knowledge of an older one, regardless of
+/// the raw interval indices. This is sound because incarnation `ν + 1`
+/// starts at the interval following the restored checkpoint, which bounds
+/// the surviving prefix of incarnation `ν` from above.
+///
+/// ```
+/// use rdt_base::{DvEntry, Incarnation, IntervalIndex};
+/// let dead = DvEntry::new(Incarnation::ZERO, IntervalIndex::new(9));
+/// let live = DvEntry::new(Incarnation::new(1), IntervalIndex::new(3));
+/// assert!(dead < live, "a newer incarnation wins even at a lower interval");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DvEntry {
+    /// The incarnation the interval belongs to.
+    pub incarnation: Incarnation,
+    /// The interval index within that incarnation.
+    pub interval: IntervalIndex,
+}
+
+impl DvEntry {
+    /// The zero entry: no knowledge, initial incarnation.
+    pub const ZERO: Self = Self {
+        incarnation: Incarnation::ZERO,
+        interval: IntervalIndex::ZERO,
+    };
+
+    /// Creates an entry.
+    pub const fn new(incarnation: Incarnation, interval: IntervalIndex) -> Self {
+        Self {
+            incarnation,
+            interval,
+        }
+    }
+
+    /// The next interval of the same incarnation (checkpoint taken).
+    pub const fn next_interval(self) -> Self {
+        Self {
+            incarnation: self.incarnation,
+            interval: self.interval.next(),
+        }
+    }
+
+    /// Equation 3 within the entry's incarnation: the last checkpoint known,
+    /// or `None` when the interval is `0`.
+    pub fn last_known_checkpoint(self) -> Option<CheckpointIndex> {
+        self.interval.last_known_checkpoint()
+    }
+}
+
+impl fmt::Display for DvEntry {
+    /// Renders as the bare interval for the initial incarnation (the paper's
+    /// crash-free notation), and as `interval@incarnation` once rollbacks
+    /// have happened.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.incarnation == Incarnation::ZERO {
+            write!(f, "{}", self.interval)
+        } else {
+            write!(f, "{}@{}", self.interval, self.incarnation)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +404,28 @@ mod tests {
     fn initial_checkpoint_has_index_zero() {
         let c = CheckpointId::initial(ProcessId::new(1));
         assert_eq!(c.index, CheckpointIndex::ZERO);
+    }
+
+    #[test]
+    fn dv_entries_order_lexicographically_incarnation_first() {
+        let e = |v: u32, g: usize| DvEntry::new(Incarnation::new(v), IntervalIndex::new(g));
+        assert!(e(0, 9) < e(1, 0));
+        assert!(e(1, 2) < e(1, 3));
+        assert!(e(2, 0) > e(1, 99));
+        assert_eq!(e(1, 2).next_interval(), e(1, 3));
+    }
+
+    #[test]
+    fn dv_entry_display_hides_initial_incarnation() {
+        let e = |v: u32, g: usize| DvEntry::new(Incarnation::new(v), IntervalIndex::new(g));
+        assert_eq!(e(0, 4).to_string(), "4");
+        assert_eq!(e(2, 4).to_string(), "4@2");
+    }
+
+    #[test]
+    fn incarnation_next_and_zero() {
+        assert_eq!(Incarnation::ZERO.next(), Incarnation::new(1));
+        assert_eq!(Incarnation::new(3).value(), 3);
+        assert_eq!(DvEntry::ZERO.last_known_checkpoint(), None);
     }
 }

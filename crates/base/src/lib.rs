@@ -7,7 +7,11 @@
 //!
 //! * [`ProcessId`], [`CheckpointIndex`] and [`IntervalIndex`] — typed indices
 //!   for processes `p_i`, stable checkpoints `s_i^γ` and checkpoint intervals
-//!   `I_i^γ` (Section 2.2 of the paper).
+//!   `I_i^γ` (Section 2.2 of the paper); [`Incarnation`] and [`DvEntry`] —
+//!   the incarnation-numbered interval identity (Strom/Yemini style) that
+//!   keeps causal knowledge unambiguous across rollbacks: every rollback
+//!   opens a fresh incarnation, and entries order lexicographically so
+//!   newer-incarnation knowledge supersedes the dead execution's.
 //! * [`DependencyVector`] — the transitive dependency vector of Strom and
 //!   Yemini that RDT checkpointing protocols piggyback on every application
 //!   message (Section 4.2). Equation 2 of the paper,
@@ -55,7 +59,7 @@ mod update_set;
 
 pub use dv::DependencyVector;
 pub use error::{Error, Result};
-pub use ids::{CheckpointId, CheckpointIndex, IntervalIndex, ProcessId};
+pub use ids::{CheckpointId, CheckpointIndex, DvEntry, Incarnation, IntervalIndex, ProcessId};
 pub use message::{Message, MessageId, MessageMeta, Payload};
 pub use trace::TraceEvent;
 pub use update_set::UpdateSet;

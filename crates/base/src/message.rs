@@ -40,7 +40,10 @@ impl fmt::Display for MessageId {
 /// Per the paper's headline property, this is *all* the coordination an
 /// asynchronous garbage collector may rely on (Definition 8): the dependency
 /// vector the checkpointing protocol already propagates. No extra fields are
-/// added for garbage collection.
+/// added for garbage collection. Each vector entry is incarnation-qualified
+/// (a [`crate::DvEntry`]), so the piggyback also carries the sender's view
+/// of every process's rollback lineage — the Strom/Yemini-style metadata
+/// that keeps recovery total under repeated crashes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MessageMeta {
     /// Unique id (sender + per-sender sequence).

@@ -30,6 +30,7 @@ struct Args {
     pattern: Pattern,
     ckpt: f64,
     crash: f64,
+    correlated: f64,
     loss: f64,
     state_size: usize,
     control_every: Option<u64>,
@@ -48,6 +49,7 @@ impl Default for Args {
             pattern: Pattern::UniformRandom,
             ckpt: 0.25,
             crash: 0.0,
+            correlated: 0.0,
             loss: 0.0,
             state_size: 0,
             control_every: None,
@@ -64,8 +66,11 @@ fn parse_protocol(v: &str) -> ProtocolKind {
         "fdi" => ProtocolKind::Fdi,
         "fdas" => ProtocolKind::Fdas,
         "bcs" => ProtocolKind::Bcs,
+        "cas" => ProtocolKind::Cas,
+        "casbr" => ProtocolKind::Casbr,
+        "mrs" => ProtocolKind::Mrs,
         other => die(&format!(
-            "unknown protocol '{other}' (no-forced|cbr|fdi|fdas|bcs)"
+            "unknown protocol '{other}' (no-forced|cbr|fdi|fdas|bcs|cas|casbr|mrs)"
         )),
     }
 }
@@ -116,6 +121,10 @@ fn parse_args() -> Args {
             "pattern" => pattern_raw = Some(value.to_string()),
             "ckpt" => args.ckpt = value.parse().unwrap_or_else(|_| die("ckpt must be a float")),
             "crash" => args.crash = value.parse().unwrap_or_else(|_| die("crash must be a float")),
+            "correlated" => {
+                args.correlated =
+                    value.parse().unwrap_or_else(|_| die("correlated must be a float"));
+            }
             "loss" => args.loss = value.parse().unwrap_or_else(|_| die("loss must be a float")),
             "state-size" => {
                 args.state_size = value.parse().unwrap_or_else(|_| die("state-size must be an integer"));
@@ -139,7 +148,7 @@ fn parse_args() -> Args {
                 }
             }
             other => die(&format!(
-                "unknown key '{other}' (n steps seed protocol gc pattern ckpt crash loss state-size control-every mode runs)"
+                "unknown key '{other}' (n steps seed protocol gc pattern ckpt crash correlated loss state-size control-every mode runs)"
             )),
         }
     }
@@ -158,6 +167,7 @@ fn run_one(args: &Args, seed: u64) -> rdt_sim::SimulationReport {
     let config = SimConfig {
         channel: ChannelConfig::lossy(args.loss),
         control_every: args.control_every,
+        correlated_crash_prob: args.correlated,
         state_size: args.state_size,
         ..SimConfig::default()
     };
@@ -217,11 +227,15 @@ fn main() {
             args.n + 1
         );
         println!(
-            "recovery sessions: {} total across runs",
+            "recovery sessions: {} total across runs ({} degraded lines)",
             reports
                 .iter()
                 .map(|r| r.recovery_sessions.len())
-                .sum::<usize>()
+                .sum::<usize>(),
+            reports
+                .iter()
+                .map(|r| r.metrics.degraded_lines)
+                .sum::<u64>()
         );
         return;
     }
@@ -243,7 +257,19 @@ fn main() {
         report.metrics.max_retained_per_process(),
         args.n + 1
     );
-    println!("recovery sessions: {}", report.recovery_sessions.len());
+    println!(
+        "recovery sessions: {} (degraded lines: {})",
+        report.recovery_sessions.len(),
+        report.metrics.degraded_lines
+    );
+    println!(
+        "incarnations: {:?}",
+        report
+            .final_incarnations
+            .iter()
+            .map(|v| v.value())
+            .collect::<Vec<_>>()
+    );
     for (i, retained) in report.final_retained.iter().enumerate() {
         println!("  p{} retains {retained:?}", i + 1);
     }

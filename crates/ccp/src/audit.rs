@@ -23,8 +23,12 @@ use crate::builder::CcpBuilder;
 ///
 /// # Errors
 ///
-/// As in [`CcpBuilder::from_trace`] — malformed traces and crash/restore
-/// events (split traces at recovery sessions before auditing).
+/// Malformed traces as in [`CcpBuilder::from_trace`], plus
+/// [`rdt_base::Error::UnsupportedTraceEvent`] for crash/restore events:
+/// the Theorem-1 obsolescence oracle audits *within* one execution epoch,
+/// so split traces at recovery sessions before auditing. (Crashy runs are
+/// covered end-to-end by the repeated-recovery property tests, which pin
+/// the online recovery line against the rollback-replaying oracle.)
 ///
 /// # Example
 ///
@@ -47,13 +51,21 @@ pub fn collection_safety_violations(n: usize, trace: &[TraceEvent]) -> Result<Ve
     let mut b = CcpBuilder::new(n);
     let mut violations = Vec::new();
     for ev in trace {
-        if let TraceEvent::Collect { process, index } = *ev {
-            let s = CheckpointId::new(process, index);
-            if !b.snapshot().is_obsolete(s) {
-                violations.push(s);
+        match *ev {
+            TraceEvent::Collect { process, index } => {
+                let s = CheckpointId::new(process, index);
+                if !b.snapshot().is_obsolete(s) {
+                    violations.push(s);
+                }
             }
-        } else {
-            b.apply(ev)?;
+            TraceEvent::Crash { .. } | TraceEvent::Restore { .. } => {
+                return Err(rdt_base::Error::UnsupportedTraceEvent(
+                    "the collection-safety audit covers one execution epoch: \
+                     split the trace at recovery sessions"
+                        .into(),
+                ));
+            }
+            _ => b.apply(ev)?,
         }
     }
     Ok(violations)

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use rdt_base::{
-    CheckpointIndex, DependencyVector, Error, MessageId, ProcessId, Result, TraceEvent,
+    CheckpointIndex, DependencyVector, Error, Incarnation, MessageId, ProcessId, Result, TraceEvent,
 };
 
 use crate::model::{Ccp, LocalEvent, MessageRecord};
@@ -43,6 +43,7 @@ pub struct CcpBuilder {
     dvs: Vec<DependencyVector>,
     checkpoint_dvs: Vec<Vec<DependencyVector>>,
     next_seq: Vec<u64>,
+    incarnations: Vec<Incarnation>,
 }
 
 impl CcpBuilder {
@@ -62,6 +63,7 @@ impl CcpBuilder {
             dvs: (0..n).map(|_| DependencyVector::new(n)).collect(),
             checkpoint_dvs: vec![Vec::new(); n],
             next_seq: vec![0; n],
+            incarnations: vec![Incarnation::ZERO; n],
         };
         for p in ProcessId::all(n) {
             b.checkpoint(p); // s_i^0
@@ -177,6 +179,48 @@ impl CcpBuilder {
         id
     }
 
+    /// Replays a recovery-session rollback: `p` restores stable checkpoint
+    /// `to`, discarding every later checkpoint and opening a fresh
+    /// incarnation (mirroring `rdt_protocols::Middleware::rollback`).
+    ///
+    /// The raw event and message history is deliberately *not* rewritten:
+    /// `events`/`messages` keep the dead segments (path-based analyses such
+    /// as zigzag queries therefore require crash-free traces), while the
+    /// checkpoint/dependency state — everything recovery-line and Theorem-1
+    /// queries read — reflects the live history only. Receivers of messages
+    /// sent in a dead segment keep the merged knowledge, exactly as live
+    /// middlewares do; the incarnation component marks it stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or `to` exceeds the last stable
+    /// checkpoint; use [`try_restore`](Self::try_restore) for a fallible
+    /// variant.
+    pub fn restore(&mut self, p: ProcessId, to: CheckpointIndex) {
+        self.try_restore(p, to).expect("restore");
+    }
+
+    /// Fallible [`restore`](Self::restore).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownCheckpoint`] if `p` has no stable checkpoint `to`.
+    pub fn try_restore(&mut self, p: ProcessId, to: CheckpointIndex) -> Result<()> {
+        let i = p.index();
+        if i >= self.n || to.value() >= self.checkpoint_dvs[i].len() {
+            return Err(Error::UnknownCheckpoint {
+                process: p,
+                index: to,
+            });
+        }
+        self.checkpoint_dvs[i].truncate(to.value() + 1);
+        let mut dv = self.checkpoint_dvs[i][to.value()].clone();
+        self.incarnations[i] = self.incarnations[i].next();
+        dv.resume_incarnation(p, self.incarnations[i]);
+        self.dvs[i] = dv;
+        Ok(())
+    }
+
     /// Finishes construction.
     pub fn build(self) -> Ccp {
         Ccp {
@@ -185,18 +229,24 @@ impl CcpBuilder {
             messages: self.messages,
             checkpoint_dvs: self.checkpoint_dvs,
             volatile_dvs: self.dvs,
+            incarnations: self.incarnations,
         }
     }
 
     /// Replays a trace produced by a workload generator or simulator into a
     /// builder (and ultimately a [`Ccp`]).
     ///
+    /// Crash/recovery traces replay too: `Crash` events only mark the
+    /// volatile-state loss (no structural effect — the simulator drops
+    /// in-transit messages explicitly), and each `Restore` event truncates
+    /// the process's live checkpoint history and bumps its incarnation via
+    /// [`restore`](Self::restore).
+    ///
     /// # Errors
     ///
-    /// * [`Error::UnsupportedTraceEvent`] for `Crash`/`Restore` events — the
-    ///   offline model describes normal execution periods; split traces at
-    ///   recovery sessions before replaying.
     /// * Delivery errors as in [`try_deliver`](Self::try_deliver).
+    /// * [`Error::UnknownCheckpoint`] for a `Restore` onto a checkpoint the
+    ///   replayed history never stored.
     pub fn from_trace(n: usize, trace: &[TraceEvent]) -> Result<Self> {
         let mut b = CcpBuilder::new(n);
         for ev in trace {
@@ -228,11 +278,10 @@ impl CcpBuilder {
             // Garbage collection does not change the dependency
             // structure; the audit module interprets these separately.
             TraceEvent::Collect { .. } => {}
-            TraceEvent::Crash { .. } | TraceEvent::Restore { .. } => {
-                return Err(Error::UnsupportedTraceEvent(
-                    "crash/restore cannot be replayed into an offline CCP".into(),
-                ));
-            }
+            // A crash alone loses only volatile state; the recovery
+            // session's `Restore` events carry the structural change.
+            TraceEvent::Crash { .. } => {}
+            TraceEvent::Restore { process, to } => self.try_restore(process, to)?,
         }
         Ok(())
     }
@@ -335,11 +384,40 @@ mod tests {
     }
 
     #[test]
-    fn crash_in_trace_is_unsupported() {
-        let trace = vec![TraceEvent::Crash { process: p(0) }];
+    fn restore_truncates_live_history_and_bumps_incarnation() {
+        use rdt_base::Incarnation;
+        let mut b = CcpBuilder::new(2);
+        b.checkpoint(p(0)); // s^1
+        b.checkpoint(p(0)); // s^2
+        b.apply(&TraceEvent::Crash { process: p(0) }).unwrap();
+        b.apply(&TraceEvent::Restore {
+            process: p(0),
+            to: CheckpointIndex::new(1),
+        })
+        .unwrap();
+        let ccp = b.snapshot();
+        assert_eq!(ccp.last_stable(p(0)), CheckpointIndex::new(1));
+        assert_eq!(ccp.incarnation(p(0)), Incarnation::new(1));
+        // The volatile vector resumes at interval 2 of incarnation 1.
+        assert_eq!(ccp.volatile_dv(p(0)).to_raw_lineages()[0], (1, 2));
+        // Re-execution stores checkpoint 2 again, in the new incarnation.
+        b.checkpoint(p(0));
+        let ccp = b.build();
+        assert_eq!(ccp.last_stable(p(0)), CheckpointIndex::new(2));
+        assert_eq!(
+            ccp.dv(GeneralCheckpoint::new(p(0), CheckpointIndex::new(2)))
+                .unwrap()
+                .to_raw_lineages()[0],
+            (1, 2)
+        );
+    }
+
+    #[test]
+    fn restore_onto_missing_checkpoint_is_rejected() {
+        let mut b = CcpBuilder::new(1);
         assert!(matches!(
-            CcpBuilder::from_trace(1, &trace),
-            Err(Error::UnsupportedTraceEvent(_))
+            b.try_restore(p(0), CheckpointIndex::new(5)),
+            Err(Error::UnknownCheckpoint { .. })
         ));
     }
 

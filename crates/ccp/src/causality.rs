@@ -36,8 +36,23 @@ impl Ccp {
     /// The paper's `s_f^last → c_i^γ` test used throughout Lemma 1 and
     /// Theorem 1: does the *last stable checkpoint* of `f` causally precede
     /// general checkpoint `c`?
+    ///
+    /// Compares raw interval indices (exact on crash-free patterns). Lemma-1
+    /// queries over patterns with replayed rollbacks must use
+    /// [`last_stable_precedes_live`](Self::last_stable_precedes_live).
     pub fn last_stable_precedes(&self, f: ProcessId, c: GeneralCheckpoint) -> bool {
         self.precedes(GeneralCheckpoint::new(f, self.last_stable(f)), c)
+    }
+
+    /// Incarnation-aware `s_f^last → c` test: knowledge of a *dead*
+    /// incarnation of `f` never counts as depending on `f`'s live
+    /// post-checkpoint execution (its surviving prefix lies at or below
+    /// `f`'s current last stable checkpoint). Identical to
+    /// [`last_stable_precedes`](Self::last_stable_precedes) on crash-free
+    /// patterns.
+    pub fn last_stable_precedes_live(&self, f: ProcessId, c: GeneralCheckpoint) -> bool {
+        let dv_c = self.dv(c).expect("target checkpoint must exist");
+        dv_c.dominates_live_checkpoint(f, self.last_stable(f), self.incarnation(f))
     }
 }
 

@@ -5,8 +5,8 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use rdt_base::{
-    CheckpointId, CheckpointIndex, DependencyVector, Error, IntervalIndex, MessageId, ProcessId,
-    Result,
+    CheckpointId, CheckpointIndex, DependencyVector, Error, Incarnation, IntervalIndex, MessageId,
+    ProcessId, Result,
 };
 
 /// A general checkpoint `c_i^γ` of a CCP: either the stable checkpoint
@@ -106,6 +106,9 @@ pub struct Ccp {
     pub(crate) checkpoint_dvs: Vec<Vec<DependencyVector>>,
     /// Per-process dependency vector of the volatile state `v_i`.
     pub(crate) volatile_dvs: Vec<DependencyVector>,
+    /// Per-process incarnation numbers: `0` until the first rollback,
+    /// bumped by each replayed `Restore` event.
+    pub(crate) incarnations: Vec<Incarnation>,
 }
 
 impl Ccp {
@@ -122,8 +125,15 @@ impl Ccp {
     /// Index of the last stable checkpoint of `p`, the paper's `last_s(i)`.
     ///
     /// Always defined: every process stores `s_i^0` before executing.
+    /// Reflects the *live* history: checkpoints discarded by a replayed
+    /// rollback no longer count.
     pub fn last_stable(&self, p: ProcessId) -> CheckpointIndex {
         CheckpointIndex::new(self.checkpoint_dvs[p.index()].len() - 1)
+    }
+
+    /// The live incarnation of `p`: `0` plus one per replayed rollback.
+    pub fn incarnation(&self, p: ProcessId) -> Incarnation {
+        self.incarnations[p.index()]
     }
 
     /// The volatile checkpoint of `p`, i.e. `c_i^{last_s(i)+1}`.

@@ -16,7 +16,11 @@ impl Ccp {
     /// `R_F = ⋃_i { c_i^k, k = max(γ | ∀ p_f ∈ F, s_f^last ↛ c_i^γ) }`
     ///
     /// i.e. the last checkpoint (volatile or not) of each process that is not
-    /// causally preceded by the last stable checkpoint of any faulty process.
+    /// causally preceded by the last stable checkpoint of any faulty process
+    /// in that process's live incarnation
+    /// ([`last_stable_precedes_live`](Self::last_stable_precedes_live) —
+    /// knowledge of incarnations killed by earlier replayed rollbacks never
+    /// blocks, which keeps the scan total under repeated crashes).
     ///
     /// Lemma 1 is proved for RD-trackable CCPs; callers analysing non-RDT
     /// patterns should use
@@ -42,7 +46,12 @@ impl Ccp {
                 let mut k = ceiling;
                 loop {
                     let c = GeneralCheckpoint::new(i, k);
-                    let blocked = faulty.iter().any(|&f| self.last_stable_precedes(f, c));
+                    let blocked = faulty.iter().any(|&f| {
+                        // A checkpoint never precedes itself, whatever
+                        // incarnation its stored copy was written in.
+                        !(f == i && k == self.last_stable(f))
+                            && self.last_stable_precedes_live(f, c)
+                    });
                     if !blocked {
                         break k;
                     }

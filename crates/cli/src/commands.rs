@@ -247,7 +247,11 @@ impl AnalyzeSummary {
 /// through `dot -Tsvg`).
 pub fn analyze(opts: &RunOpts, dot: Option<&str>) -> Result<(), String> {
     if opts.spec.crash_prob > 0.0 {
-        return Err("analyze needs a crash-free workload (crash traces cannot replay)".into());
+        return Err(
+            "analyze needs a crash-free workload: its path-based CCP statistics \
+             (zigzag, propagation) cover a single execution epoch"
+                .into(),
+        );
     }
     let report = run(opts, true)?;
     let trace = report.trace.expect("trace recording requested");
@@ -377,7 +381,12 @@ pub fn audit(opts: &RunOpts) -> Result<(), String> {
 /// crash-free run, via the offline oracle.
 pub fn line(opts: &RunOpts) -> Result<(), String> {
     if opts.spec.crash_prob > 0.0 {
-        return Err("line needs a crash-free workload (crash traces cannot replay)".into());
+        return Err(
+            "line needs a crash-free workload: the per-failure line report \
+             describes a single execution epoch (crashy runs report their \
+             actual recovery sessions in `simulate`)"
+                .into(),
+        );
     }
     let report = run(opts, true)?;
     let trace = report.trace.expect("trace recording requested");

@@ -229,6 +229,12 @@ impl GarbageCollector for RdtLgc {
 
     /// Non-rolling-back process during a synchronized recovery: release any
     /// `UC[f]` with `DV[f] < LI[f]` (Section 4.3).
+    ///
+    /// The comparison is lexicographic over incarnation-qualified entries:
+    /// when `f` rolled back during the session, `LI[f]` carries `f`'s fresh
+    /// incarnation, so *any* pre-rollback knowledge of `f` — however high
+    /// its raw interval — reads as "does not know `f`'s new last checkpoint"
+    /// and the stale pin is released.
     fn on_recovery_info(
         &mut self,
         store: &mut CheckpointStore,
@@ -240,7 +246,7 @@ impl GarbageCollector for RdtLgc {
             if f == self.owner {
                 continue;
             }
-            if dv.entry(f) < li.entry(f) {
+            if dv.lineage(f) < li.lineage(f) {
                 if let Some(freed) = self.release(f, store) {
                     eliminated.push(freed);
                 }

@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
-use rdt_base::{CheckpointIndex, DependencyVector, Error, ProcessId, Result};
+use rdt_base::{CheckpointIndex, DependencyVector, Error, Incarnation, ProcessId, Result};
 
 /// The stable checkpoints a process currently holds, with the dependency
 /// vector stored alongside each one (Section 4.2: "when a stable checkpoint
@@ -28,6 +28,11 @@ use rdt_base::{CheckpointIndex, DependencyVector, Error, ProcessId, Result};
 pub struct CheckpointStore {
     owner: ProcessId,
     entries: VecDeque<(CheckpointIndex, StoredCheckpoint)>,
+    /// Highest incarnation the owner has ever opened — the Strom/Yemini
+    /// incarnation log. Rollbacks raise it *in stable storage* so a process
+    /// restarting from disk can never reuse an incarnation number its dead
+    /// execution already propagated.
+    incarnation_floor: Incarnation,
     peak: usize,
     total_stored: usize,
     total_collected: usize,
@@ -56,6 +61,7 @@ impl CheckpointStore {
         Self {
             owner,
             entries: VecDeque::new(),
+            incarnation_floor: Incarnation::ZERO,
             peak: 0,
             total_stored: 0,
             total_collected: 0,
@@ -68,6 +74,22 @@ impl CheckpointStore {
     /// The owning process.
     pub fn owner(&self) -> ProcessId {
         self.owner
+    }
+
+    /// The highest incarnation the owner has ever opened (the incarnation
+    /// log). A restart must resume at an incarnation strictly above every
+    /// one the previous executions used — reading only the stored
+    /// checkpoints' vectors is not enough, because rollbacks do not store
+    /// checkpoints.
+    pub fn incarnation_floor(&self) -> Incarnation {
+        self.incarnation_floor
+    }
+
+    /// Records that the owner opened incarnation `v` (monotone: lower
+    /// values are ignored). Called by the recovery layer on every rollback,
+    /// *before* the process resumes execution.
+    pub fn raise_incarnation_floor(&mut self, v: Incarnation) {
+        self.incarnation_floor = self.incarnation_floor.max(v);
     }
 
     /// Stores checkpoint `index` with its dependency vector.
@@ -311,5 +333,16 @@ mod tests {
         let mut s = store_with(&[0, 1]);
         assert!(s.truncate_after(idx(1)).is_empty());
         assert_eq!(s.len(), 2);
+    }
+    #[test]
+    fn incarnation_floor_is_monotone_and_survives_truncation() {
+        let mut store = CheckpointStore::new(ProcessId::new(0));
+        assert_eq!(store.incarnation_floor(), Incarnation::ZERO);
+        store.raise_incarnation_floor(Incarnation::new(3));
+        store.raise_incarnation_floor(Incarnation::new(1)); // ignored
+        assert_eq!(store.incarnation_floor(), Incarnation::new(3));
+        store.insert(CheckpointIndex::new(0), DependencyVector::new(2));
+        store.truncate_after(CheckpointIndex::new(0));
+        assert_eq!(store.incarnation_floor(), Incarnation::new(3));
     }
 }

@@ -13,9 +13,16 @@ use crate::traits::LastIntervals;
 /// `DV(s^γ)[f] < LI[f]` whose successor — the next stored checkpoint, or the
 /// volatile state `dv` — has an entry `≥ LI[f]` (i.e. `s_f^last → c^{γ+1}`).
 ///
-/// Entries are monotone non-decreasing in the checkpoint index, so the
-/// search is a binary partition per process: O(n log s) overall, matching
-/// the paper's complexity claim for Algorithm 3.
+/// All comparisons are lexicographic over incarnation-qualified entries
+/// ([`rdt_base::DvEntry`]), so knowledge about a dead incarnation of `f`
+/// never counts as knowing `f`'s post-recovery last checkpoint, however
+/// high its raw interval index.
+///
+/// Entries are lexicographically monotone non-decreasing in the checkpoint
+/// index (merges only grow them, and a rollback restarts from a surviving
+/// prefix with a strictly newer own incarnation), so the search is a binary
+/// partition per process: O(n log s) overall, matching the paper's
+/// complexity claim for Algorithm 3.
 pub(crate) fn theorem1_pins(
     store: &CheckpointStore,
     li: &LastIntervals,
@@ -24,17 +31,17 @@ pub(crate) fn theorem1_pins(
     let indices: Vec<_> = store.indices().collect();
     let mut pins: Vec<Vec<ProcessId>> = vec![Vec::new(); indices.len()];
     for f in ProcessId::all(li.len()) {
-        let target = li.entry(f);
+        let target = li.lineage(f);
         let split =
-            indices.partition_point(|&idx| store.dv(idx).expect("stored").entry(f) < target);
+            indices.partition_point(|&idx| store.dv(idx).expect("stored").lineage(f) < target);
         if split == 0 {
             continue;
         }
         let candidate = split - 1;
         let successor_entry = if candidate + 1 < indices.len() {
-            store.dv(indices[candidate + 1]).expect("stored").entry(f)
+            store.dv(indices[candidate + 1]).expect("stored").lineage(f)
         } else {
-            dv.entry(f)
+            dv.lineage(f)
         };
         if successor_entry >= target {
             pins[candidate].push(f);

@@ -4,25 +4,57 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use rdt_base::{CheckpointIndex, DependencyVector, IntervalIndex, ProcessId, UpdateSet};
+use rdt_base::{
+    CheckpointIndex, DependencyVector, DvEntry, Incarnation, IntervalIndex, ProcessId, UpdateSet,
+};
 
 use crate::store::CheckpointStore;
 
 /// The *last interval vector* a recovery manager distributes during a
 /// synchronized recovery session: `LI[j] = last_s(j) + 1` in the CCP defined
 /// by the recovery-line cut (Section 4.3, Algorithm 3).
+///
+/// Entries are incarnation-qualified ([`DvEntry`]): for a process that rolls
+/// back during the session, `LI[j]` carries the *fresh* incarnation opened
+/// by the rollback, so lexicographic comparison against any pre-rollback
+/// knowledge (`DV[j] < LI[j]`) correctly reads "this state does not know
+/// `p_j`'s post-recovery last checkpoint" even though the raw interval
+/// indices alias.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LastIntervals(Vec<IntervalIndex>);
+pub struct LastIntervals(Vec<DvEntry>);
 
 impl LastIntervals {
-    /// Builds from per-process last-stable indices (`LI[j] = last_s(j)+1`).
+    /// Builds from per-process last-stable indices (`LI[j] = last_s(j)+1`),
+    /// all in the initial incarnation — the crash-free constructor.
     pub fn from_last_stable(last_stable: &[CheckpointIndex]) -> Self {
-        Self(last_stable.iter().map(|c| c.interval_after()).collect())
+        Self(
+            last_stable
+                .iter()
+                .map(|c| DvEntry::new(Incarnation::ZERO, c.interval_after()))
+                .collect(),
+        )
     }
 
-    /// Builds directly from interval indices.
+    /// Builds from per-process `(last stable, incarnation)` pairs — the
+    /// recovery manager's constructor, carrying each process's post-session
+    /// incarnation.
+    pub fn from_components(components: &[(CheckpointIndex, Incarnation)]) -> Self {
+        Self(
+            components
+                .iter()
+                .map(|&(c, v)| DvEntry::new(v, c.interval_after()))
+                .collect(),
+        )
+    }
+
+    /// Builds directly from interval indices (initial incarnation).
     pub fn from_intervals(intervals: Vec<IntervalIndex>) -> Self {
-        Self(intervals)
+        Self(
+            intervals
+                .into_iter()
+                .map(|g| DvEntry::new(Incarnation::ZERO, g))
+                .collect(),
+        )
     }
 
     /// Reuses a dependency vector as the interval source — the paper's
@@ -31,8 +63,13 @@ impl LastIntervals {
         Self(dv.as_slice().to_vec())
     }
 
-    /// The entry for process `j`.
+    /// The interval component of the entry for process `j`.
     pub fn entry(&self, j: ProcessId) -> IntervalIndex {
+        self.0[j.index()].interval
+    }
+
+    /// The full incarnation-qualified entry for process `j`.
+    pub fn lineage(&self, j: ProcessId) -> DvEntry {
         self.0[j.index()]
     }
 

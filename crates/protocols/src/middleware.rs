@@ -6,8 +6,8 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use rdt_base::{
-    CheckpointIndex, DependencyVector, Error, Message, MessageId, MessageMeta, Payload, ProcessId,
-    Result, UpdateSet,
+    CheckpointIndex, DependencyVector, Error, Incarnation, Message, MessageId, MessageMeta,
+    Payload, ProcessId, Result, UpdateSet,
 };
 use rdt_core::{CheckpointStore, ControlInfo, GarbageCollector, GcKind, LastIntervals};
 
@@ -96,6 +96,10 @@ pub struct Middleware {
     basic_count: u64,
     crashed: bool,
     state_size: usize,
+    /// The incarnation of the current execution attempt: `0` initially,
+    /// bumped on every [`rollback`](Self::rollback). Mirrored in the
+    /// dependency vector's own entry so it piggybacks on every message.
+    incarnation: Incarnation,
     /// Interned snapshot of `dv` shared with outgoing piggybacks and
     /// messages; invalidated whenever `dv` mutates (copy-on-write: a burst
     /// of sends within one interval shares a single allocation).
@@ -123,6 +127,7 @@ impl Middleware {
             basic_count: 0,
             crashed: false,
             state_size: 0,
+            incarnation: Incarnation::ZERO,
             dv_snapshot: None,
         };
         mw.take_checkpoint(false);
@@ -163,6 +168,13 @@ impl Middleware {
             .last()
             .expect("stable storage retains at least one checkpoint");
         let mut dv = store.dv(last).expect("last is stored").clone();
+        // Resume at the highest incarnation the previous executions ever
+        // opened: the store's incarnation log, not just the last stored
+        // vector — rollbacks bump the incarnation without storing a
+        // checkpoint, and reusing one of those numbers would re-introduce
+        // the (incarnation, interval) aliasing recovery depends on ruling
+        // out.
+        let incarnation = store.incarnation_floor().max(dv.incarnation_of(owner));
         dv.begin_next_interval(owner);
         Self {
             owner,
@@ -176,6 +188,7 @@ impl Middleware {
             basic_count: 0,
             crashed: true,
             state_size: 0,
+            incarnation,
             dv_snapshot: None,
         }
     }
@@ -231,6 +244,13 @@ impl Middleware {
     /// Whether the process is currently crashed.
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// The incarnation of the current execution attempt (`0` until the
+    /// first rollback; bumped by every rollback, crash-induced or
+    /// dependent).
+    pub fn incarnation(&self) -> Incarnation {
+        self.incarnation
     }
 
     /// Sets the size (in bytes) recorded for subsequently stored
@@ -440,7 +460,18 @@ impl Middleware {
             });
         }
         let mut dv = self.store.dv(ri).expect("checked").clone();
-        dv.begin_next_interval(self.owner);
+        // Every rollback opens a fresh incarnation: the re-executed
+        // intervals reuse indices, and the incarnation component is what
+        // keeps knowledge of the abandoned attempt distinguishable from
+        // knowledge of this one (Lemma-1 totality under repeated crashes).
+        self.incarnation = self.incarnation.next();
+        // Log the new incarnation in the store's incarnation floor: a later
+        // restart from the store alone must not reuse it. Durably-backed
+        // deployments need the log on disk *before* the rollback runs —
+        // `rdt_storage::MirroredMiddleware::rollback` write-aheads the
+        // floor for exactly that reason.
+        self.store.raise_incarnation_floor(self.incarnation);
+        dv.resume_incarnation(self.owner, self.incarnation);
         self.dv = dv;
         self.dv_snapshot = None;
         let eliminated = self.gc.after_rollback(&mut self.store, ri, li, &self.dv);

@@ -5,12 +5,60 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use rdt_base::{CheckpointId, CheckpointIndex, ProcessId};
-use rdt_core::LastIntervals;
+use rdt_base::{CheckpointId, CheckpointIndex, Incarnation, ProcessId};
+use rdt_core::{GcKind, LastIntervals};
 use rdt_protocols::Middleware;
 
 /// The set of processes that failed, triggering the recovery session.
 pub type FaultySet = BTreeSet<ProcessId>;
+
+/// A recovery-session failure.
+///
+/// With incarnation-numbered intervals, Lemma 1 is total for every
+/// *safe* garbage collector: some stored checkpoint of each process is
+/// always unblocked (the initial checkpoint is preceded by nothing in any
+/// live incarnation, and a safe collector only eliminates checkpoints no
+/// future line can name). Exhausting a process's stored checkpoints under
+/// such a collector is therefore a garbage-collection safety bug and
+/// surfaces as this error — in release builds too — rather than silently
+/// restoring an inconsistent state. Only the time-based baseline, whose
+/// safety rests on real-time assumptions, is allowed to degrade to the
+/// oldest survivor instead (reported, not errored).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// Every stored checkpoint of `process` was blocked under a collector
+    /// that guarantees this cannot happen.
+    LineExhausted {
+        /// The process whose store was exhausted.
+        process: ProcessId,
+        /// The (safe) collector that eliminated the needed checkpoint.
+        gc: GcKind,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::LineExhausted { process, gc } => write!(
+                f,
+                "recovery line exhausted {process}'s stored checkpoints under safe collector {gc}: \
+                 Lemma 1 must be total"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<RecoveryError> for rdt_base::Error {
+    fn from(e: RecoveryError) -> Self {
+        match e {
+            RecoveryError::LineExhausted { process, .. } => {
+                rdt_base::Error::RecoveryLineExhausted { process }
+            }
+        }
+    }
+}
 
 /// How a recovery session distributes information (Section 4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -50,6 +98,15 @@ pub struct RecoverySessionReport {
     pub eliminated: Vec<CheckpointId>,
     /// The distributed last-interval vector (coordinated mode only).
     pub li: Option<LastIntervals>,
+    /// Processes whose line component *degraded* to the oldest surviving
+    /// checkpoint because an unsafe (time-based) collector had eliminated
+    /// every unblocked one — the data-loss events the paper's safety
+    /// comparison quantifies. Always empty for safe collectors, which error
+    /// instead ([`RecoveryError::LineExhausted`]).
+    pub degraded: Vec<ProcessId>,
+    /// Each process's incarnation after the session (bumped for everyone
+    /// who rolled back).
+    pub incarnations: Vec<Incarnation>,
 }
 
 impl RecoverySessionReport {
@@ -92,10 +149,30 @@ impl RecoveryManager {
     /// Computes the recovery line for `faulty` over the current state of
     /// `processes` (Lemma 1): for each process, the latest stored
     /// checkpoint — or volatile state, if not faulty — that is not causally
-    /// preceded by the last stable checkpoint of any faulty process.
+    /// preceded by the last stable checkpoint of any faulty process **in
+    /// that process's live incarnation**.
+    ///
+    /// Blocking is evaluated with the incarnation-aware Equation 2
+    /// ([`rdt_base::DependencyVector::dominates_live_checkpoint`]): a
+    /// dependency recorded against a *dead* incarnation of a faulty process
+    /// never blocks, because the surviving prefix of every dead incarnation
+    /// lies at or below the live execution's restore points — and hence at
+    /// or below the faulty process's current last stable checkpoint. This is
+    /// what makes the scan total under repeated crash/rollback sessions:
+    /// `s_i^0` (all-zero vector, initial incarnation) is never blocked, and
+    /// safe collectors never eliminate the checkpoint the line names.
     ///
     /// Returns one component per process; `last_stable + 1` denotes the
     /// volatile state.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::LineExhausted`] if every stored checkpoint of some
+    /// process is blocked under a *safe* collector — a garbage-collection
+    /// safety violation, checked in release builds too. The time-based
+    /// baseline (`needs_time_assumptions()`) instead degrades to the oldest
+    /// survivor; [`recover`](Self::recover) reports those processes in
+    /// [`RecoverySessionReport::degraded`].
     ///
     /// # Panics
     ///
@@ -105,7 +182,18 @@ impl RecoveryManager {
         &self,
         processes: &[Middleware],
         faulty: &FaultySet,
-    ) -> Vec<CheckpointIndex> {
+    ) -> Result<Vec<CheckpointIndex>, RecoveryError> {
+        self.line_with_degradation(processes, faulty)
+            .map(|(line, _)| line)
+    }
+
+    /// [`recovery_line`](Self::recovery_line), also reporting which
+    /// processes degraded to the oldest survivor.
+    fn line_with_degradation(
+        &self,
+        processes: &[Middleware],
+        faulty: &FaultySet,
+    ) -> Result<(Vec<CheckpointIndex>, Vec<ProcessId>), RecoveryError> {
         let n = processes.len();
         for (k, mw) in processes.iter().enumerate() {
             assert_eq!(mw.owner().index(), k, "middlewares must be in id order");
@@ -115,59 +203,80 @@ impl RecoveryManager {
         }
         let last_stable: Vec<CheckpointIndex> =
             processes.iter().map(|mw| mw.last_stable()).collect();
+        let live_inc: Vec<Incarnation> = processes.iter().map(|mw| mw.incarnation()).collect();
 
-        processes
-            .iter()
-            .map(|mw| {
-                let i = mw.owner();
-                // Volatile candidate first for non-faulty processes.
-                if !faulty.contains(&i) {
-                    let blocked = faulty
-                        .iter()
-                        .any(|&f| mw.dv().dominates_checkpoint(f, last_stable[f.index()]));
-                    if !blocked {
-                        return mw.last_stable().next();
-                    }
+        let mut line = Vec::with_capacity(n);
+        let mut degraded = Vec::new();
+        'processes: for mw in processes {
+            let i = mw.owner();
+            // Volatile candidate first for non-faulty processes.
+            if !faulty.contains(&i) {
+                let blocked = faulty.iter().any(|&f| {
+                    mw.dv().dominates_live_checkpoint(
+                        f,
+                        last_stable[f.index()],
+                        live_inc[f.index()],
+                    )
+                });
+                if !blocked {
+                    line.push(mw.last_stable().next());
+                    continue;
                 }
-                // Stored checkpoints, newest first.
-                for idx in mw.store().indices().rev() {
-                    let dv = mw.store().dv(idx).expect("stored");
-                    let blocked = faulty.iter().any(|&f| {
-                        // s_f^last → s_i^idx, except a checkpoint never
-                        // precedes itself.
-                        !(f == i && idx == last_stable[f.index()])
-                            && dv.dominates_checkpoint(f, last_stable[f.index()])
-                    });
-                    if !blocked {
-                        return idx;
-                    }
+            }
+            // Stored checkpoints, newest first.
+            for idx in mw.store().indices().rev() {
+                let dv = mw.store().dv(idx).expect("stored");
+                let blocked = faulty.iter().any(|&f| {
+                    // s_f^last → s_i^idx, except a checkpoint never precedes
+                    // itself. The guard holds across incarnations: the
+                    // stored copy of the last stable checkpoint may have
+                    // been written in an earlier incarnation than the one
+                    // now executing (repeated rollbacks onto the same
+                    // index), and it still must not count as its own
+                    // blocker.
+                    !(f == i && idx == last_stable[f.index()])
+                        && dv.dominates_live_checkpoint(
+                            f,
+                            last_stable[f.index()],
+                            live_inc[f.index()],
+                        )
+                });
+                if !blocked {
+                    line.push(idx);
+                    continue 'processes;
                 }
-                // Lemma 1 is total over the full CCP (s_i^0 is preceded by
-                // nothing), but an *unsafe* collector — the time-based
-                // baseline when its delay assumption breaks — may have
-                // eliminated every unblocked checkpoint. Degrade to the
-                // oldest survivor: the closest available approximation of
-                // the true line, and exactly the data-loss scenario the
-                // paper's safety comparison quantifies. A provably safe
-                // collector reaching this fallback is a bug, not a model
-                // property — keep the old invariant check for those.
-                debug_assert!(
-                    mw.gc_kind().needs_time_assumptions(),
-                    "recovery line exhausted {i}'s stored checkpoints under \
-                     safe collector {:?}: Lemma 1 must be total",
-                    mw.gc_kind()
-                );
+            }
+            // With incarnation-numbered intervals Lemma 1 is total over the
+            // checkpoints a *safe* collector retains. Only the time-based
+            // baseline — whose delay assumption can break — may land here;
+            // it degrades to the oldest survivor: the closest available
+            // approximation of the true line, and exactly the data-loss
+            // scenario the paper's safety comparison quantifies.
+            if !mw.gc_kind().needs_time_assumptions() {
+                return Err(RecoveryError::LineExhausted {
+                    process: i,
+                    gc: mw.gc_kind(),
+                });
+            }
+            degraded.push(i);
+            line.push(
                 mw.store()
                     .indices()
                     .next()
-                    .expect("stable storage retains at least one checkpoint")
-            })
-            .collect()
+                    .expect("stable storage retains at least one checkpoint"),
+            );
+        }
+        Ok((line, degraded))
     }
 
     /// Runs a full recovery session: computes the line, rolls back every
-    /// process whose component is below its volatile state, and (in
-    /// coordinated mode) distributes `LI` to the others.
+    /// process whose component is below its volatile state (each rollback
+    /// opening a fresh incarnation), and (in coordinated mode) distributes
+    /// `LI` to the others.
+    ///
+    /// # Errors
+    ///
+    /// As for [`recovery_line`](Self::recovery_line).
     ///
     /// # Panics
     ///
@@ -176,18 +285,29 @@ impl RecoveryManager {
         &self,
         processes: &mut [Middleware],
         faulty: &FaultySet,
-    ) -> RecoverySessionReport {
-        let line = self.recovery_line(processes, faulty);
+    ) -> Result<RecoverySessionReport, RecoveryError> {
+        let (line, degraded) = self.line_with_degradation(processes, faulty)?;
 
         // LI over the post-recovery CCP: a rolling process's last stable
-        // becomes its component; a non-rolling process keeps its own.
-        let li = LastIntervals::from_last_stable(
-            &processes
-                .iter()
-                .zip(&line)
-                .map(|(mw, &component)| component.min(mw.last_stable()))
-                .collect::<Vec<_>>(),
-        );
+        // becomes its component and its rollback opens a fresh incarnation;
+        // a non-rolling process keeps both its own. Building LI with the
+        // *post-session* incarnations is what lets every receiver compare
+        // `DV[f] < LI[f]` lexicographically and recognize pre-rollback
+        // knowledge of `f` as stale.
+        let components: Vec<(CheckpointIndex, Incarnation)> = processes
+            .iter()
+            .zip(&line)
+            .map(|(mw, &component)| {
+                let will_roll = component < mw.last_stable().next();
+                let incarnation = if will_roll {
+                    mw.incarnation().next()
+                } else {
+                    mw.incarnation()
+                };
+                (component.min(mw.last_stable()), incarnation)
+            })
+            .collect();
+        let li = LastIntervals::from_components(&components);
         let li_opt = match self.mode {
             RecoveryMode::Coordinated => Some(&li),
             RecoveryMode::Uncoordinated => None,
@@ -202,6 +322,11 @@ impl RecoveryManager {
                 let report = mw
                     .rollback(component, li_opt)
                     .expect("recovery-line component is stored (Theorem 4 safety)");
+                debug_assert_eq!(
+                    mw.incarnation(),
+                    components[p.index()].1,
+                    "rollback must open the incarnation LI promised"
+                );
                 rolled_back.push((p, component));
                 eliminated.extend(
                     report
@@ -218,7 +343,7 @@ impl RecoveryManager {
             }
         }
 
-        RecoverySessionReport {
+        Ok(RecoverySessionReport {
             faulty: faulty.iter().copied().collect(),
             line,
             rolled_back,
@@ -227,7 +352,9 @@ impl RecoveryManager {
                 RecoveryMode::Coordinated => Some(li),
                 RecoveryMode::Uncoordinated => None,
             },
-        }
+            degraded,
+            incarnations: processes.iter().map(|mw| mw.incarnation()).collect(),
+        })
     }
 }
 
@@ -268,7 +395,9 @@ mod tests {
     #[test]
     fn empty_faulty_set_keeps_all_volatile() {
         let mws = chain();
-        let line = RecoveryManager::new().recovery_line(&mws, &FaultySet::new());
+        let line = RecoveryManager::new()
+            .recovery_line(&mws, &FaultySet::new())
+            .unwrap();
         let volatile: Vec<_> = mws.iter().map(|m| m.last_stable().next()).collect();
         assert_eq!(line, volatile);
     }
@@ -278,7 +407,7 @@ mod tests {
         let mut mws = chain();
         mws[0].crash();
         let faulty: FaultySet = [p(0)].into_iter().collect();
-        let report = RecoveryManager::new().recover(&mut mws, &faulty);
+        let report = RecoveryManager::new().recover(&mut mws, &faulty).unwrap();
         // p0 restarts from s^1 (its last stable), p1 and p2 roll to s^0.
         assert_eq!(report.line, vec![idx(1), idx(0), idx(0)]);
         assert_eq!(report.rolled_back.len(), 3);
@@ -292,7 +421,7 @@ mod tests {
         let mut mws = chain();
         mws[2].crash();
         let faulty: FaultySet = [p(2)].into_iter().collect();
-        let report = RecoveryManager::new().recover(&mut mws, &faulty);
+        let report = RecoveryManager::new().recover(&mut mws, &faulty).unwrap();
         assert_eq!(
             report.rolled_back,
             vec![(p(2), idx(0))],
@@ -315,7 +444,7 @@ mod tests {
         let mgr = RecoveryManager::new();
         for mask in 0u8..8 {
             let faulty: FaultySet = (0..3).filter(|i| mask & (1 << i) != 0).map(p).collect();
-            let online = mgr.recovery_line(&mws, &faulty);
+            let online = mgr.recovery_line(&mws, &faulty).unwrap();
             let offline = ccp.recovery_line(&faulty.iter().copied().collect());
             assert_eq!(
                 online.iter().map(|c| c.value()).collect::<Vec<_>>(),
@@ -330,8 +459,9 @@ mod tests {
         let mut mws = chain();
         mws[0].crash();
         let faulty: FaultySet = [p(0)].into_iter().collect();
-        let report =
-            RecoveryManager::with_mode(RecoveryMode::Uncoordinated).recover(&mut mws, &faulty);
+        let report = RecoveryManager::with_mode(RecoveryMode::Uncoordinated)
+            .recover(&mut mws, &faulty)
+            .unwrap();
         assert!(report.li.is_none());
         assert!(!mws[0].is_crashed());
     }
@@ -345,7 +475,7 @@ mod tests {
         }
         mws[1].crash();
         let faulty: FaultySet = [p(1)].into_iter().collect();
-        let report = RecoveryManager::new().recover(&mut mws, &faulty);
+        let report = RecoveryManager::new().recover(&mut mws, &faulty).unwrap();
         for (proc_, to) in &report.rolled_back {
             assert!(mws[proc_.index()].store().contains(*to));
         }
@@ -356,7 +486,7 @@ mod tests {
         let mut mws = chain();
         mws[0].crash();
         let faulty: FaultySet = [p(0)].into_iter().collect();
-        let report = RecoveryManager::new().recover(&mut mws, &faulty);
+        let report = RecoveryManager::new().recover(&mut mws, &faulty).unwrap();
         assert_eq!(report.rollback_depth(), report.rolled_back.len());
     }
 }

@@ -81,6 +81,21 @@ pub struct SimConfig {
     pub state_size: usize,
 }
 
+impl SimConfig {
+    /// The fault-heavy preset used by the repeated-recovery stress runs and
+    /// the CI smoke step: lossy channel, correlated multi-process faulty
+    /// sets on every crash. Combine with a workload whose `crash_prob` is
+    /// nonzero — this preset only shapes what a crash *does*, not how often
+    /// one happens.
+    pub fn fault_heavy() -> Self {
+        Self {
+            channel: ChannelConfig::lossy(0.05),
+            correlated_crash_prob: 0.3,
+            ..Self::default()
+        }
+    }
+}
+
 impl Default for SimConfig {
     fn default() -> Self {
         Self {

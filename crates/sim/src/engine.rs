@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use rdt_base::{Payload, ProcessId, Result, TraceEvent};
+use rdt_base::{Incarnation, Payload, ProcessId, Result, TraceEvent};
 use rdt_core::{ControlInfo, GcKind, LastIntervals};
 use rdt_protocols::{CheckpointReport, Middleware, Piggyback, ProtocolKind, ReceiveReport};
 use rdt_recovery::{RecoveryManager, RecoveryMode, RecoverySessionReport};
@@ -34,6 +34,8 @@ pub struct SimulationReport {
     pub recovery_sessions: Vec<RecoverySessionReport>,
     /// Retained checkpoint indices per process at the end of the run.
     pub final_retained: Vec<Vec<usize>>,
+    /// Final incarnation number per process (number of rollbacks survived).
+    pub final_incarnations: Vec<Incarnation>,
 }
 
 /// Builder for a simulation run.
@@ -263,7 +265,7 @@ impl Simulation {
                 EventKind::Deliver { to, id, pb } => {
                     self.handle_deliver(to, id, pb, &mut scratch)?
                 }
-                EventKind::ControlRound => self.handle_control_round(),
+                EventKind::ControlRound => self.handle_control_round()?,
             }
         }
         Ok(())
@@ -393,7 +395,7 @@ impl Simulation {
         Ok(())
     }
 
-    fn handle_control_round(&mut self) {
+    fn handle_control_round(&mut self) -> Result<()> {
         self.metrics.control_rounds += 1;
         // Coordinator with reliable control messages: sees everyone's
         // stable-store state (the coordination RDT-LGC does *without*).
@@ -407,14 +409,19 @@ impl Simulation {
                     let all: rdt_recovery::FaultySet =
                         (0..self.processes.len()).map(ProcessId::new).collect();
                     Some(ControlInfo::GlobalLine(
-                        self.manager.recovery_line(&self.processes, &all),
+                        self.manager
+                            .recovery_line(&self.processes, &all)
+                            .map_err(rdt_base::Error::from)?,
                     ))
                 }
                 _ => {
-                    let last_stable: Vec<_> =
-                        self.processes.iter().map(|m| m.last_stable()).collect();
-                    Some(ControlInfo::LastIntervals(LastIntervals::from_last_stable(
-                        &last_stable,
+                    let components: Vec<_> = self
+                        .processes
+                        .iter()
+                        .map(|m| (m.last_stable(), m.incarnation()))
+                        .collect();
+                    Some(ControlInfo::LastIntervals(LastIntervals::from_components(
+                        &components,
                     )))
                 }
             }
@@ -434,6 +441,7 @@ impl Simulation {
                 self.push_at(at, EventKind::ControlRound);
             }
         }
+        Ok(())
     }
 
     /// A crash of `p` (plus correlated failures): in-transit messages are
@@ -476,9 +484,13 @@ impl Simulation {
             },
         );
 
-        let report = self.manager.recover(&mut self.processes, &faulty);
+        let report = self
+            .manager
+            .recover(&mut self.processes, &faulty)
+            .map_err(rdt_base::Error::from)?;
         self.metrics.recovery_sessions += 1;
         self.metrics.total_rolled_back += report.rolled_back.len() as u64;
+        self.metrics.degraded_lines += report.degraded.len() as u64;
         if self.config.record_trace {
             for (proc_, to) in &report.rolled_back {
                 self.trace.push(TraceEvent::Restore {
@@ -528,6 +540,7 @@ impl Simulation {
                 .iter()
                 .map(|mw| mw.store().indices().map(|i| i.value()).collect())
                 .collect(),
+            final_incarnations: self.processes.iter().map(|mw| mw.incarnation()).collect(),
             metrics: self.metrics,
             trace: if self.config.record_trace {
                 Some(self.trace)

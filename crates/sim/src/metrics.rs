@@ -58,6 +58,11 @@ pub struct Metrics {
     pub control_rounds: u64,
     /// Simulated ticks elapsed.
     pub ticks: u64,
+    /// Recovery-line components that degraded to the oldest surviving
+    /// checkpoint because an unsafe (time-based) collector had eliminated
+    /// every unblocked one. Always `0` for safe collectors — they error out
+    /// instead of degrading (Lemma-1 totality).
+    pub degraded_lines: u64,
 }
 
 impl Metrics {

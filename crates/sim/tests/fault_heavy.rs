@@ -1,0 +1,94 @@
+//! Fault-heavy stress: the acceptance bar for incarnation-numbered
+//! recovery. A 1000-session repeated-crash run (n = 8, correlated faults
+//! on) must never take the oldest-survivor fallback under a safe collector
+//! (RDT-LGC, driven by FDAS and CAS), and replay must be byte-stable
+//! across runs of the same seed.
+
+use rdt_core::GcKind;
+use rdt_protocols::ProtocolKind;
+use rdt_recovery::RecoveryMode;
+use rdt_sim::{SimConfig, SimulationBuilder, SimulationReport};
+use rdt_workloads::WorkloadSpec;
+
+fn stress(protocol: ProtocolKind, gc: GcKind, mode: RecoveryMode, seed: u64) -> SimulationReport {
+    let spec = WorkloadSpec::uniform_random(8, 25_000)
+        .with_seed(seed)
+        .with_checkpoint_prob(0.25)
+        .with_crash_prob(0.05); // ≈ 1250 crash ops over the run
+    SimulationBuilder::new(spec)
+        .protocol(protocol)
+        .garbage_collector(gc)
+        .config(SimConfig::fault_heavy())
+        .recovery_mode(mode)
+        .run()
+        .expect("Lemma 1 is total: no safe-collector run may exhaust a store")
+}
+
+#[test]
+fn thousand_session_stress_never_degrades_under_safe_collectors() {
+    for (protocol, mode) in [
+        (ProtocolKind::Fdas, RecoveryMode::Coordinated),
+        (ProtocolKind::Cas, RecoveryMode::Uncoordinated),
+    ] {
+        let report = stress(protocol, GcKind::RdtLgc, mode, 77);
+        assert!(
+            report.metrics.recovery_sessions >= 1000,
+            "{protocol:?}/{mode}: only {} sessions — not a stress run",
+            report.metrics.recovery_sessions
+        );
+        assert_eq!(
+            report.metrics.degraded_lines, 0,
+            "{protocol:?}/{mode}: the oldest-survivor fallback fired under RDT-LGC"
+        );
+        // Repeated rollbacks really happened: incarnations climbed.
+        assert!(
+            report.final_incarnations.iter().any(|v| v.value() >= 10),
+            "incarnations {:?} — correlated faults did not exercise repeats",
+            report.final_incarnations
+        );
+        // The paper's space bound survives the crash storm.
+        assert!(report.metrics.max_retained_per_process() <= 9);
+    }
+}
+
+#[test]
+fn correlated_multi_fault_replay_is_byte_stable() {
+    let a = stress(
+        ProtocolKind::Fdas,
+        GcKind::RdtLgc,
+        RecoveryMode::Coordinated,
+        123,
+    );
+    let b = stress(
+        ProtocolKind::Fdas,
+        GcKind::RdtLgc,
+        RecoveryMode::Coordinated,
+        123,
+    );
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "two runs of one correlated-fault seed must be identical"
+    );
+}
+
+#[test]
+fn time_based_collector_still_degrades_gracefully_and_is_counted() {
+    // A tight horizon under a crash storm is exactly the unsafe regime the
+    // paper critiques: the run must complete (no error), with the fallback
+    // events surfaced in the metrics rather than hidden.
+    let spec = WorkloadSpec::uniform_random(6, 8_000)
+        .with_seed(9)
+        .with_checkpoint_prob(0.25)
+        .with_crash_prob(0.05);
+    let report = SimulationBuilder::new(spec)
+        .protocol(ProtocolKind::Fdas)
+        .garbage_collector(GcKind::TimeBased { horizon: 40 })
+        .config(SimConfig::fault_heavy())
+        .run()
+        .expect("time-based degradation must not abort the run");
+    assert!(
+        report.metrics.degraded_lines > 0,
+        "the tight-horizon storm was expected to force fallbacks"
+    );
+}

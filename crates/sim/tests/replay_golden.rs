@@ -1,11 +1,13 @@
 //! Deterministic-replay goldens: the simulator must produce **identical**
 //! `SimulationReport`s for fixed seeds across refactors of its internals.
 //!
-//! The golden fingerprints in `tests/replay_golden.txt` were recorded from
-//! the pre-optimization engine (`BinaryHeap` scheduler, `Vec<ProcessId>`
-//! merge reporting, deep-cloned piggybacks); the optimized engine (bucket
-//! queue, `UpdateSet`, `Arc`-interned piggybacks) must reproduce every one
-//! of them byte-for-byte under the canonical dump below.
+//! The golden fingerprints in `tests/replay_golden.txt` pin the
+//! incarnation-numbered engine, including **correlated multi-fault
+//! sessions** (`correlated_crash_prob > 0`): repeated crash/rollback
+//! sessions with multi-process faulty sets exercise exactly the orphaned
+//! causal knowledge that used to break Lemma-1 totality before incarnation
+//! numbers landed. Any engine refactor must reproduce every fingerprint
+//! byte-for-byte under the canonical dump below.
 //!
 //! To re-bless after an *intentional* semantic change:
 //! `REPLAY_BLESS=1 cargo test -p rdt-sim --test replay_golden`.
@@ -29,6 +31,7 @@ struct Scenario {
     gc: GcKind,
     pattern: Pattern,
     crash: f64,
+    correlated: f64,
     loss: f64,
     control_every: Option<u64>,
     mode: RecoveryMode,
@@ -45,6 +48,7 @@ fn scenarios() -> Vec<Scenario> {
             gc: GcKind::RdtLgc,
             pattern: Pattern::UniformRandom,
             crash: 0.0,
+            correlated: 0.0,
             loss: 0.0,
             control_every: None,
             mode: RecoveryMode::Coordinated,
@@ -58,6 +62,7 @@ fn scenarios() -> Vec<Scenario> {
             gc: GcKind::RdtLgc,
             pattern: Pattern::UniformRandom,
             crash: 0.01,
+            correlated: 0.25,
             loss: 0.05,
             control_every: None,
             mode: RecoveryMode::Coordinated,
@@ -71,6 +76,7 @@ fn scenarios() -> Vec<Scenario> {
             gc: GcKind::RdtLgc,
             pattern: Pattern::Ring,
             crash: 0.02,
+            correlated: 0.3,
             loss: 0.0,
             control_every: None,
             mode: RecoveryMode::Uncoordinated,
@@ -84,6 +90,7 @@ fn scenarios() -> Vec<Scenario> {
             gc: GcKind::WangGlobal,
             pattern: Pattern::TokenRing,
             crash: 0.0,
+            correlated: 0.0,
             loss: 0.1,
             control_every: Some(120),
             mode: RecoveryMode::Coordinated,
@@ -97,6 +104,7 @@ fn scenarios() -> Vec<Scenario> {
             gc: GcKind::TimeBased { horizon: 200 },
             pattern: Pattern::Bursty { burst: 6 },
             crash: 0.005,
+            correlated: 0.2,
             loss: 0.02,
             control_every: None,
             mode: RecoveryMode::Coordinated,
@@ -116,11 +124,7 @@ fn run(s: &Scenario) -> SimulationReport {
         .config(SimConfig {
             channel: ChannelConfig::lossy(s.loss),
             control_every: s.control_every,
-            // Correlated faults can orphan causal knowledge across repeated
-            // rollback sessions and break Lemma 1's totality in the seed
-            // recovery manager (no incarnation numbers) — see ROADMAP open
-            // items. Goldens stick to single-fault sessions.
-            correlated_crash_prob: 0.0,
+            correlated_crash_prob: s.correlated,
             record_trace: true,
             record_occupancy: true,
             state_size: 512,
@@ -141,11 +145,25 @@ fn canonical_dump(report: &SimulationReport) -> String {
     }
     let _ = writeln!(out, "last_stable={:?}", report.final_last_stable);
     let _ = writeln!(out, "retained={:?}", report.final_retained);
+    let _ = writeln!(
+        out,
+        "incarnations={:?}",
+        report
+            .final_incarnations
+            .iter()
+            .map(|v| v.value())
+            .collect::<Vec<_>>()
+    );
     let m = &report.metrics;
     let _ = writeln!(
         out,
-        "ticks={} sessions={} rolled_back={} control_rounds={} peak_global={}",
-        m.ticks, m.recovery_sessions, m.total_rolled_back, m.control_rounds, m.peak_global_retained
+        "ticks={} sessions={} rolled_back={} control_rounds={} peak_global={} degraded={}",
+        m.ticks,
+        m.recovery_sessions,
+        m.total_rolled_back,
+        m.control_rounds,
+        m.peak_global_retained,
+        m.degraded_lines
     );
     for (i, pm) in m.per_process.iter().enumerate() {
         let _ = writeln!(
@@ -177,11 +195,17 @@ fn canonical_dump(report: &SimulationReport) -> String {
     for session in &report.recovery_sessions {
         let _ = writeln!(
             out,
-            "session: faulty={:?} line={:?} rolled_back={:?} eliminated={:?} li={}",
+            "session: faulty={:?} line={:?} rolled_back={:?} eliminated={:?} degraded={:?} incarnations={:?} li={}",
             session.faulty,
             session.line,
             session.rolled_back,
             session.eliminated,
+            session.degraded,
+            session
+                .incarnations
+                .iter()
+                .map(|v| v.value())
+                .collect::<Vec<_>>(),
             session
                 .li
                 .as_ref()
@@ -221,8 +245,9 @@ fn reports_match_pre_refactor_goldens() {
     if std::env::var_os("REPLAY_BLESS").is_some() {
         let mut blob = String::from(
             "# Golden SimulationReport fingerprints (fnv1a over the canonical dump).\n\
-             # Recorded from the pre-optimization engine; re-bless with REPLAY_BLESS=1\n\
-             # only for intentional semantic changes.\n",
+             # Recorded from the incarnation-numbered engine with correlated\n\
+             # multi-fault sessions enabled; re-bless with REPLAY_BLESS=1 only for\n\
+             # intentional semantic changes.\n",
         );
         for (name, fp) in &current {
             let _ = writeln!(blob, "{name} {fp}");

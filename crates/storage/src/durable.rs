@@ -6,6 +6,14 @@
 //! "stable storage persists through failures" of the paper's Section 2,
 //! made literal.
 //!
+//! Alongside the checkpoints lives the **incarnation log**
+//! (`incarnation.bin`): the highest incarnation the owner ever opened,
+//! written with the same atomic discipline. Rollbacks bump the incarnation
+//! without storing a checkpoint, so a restart that read only the
+//! checkpoint files could resume at an incarnation the dead execution
+//! already used and propagated — aliasing the very knowledge incarnation
+//! numbers exist to disambiguate.
+//!
 //! [`codec`]: crate::codec
 
 use std::collections::BTreeSet;
@@ -13,7 +21,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use rdt_base::{CheckpointIndex, DependencyVector, ProcessId};
+use rdt_base::{CheckpointIndex, DependencyVector, Incarnation, ProcessId};
 use rdt_core::CheckpointStore;
 
 use crate::codec::{decode, encode, Record};
@@ -50,6 +58,51 @@ impl DurableStore {
 
     fn path_for(&self, index: CheckpointIndex) -> PathBuf {
         self.dir.join(format!("ckpt_{}.bin", index.value()))
+    }
+
+    fn incarnation_path(&self) -> PathBuf {
+        self.dir.join("incarnation.bin")
+    }
+
+    /// The incarnation log on disk: the highest incarnation the owner ever
+    /// opened, or [`Incarnation::ZERO`] if never written (crash-free
+    /// stores).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`Error::Corrupt`] for a malformed log.
+    pub fn incarnation_floor(&self) -> Result<Incarnation> {
+        match fs::read(self.incarnation_path()) {
+            Ok(bytes) => {
+                let arr: [u8; 4] = bytes
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| Error::Corrupt("incarnation log is not 4 bytes"))?;
+                Ok(Incarnation::new(u32::from_le_bytes(arr)))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Incarnation::ZERO),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Persists the incarnation log atomically (temp file, fsync, rename).
+    /// Monotone: never lowers the on-disk value.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors along the write path.
+    pub fn persist_incarnation_floor(&self, v: Incarnation) -> Result<()> {
+        if v <= self.incarnation_floor()? {
+            return Ok(());
+        }
+        let tmp = self.dir.join(".incarnation.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&v.value().to_le_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.incarnation_path())?;
+        Ok(())
     }
 
     /// Persists one checkpoint atomically: temp file, fsync, rename.
@@ -107,6 +160,9 @@ impl DurableStore {
             if name.starts_with('.') {
                 continue; // incomplete temp file from a crash: ignored
             }
+            if name == "incarnation.bin" {
+                continue; // the incarnation log is not a checkpoint
+            }
             let index = name
                 .strip_prefix("ckpt_")
                 .and_then(|rest| rest.strip_suffix(".bin"))
@@ -149,6 +205,7 @@ impl DurableStore {
         for record in self.load()? {
             store.insert_with_size(record.index, record.dv, record.state_size);
         }
+        store.raise_incarnation_floor(self.incarnation_floor()?);
         Ok(store)
     }
 
@@ -163,6 +220,7 @@ impl DurableStore {
     ///
     /// I/O errors along either path.
     pub fn sync(&self, store: &CheckpointStore) -> Result<(usize, usize)> {
+        self.persist_incarnation_floor(store.incarnation_floor())?;
         let on_disk: BTreeSet<CheckpointIndex> = self.indices()?.into_iter().collect();
         let in_memory: BTreeSet<CheckpointIndex> = store.indices().collect();
         let mut persisted = 0;

@@ -126,7 +126,12 @@ impl MirroredMiddleware {
         self.synced(report)
     }
 
-    /// Mirrored [`Middleware::rollback`].
+    /// Mirrored [`Middleware::rollback`], with the Strom/Yemini
+    /// **write-ahead incarnation log**: the incarnation the rollback is
+    /// about to open is persisted to disk *before* the in-memory rollback
+    /// runs, so a machine crash at any point cannot restart the process
+    /// into an incarnation number the aborted execution already used and
+    /// propagated.
     ///
     /// # Errors
     ///
@@ -136,6 +141,8 @@ impl MirroredMiddleware {
         ri: CheckpointIndex,
         li: Option<&LastIntervals>,
     ) -> Result<RollbackReport> {
+        self.disk
+            .persist_incarnation_floor(self.inner.incarnation().next())?;
         let report = self.inner.rollback(ri, li).map_err(other)?;
         self.synced(report)
     }
@@ -246,6 +253,25 @@ mod tests {
         mw.crash();
         assert!(mw.basic_checkpoint().is_err());
         assert_eq!(mw.disk().indices().unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rollback_write_aheads_the_incarnation_log() {
+        use rdt_base::Incarnation;
+        let dir = scratch("wal");
+        let mut mw =
+            MirroredMiddleware::create(&dir, p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
+        mw.basic_checkpoint().unwrap();
+        mw.crash();
+        mw.rollback(CheckpointIndex::new(1), None).unwrap();
+        assert_eq!(mw.middleware().incarnation(), Incarnation::new(1));
+        // Even if every later sync were lost, the log already says 1: a
+        // restart can never reuse the incarnation this rollback opened.
+        assert_eq!(mw.disk().incarnation_floor().unwrap(), Incarnation::new(1));
+        let restarted =
+            MirroredMiddleware::restart(&dir, p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc).unwrap();
+        assert_eq!(restarted.middleware().incarnation(), Incarnation::new(1));
         std::fs::remove_dir_all(dir).unwrap();
     }
 

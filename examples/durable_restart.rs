@@ -54,7 +54,9 @@ fn main() {
     // An ordinary recovery session brings the pair to a consistent cut.
     let mut world = vec![a, b];
     let faulty: FaultySet = [p0].into_iter().collect();
-    let report = RecoveryManager::new().recover(&mut world, &faulty);
+    let report = RecoveryManager::new()
+        .recover(&mut world, &faulty)
+        .expect("Lemma 1 is total for safe collectors");
     println!(
         "recovery line: {:?} (rolled back: {:?})",
         report.line.iter().map(|c| c.value()).collect::<Vec<_>>(),

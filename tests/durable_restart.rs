@@ -88,7 +88,9 @@ impl DurableWorld {
 
     fn recover(&mut self, faulty: &[usize]) {
         let faulty: FaultySet = faulty.iter().map(|&i| ProcessId::new(i)).collect();
-        RecoveryManager::new().recover(&mut self.mws, &faulty);
+        RecoveryManager::new()
+            .recover(&mut self.mws, &faulty)
+            .expect("Lemma 1 is total for safe collectors");
         self.sync_all();
     }
 }
@@ -154,7 +156,61 @@ fn restarted_process_dv_reflects_its_last_stable_checkpoint() {
     // restored vector equals the last stored one, bumped.
     assert_eq!(w.mws[0].dv(), &dv_before);
     w.recover(&[0]);
-    assert_eq!(w.mws[0].dv(), &dv_before);
+    // After the recovery session the intervals are unchanged, but the
+    // rollback opened a fresh incarnation for p0's own entry.
+    assert_eq!(w.mws[0].dv().to_raw(), dv_before.to_raw());
+    assert_eq!(
+        w.mws[0].incarnation(),
+        rdt_checkpointing::base::Incarnation::new(1)
+    );
+    assert_eq!(
+        w.mws[0]
+            .dv()
+            .incarnation_of(rdt_checkpointing::base::ProcessId::new(0)),
+        rdt_checkpointing::base::Incarnation::new(1)
+    );
+}
+
+#[test]
+fn restart_resumes_above_every_incarnation_the_dead_execution_used() {
+    use rdt_checkpointing::base::Incarnation;
+    // p0 rolls back once (incarnation 1) and propagates incarnation-1
+    // knowledge to p1, then dies hard and is rebuilt from disk alone.
+    // Rollbacks store no checkpoint, so the stored vectors still say
+    // incarnation 0 — the durable incarnation log must carry the counter,
+    // or the restart would reuse incarnation 1 and alias the dead
+    // execution's knowledge (and the recovery line would read p1's live
+    // dependency as stale).
+    let mut w = DurableWorld::new(2, "incarnation-log");
+    w.checkpoint(0);
+    w.mws[0].crash();
+    w.recover(&[0]); // rollback to s_0^1: incarnation 1
+    assert_eq!(w.mws[0].incarnation(), Incarnation::new(1));
+    w.message(0, 1); // p1 now knows p0's incarnation 1, interval 2
+    assert_eq!(
+        w.mws[1].dv().lineage(ProcessId::new(0)),
+        rdt_checkpointing::base::DvEntry::new(
+            Incarnation::new(1),
+            rdt_checkpointing::base::IntervalIndex::new(2)
+        )
+    );
+
+    w.crash_and_restart(0);
+    assert_eq!(
+        w.mws[0].incarnation(),
+        Incarnation::new(1),
+        "the restart resumes at the logged incarnation, not the stored vector's"
+    );
+    // The recovery session reads p1's incarnation-1 knowledge as *live* —
+    // p1 depends on p0's lost interval 2 and must roll back with it.
+    let line = RecoveryManager::new()
+        .recovery_line(&w.mws, &[ProcessId::new(0)].into_iter().collect())
+        .expect("Lemma 1 total");
+    assert_eq!(line[1], CheckpointIndex::new(0), "p1 is an orphan");
+    w.recover(&[0]);
+    assert_eq!(w.mws[0].incarnation(), Incarnation::new(2));
+    // The log survives on disk, monotone across the whole ordeal.
+    assert_eq!(w.disks[0].incarnation_floor().unwrap(), Incarnation::new(2));
 }
 
 #[test]

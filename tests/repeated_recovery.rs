@@ -1,0 +1,130 @@
+//! Repeated-recovery property test: after K random crash/recover sessions
+//! (coordinated and uncoordinated, with correlated multi-process faulty
+//! sets), the **online** recovery line computed by the manager over the
+//! live middlewares must match the **offline** `rdt-ccp` oracle replaying
+//! the full trace — rollbacks included — for every faulty set probed.
+//!
+//! The comparison is the Lemma-1 totality + GC-safety check in one: the
+//! oracle retains every live checkpoint, the online side only what the
+//! collector kept, so a mismatch means either orphaned causal knowledge
+//! blocked a live checkpoint (the pre-incarnation bug) or the collector
+//! eliminated a checkpoint a line still needed. The line must also name
+//! only restorable states, and safe collectors must never take the
+//! oldest-survivor fallback (`degraded_lines == 0`; exhaustion would have
+//! failed the run with `RecoveryError`).
+
+use proptest::prelude::*;
+
+use rdt_checkpointing::base::ProcessId;
+use rdt_checkpointing::ccp::CcpBuilder;
+use rdt_checkpointing::core::GcKind;
+use rdt_checkpointing::protocols::ProtocolKind;
+use rdt_checkpointing::recovery::{FaultySet, RecoveryManager, RecoveryMode};
+use rdt_checkpointing::sim::{ChannelConfig, SimConfig, Simulation};
+use rdt_checkpointing::workloads::WorkloadSpec;
+
+fn drive(
+    n: usize,
+    steps: usize,
+    seed: u64,
+    mode: RecoveryMode,
+    protocol: ProtocolKind,
+) -> Simulation {
+    let spec = WorkloadSpec::uniform_random(n, steps)
+        .with_seed(seed)
+        .with_checkpoint_prob(0.25)
+        .with_crash_prob(0.04); // K ≈ steps/25 crash/recover sessions
+    let config = SimConfig {
+        channel: ChannelConfig::lossy(0.05),
+        correlated_crash_prob: 0.3,
+        record_trace: true,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(n, protocol, GcKind::RdtLgc, config, mode, seed);
+    sim.schedule_ops(&spec.generate());
+    // An Err here would be RecoveryLineExhausted — the fallback-free
+    // totality guarantee for the safe RDT-LGC collector.
+    sim.run_to_completion()
+        .expect("Lemma 1 is total under safe collectors");
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn online_line_matches_offline_oracle_after_repeated_crashes(
+        seed in 0u64..10_000,
+        n in 2usize..6,
+        uncoordinated in 0u8..2,
+        fdas in 0u8..2,
+    ) {
+        let mode = if uncoordinated == 1 {
+            RecoveryMode::Uncoordinated
+        } else {
+            RecoveryMode::Coordinated
+        };
+        let protocol = if fdas == 1 { ProtocolKind::Fdas } else { ProtocolKind::NoForced };
+        let sim = drive(n, 500, seed, mode, protocol);
+
+        // Probe every singleton, the full set, and a pseudo-random pair.
+        let mut faulty_sets: Vec<FaultySet> = (0..n)
+            .map(|i| [ProcessId::new(i)].into_iter().collect())
+            .collect();
+        faulty_sets.push(ProcessId::all(n).collect());
+        faulty_sets.push(
+            [ProcessId::new(seed as usize % n), ProcessId::new((seed as usize / 7) % n)]
+                .into_iter()
+                .collect(),
+        );
+
+        let mgr = RecoveryManager::with_mode(mode);
+        let mut online_lines = Vec::new();
+        for fs in &faulty_sets {
+            let line = mgr
+                .recovery_line(sim.processes(), fs)
+                .expect("no fallback under RDT-LGC");
+            // Every component is restorable: a stored checkpoint, or the
+            // volatile state of a non-faulty process.
+            for (mw, &component) in sim.processes().iter().zip(&line) {
+                let volatile = mw.last_stable().next();
+                prop_assert!(
+                    mw.store().contains(component)
+                        || (component == volatile && !fs.contains(&mw.owner())),
+                    "faulty {fs:?}: component {component} of {} is not restorable",
+                    mw.owner()
+                );
+            }
+            online_lines.push(line);
+        }
+        let incarnations: Vec<_> =
+            sim.processes().iter().map(|mw| mw.incarnation()).collect();
+
+        // Replay the recorded trace — crashes, restores, drops and all —
+        // into the offline oracle and compare every line.
+        let report = sim.into_report();
+        prop_assert_eq!(report.metrics.degraded_lines, 0);
+        let trace = report.trace.as_ref().expect("trace recorded");
+        let ccp = CcpBuilder::from_trace(n, trace)
+            .expect("crashy traces replay")
+            .build();
+        for (k, p) in ProcessId::all(n).enumerate() {
+            prop_assert_eq!(ccp.incarnation(p), incarnations[k], "{}", p);
+            prop_assert_eq!(
+                ccp.last_stable(p).value(),
+                report.final_last_stable[k],
+                "{}", p
+            );
+        }
+        for (fs, online) in faulty_sets.iter().zip(&online_lines) {
+            let offline = ccp.recovery_line(fs);
+            prop_assert_eq!(
+                online.iter().map(|c| c.value()).collect::<Vec<_>>(),
+                offline.to_raw(),
+                "faulty {:?}: online line diverged from the oracle over the \
+                 full live history (orphan blocking or GC over-collection)",
+                fs
+            );
+        }
+    }
+}
