@@ -63,6 +63,18 @@ pub enum Error {
         /// The process whose stored checkpoints were all blocked.
         process: ProcessId,
     },
+    /// An incarnation number does not fit the packed dependency-vector
+    /// word's 16-bit incarnation field (`crate::DvEntry::MAX_INCARNATION`).
+    IncarnationOverflow {
+        /// The rejected incarnation number.
+        incarnation: u32,
+    },
+    /// An interval index does not fit the packed dependency-vector word's
+    /// 48-bit interval field (`crate::DvEntry::MAX_INTERVAL`).
+    IntervalOverflow {
+        /// The rejected interval index.
+        interval: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -92,6 +104,15 @@ impl fmt::Display for Error {
                     f,
                     "recovery line exhausted the stored checkpoints of {process} under a safe collector"
                 )
+            }
+            Error::IncarnationOverflow { incarnation } => {
+                write!(
+                    f,
+                    "incarnation {incarnation} exceeds the packed 16-bit field"
+                )
+            }
+            Error::IntervalOverflow { interval } => {
+                write!(f, "interval {interval} exceeds the packed 48-bit field")
             }
         }
     }

@@ -286,49 +286,150 @@ impl From<u32> for Incarnation {
 /// starts at the interval following the restored checkpoint, which bounds
 /// the surviving prefix of incarnation `ν` from above.
 ///
+/// # Packed representation
+///
+/// The pair is packed into one `u64` word — incarnation in the top
+/// [`INCARNATION_BITS`](Self::INCARNATION_BITS) bits, interval in the low
+/// [`INTERVAL_BITS`](Self::INTERVAL_BITS):
+///
+/// ```text
+/// bit 63            48 47                                  0
+///     ┌───────────────┬────────────────────────────────────┐
+///     │ incarnation ν │            interval γ              │
+///     └───────────────┴────────────────────────────────────┘
+/// ```
+///
+/// Because the incarnation occupies the more significant bits, plain
+/// unsigned `u64` ordering of the packed word **is** the lexicographic
+/// `(incarnation, interval)` order: for entries with equal incarnations the
+/// high 16 bits agree and the comparison falls through to the interval; for
+/// different incarnations the high bits differ and decide the comparison
+/// before the interval bits are ever reached. Every comparison, `max`, and
+/// merge over entries is therefore a single branch-free word operation —
+/// the property the dependency-vector merge kernels exploit.
+///
+/// Construction at or beyond the field widths (interval ≥ 2⁴⁸, incarnation
+/// ≥ 2¹⁶) is rejected — [`try_new`](Self::try_new) returns a typed error
+/// and [`new`](Self::new) panics — never silently truncated.
+///
 /// ```
 /// use rdt_base::{DvEntry, Incarnation, IntervalIndex};
 /// let dead = DvEntry::new(Incarnation::ZERO, IntervalIndex::new(9));
 /// let live = DvEntry::new(Incarnation::new(1), IntervalIndex::new(3));
 /// assert!(dead < live, "a newer incarnation wins even at a lower interval");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-pub struct DvEntry {
-    /// The incarnation the interval belongs to.
-    pub incarnation: Incarnation,
-    /// The interval index within that incarnation.
-    pub interval: IntervalIndex,
-}
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct DvEntry(u64);
 
 impl DvEntry {
+    /// Bits of the packed word holding the interval index (the low field).
+    pub const INTERVAL_BITS: u32 = 48;
+
+    /// Bits of the packed word holding the incarnation (the high field).
+    pub const INCARNATION_BITS: u32 = 16;
+
+    /// Largest representable interval index, `2^48 − 1`.
+    pub const MAX_INTERVAL: usize = ((1u64 << Self::INTERVAL_BITS) - 1) as usize;
+
+    /// Largest representable incarnation, `2^16 − 1`.
+    pub const MAX_INCARNATION: u32 = (1u32 << Self::INCARNATION_BITS) - 1;
+
     /// The zero entry: no knowledge, initial incarnation.
-    pub const ZERO: Self = Self {
-        incarnation: Incarnation::ZERO,
-        interval: IntervalIndex::ZERO,
-    };
+    pub const ZERO: Self = Self(0);
 
     /// Creates an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component exceeds its packed field
+    /// ([`MAX_INCARNATION`](Self::MAX_INCARNATION),
+    /// [`MAX_INTERVAL`](Self::MAX_INTERVAL)); use
+    /// [`try_new`](Self::try_new) where overflow is an input condition
+    /// rather than a bug.
     pub const fn new(incarnation: Incarnation, interval: IntervalIndex) -> Self {
-        Self {
-            incarnation,
-            interval,
+        assert!(
+            incarnation.value() <= Self::MAX_INCARNATION,
+            "incarnation exceeds the packed 16-bit field"
+        );
+        assert!(
+            interval.value() <= Self::MAX_INTERVAL,
+            "interval exceeds the packed 48-bit field"
+        );
+        Self(((incarnation.value() as u64) << Self::INTERVAL_BITS) | interval.value() as u64)
+    }
+
+    /// Fallible [`new`](Self::new): rejects components that do not fit the
+    /// packed fields with a typed error instead of truncating or panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::IncarnationOverflow`] for incarnations ≥ 2¹⁶,
+    /// [`crate::Error::IntervalOverflow`] for intervals ≥ 2⁴⁸.
+    pub fn try_new(incarnation: Incarnation, interval: IntervalIndex) -> crate::Result<Self> {
+        if incarnation.value() > Self::MAX_INCARNATION {
+            return Err(crate::Error::IncarnationOverflow {
+                incarnation: incarnation.value(),
+            });
         }
+        if interval.value() > Self::MAX_INTERVAL {
+            return Err(crate::Error::IntervalOverflow {
+                interval: interval.value(),
+            });
+        }
+        Ok(Self::new(incarnation, interval))
+    }
+
+    /// The incarnation the interval belongs to (the high 16 bits).
+    pub const fn incarnation(self) -> Incarnation {
+        Incarnation::new((self.0 >> Self::INTERVAL_BITS) as u32)
+    }
+
+    /// The interval index within that incarnation (the low 48 bits).
+    pub const fn interval(self) -> IntervalIndex {
+        IntervalIndex::new((self.0 & (Self::MAX_INTERVAL as u64)) as usize)
+    }
+
+    /// The raw packed word. Unsigned ordering of packed words is the
+    /// entries' lexicographic order (see the type docs).
+    pub const fn packed(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an entry from a packed word produced by
+    /// [`packed`](Self::packed). Every `u64` is a valid packed entry, so
+    /// this cannot fail.
+    pub const fn from_packed(word: u64) -> Self {
+        Self(word)
     }
 
     /// The next interval of the same incarnation (checkpoint taken).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval field is exhausted (`MAX_INTERVAL`): silently
+    /// carrying into the incarnation bits would corrupt the lineage.
     pub const fn next_interval(self) -> Self {
-        Self {
-            incarnation: self.incarnation,
-            interval: self.interval.next(),
-        }
+        assert!(
+            self.interval().value() < Self::MAX_INTERVAL,
+            "interval exceeds the packed 48-bit field"
+        );
+        Self(self.0 + 1)
     }
 
     /// Equation 3 within the entry's incarnation: the last checkpoint known,
     /// or `None` when the interval is `0`.
     pub fn last_known_checkpoint(self) -> Option<CheckpointIndex> {
-        self.interval.last_known_checkpoint()
+        self.interval().last_known_checkpoint()
+    }
+}
+
+impl fmt::Debug for DvEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DvEntry")
+            .field("incarnation", &self.incarnation().value())
+            .field("interval", &self.interval().value())
+            .finish()
     }
 }
 
@@ -337,10 +438,10 @@ impl fmt::Display for DvEntry {
     /// crash-free notation), and as `interval@incarnation` once rollbacks
     /// have happened.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.incarnation == Incarnation::ZERO {
-            write!(f, "{}", self.interval)
+        if self.incarnation() == Incarnation::ZERO {
+            write!(f, "{}", self.interval())
         } else {
-            write!(f, "{}@{}", self.interval, self.incarnation)
+            write!(f, "{}@{}", self.interval(), self.incarnation())
         }
     }
 }
@@ -427,5 +528,91 @@ mod tests {
         assert_eq!(Incarnation::ZERO.next(), Incarnation::new(1));
         assert_eq!(Incarnation::new(3).value(), 3);
         assert_eq!(DvEntry::ZERO.last_known_checkpoint(), None);
+    }
+
+    #[test]
+    fn packed_word_roundtrips_components() {
+        let e = DvEntry::new(Incarnation::new(7), IntervalIndex::new(123_456));
+        assert_eq!(e.incarnation(), Incarnation::new(7));
+        assert_eq!(e.interval(), IntervalIndex::new(123_456));
+        assert_eq!(DvEntry::from_packed(e.packed()), e);
+        assert_eq!(e.packed(), (7u64 << 48) | 123_456);
+    }
+
+    #[test]
+    fn packed_order_equals_lexicographic_at_field_extremes() {
+        // The largest interval of incarnation ν sorts below the zero
+        // interval of ν + 1: the word comparison is the lexicographic one.
+        let top = DvEntry::new(Incarnation::ZERO, IntervalIndex::new(DvEntry::MAX_INTERVAL));
+        let next = DvEntry::new(Incarnation::new(1), IntervalIndex::ZERO);
+        assert!(top < next);
+        assert!(top.packed() < next.packed());
+    }
+
+    #[test]
+    fn try_new_accepts_the_exact_field_maxima() {
+        let e = DvEntry::try_new(
+            Incarnation::new(DvEntry::MAX_INCARNATION),
+            IntervalIndex::new(DvEntry::MAX_INTERVAL),
+        )
+        .expect("maxima fit");
+        assert_eq!(e.incarnation().value(), DvEntry::MAX_INCARNATION);
+        assert_eq!(e.interval().value(), DvEntry::MAX_INTERVAL);
+        assert_eq!(e.packed(), u64::MAX);
+    }
+
+    #[test]
+    fn try_new_rejects_one_past_each_field() {
+        assert_eq!(
+            DvEntry::try_new(
+                Incarnation::new(DvEntry::MAX_INCARNATION + 1),
+                IntervalIndex::ZERO,
+            ),
+            Err(crate::Error::IncarnationOverflow {
+                incarnation: DvEntry::MAX_INCARNATION + 1
+            })
+        );
+        assert_eq!(
+            DvEntry::try_new(
+                Incarnation::ZERO,
+                IntervalIndex::new(DvEntry::MAX_INTERVAL + 1),
+            ),
+            Err(crate::Error::IntervalOverflow {
+                interval: DvEntry::MAX_INTERVAL + 1
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "incarnation exceeds the packed 16-bit field")]
+    fn new_panics_on_incarnation_overflow() {
+        let _ = DvEntry::new(
+            Incarnation::new(DvEntry::MAX_INCARNATION + 1),
+            IntervalIndex::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "interval exceeds the packed 48-bit field")]
+    fn new_panics_on_interval_overflow() {
+        let _ = DvEntry::new(
+            Incarnation::ZERO,
+            IntervalIndex::new(DvEntry::MAX_INTERVAL + 1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "interval exceeds the packed 48-bit field")]
+    fn next_interval_refuses_to_carry_into_the_incarnation() {
+        let top = DvEntry::new(Incarnation::ZERO, IntervalIndex::new(DvEntry::MAX_INTERVAL));
+        let _ = top.next_interval();
+    }
+
+    #[test]
+    fn debug_output_shows_unpacked_components() {
+        let e = DvEntry::new(Incarnation::new(2), IntervalIndex::new(4));
+        let s = format!("{e:?}");
+        assert!(s.contains("incarnation: 2"), "{s}");
+        assert!(s.contains("interval: 4"), "{s}");
     }
 }

@@ -54,6 +54,7 @@ mod dv;
 mod error;
 mod ids;
 mod message;
+mod share;
 mod trace;
 mod update_set;
 
@@ -61,5 +62,6 @@ pub use dv::DependencyVector;
 pub use error::{Error, Result};
 pub use ids::{CheckpointId, CheckpointIndex, DvEntry, Incarnation, IntervalIndex, ProcessId};
 pub use message::{Message, MessageId, MessageMeta, Payload};
+pub use share::{SharedDv, SyncDv};
 pub use trace::TraceEvent;
 pub use update_set::UpdateSet;

@@ -1,11 +1,10 @@
 //! Application messages and their piggybacked control information.
 
 use std::fmt;
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{DependencyVector, ProcessId};
+use crate::{ProcessId, SharedDv};
 
 /// Globally unique message identifier: the sender plus a per-sender sequence
 /// number assigned at send time.
@@ -52,14 +51,17 @@ pub struct MessageMeta {
     pub dst: ProcessId,
     /// The sender's dependency vector at send time (`m.DV`), shared with
     /// the sender's interned snapshot: constructing a message does not
-    /// deep-copy the vector.
-    pub dv: Arc<DependencyVector>,
+    /// deep-copy the vector. [`SharedDv`] is the thread-local (non-atomic)
+    /// flavour — messages live on the thread that minted them; a runtime
+    /// that ships piggybacks across threads uses [`crate::SyncDv`] at the
+    /// boundary instead.
+    pub dv: SharedDv,
 }
 
 impl MessageMeta {
     /// Creates message metadata. Accepts an owned vector (wrapped) or an
-    /// already-interned `Arc` (shared without copying).
-    pub fn new(id: MessageId, dst: ProcessId, dv: impl Into<Arc<DependencyVector>>) -> Self {
+    /// already-interned [`SharedDv`] (shared without copying).
+    pub fn new(id: MessageId, dst: ProcessId, dv: impl Into<SharedDv>) -> Self {
         Self {
             id,
             dst,
@@ -139,6 +141,7 @@ impl fmt::Display for Message {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DependencyVector;
 
     #[test]
     fn message_id_orders_per_sender() {

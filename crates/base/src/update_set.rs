@@ -91,6 +91,28 @@ impl UpdateSet {
         }
     }
 
+    /// ORs a 64-bit mask of members into the set: bit `b` of `bits` stands
+    /// for process `word * 64 + b`. This is how the branch-free
+    /// dependency-vector merge reports a whole 64-entry chunk at once,
+    /// straight from its compare mask. Allocates only when a non-zero mask
+    /// lands beyond process 128.
+    pub fn or_word(&mut self, word: usize, bits: u64) {
+        match word {
+            0 => self.lo |= bits as u128,
+            1 => self.lo |= (bits as u128) << 64,
+            _ => {
+                if bits == 0 {
+                    return;
+                }
+                let spill = word - 2;
+                if self.hi.len() <= spill {
+                    self.hi.resize(spill + 1, 0);
+                }
+                self.hi[spill] |= bits;
+            }
+        }
+    }
+
     /// Whether `p` is in the set.
     pub fn contains(&self, p: ProcessId) -> bool {
         let i = p.index();
@@ -268,6 +290,26 @@ mod tests {
         let set: UpdateSet = [p(1), p(4)].into_iter().collect();
         assert_eq!(set.to_vec(), vec![p(1), p(4)]);
         assert_eq!(set.to_string(), "{p2, p5}");
+    }
+
+    #[test]
+    fn or_word_matches_per_bit_inserts() {
+        let mut by_word = UpdateSet::new();
+        by_word.or_word(0, 1 << 3 | 1 << 63);
+        by_word.or_word(1, 1 << 0); // process 64
+        by_word.or_word(2, 1 << 5); // process 133
+        by_word.or_word(3, 0); // no members: must not allocate spill
+        let by_insert: UpdateSet = [p(3), p(63), p(64), p(133)].into_iter().collect();
+        assert_eq!(by_word, by_insert);
+        assert_eq!(by_word.to_vec(), vec![p(3), p(63), p(64), p(133)]);
+    }
+
+    #[test]
+    fn or_word_zero_mask_never_spills() {
+        let mut set = UpdateSet::new();
+        set.or_word(5, 0);
+        assert!(set.is_empty());
+        assert_eq!(set.hi.capacity(), 0);
     }
 
     #[test]

@@ -52,6 +52,99 @@ fn check_equivalence(a: Vec<usize>, b: Vec<usize>) {
     assert!(scratch.is_empty(), "re-merge must clear the scratch set");
 }
 
+/// Unpacked reference model for the packed-word kernels: entries as plain
+/// `(u32 incarnation, usize interval)` pairs compared lexicographically —
+/// exactly the pre-packing `DvEntry` struct. The packed `u64` kernels
+/// (`merge_from_into`, `dominated_by`, `would_learn_from`, `join`) must
+/// agree with this model entry for entry.
+mod unpacked {
+    pub type Entry = (u32, usize);
+
+    pub fn merge(mine: &mut [Entry], theirs: &[Entry]) -> Vec<usize> {
+        let mut updated = Vec::new();
+        for (i, (m, t)) in mine.iter_mut().zip(theirs).enumerate() {
+            // Lexicographic: tuple Ord.
+            if *t > *m {
+                *m = *t;
+                updated.push(i);
+            }
+        }
+        updated
+    }
+
+    pub fn dominated_by(a: &[Entry], b: &[Entry]) -> bool {
+        a.iter().zip(b).all(|(x, y)| x <= y)
+    }
+
+    pub fn would_learn(mine: &[Entry], theirs: &[Entry]) -> bool {
+        mine.iter().zip(theirs).any(|(m, t)| t > m)
+    }
+
+    pub fn join(a: &[Entry], b: &[Entry]) -> Vec<Entry> {
+        a.iter().zip(b).map(|(x, y)| *x.max(y)).collect()
+    }
+}
+
+/// Cross-incarnation entry pairs: small incarnations and intervals so the
+/// two components actually interact (newer incarnation at lower interval).
+type LineagePair = (Vec<(u32, usize)>, Vec<(u32, usize)>);
+
+fn lineage_pair(n: usize) -> impl Strategy<Value = LineagePair> {
+    (
+        prop::collection::vec((0u32..4, 0usize..16), n),
+        prop::collection::vec((0u32..4, 0usize..16), n),
+    )
+}
+
+fn check_packed_against_unpacked(a: Vec<(u32, usize)>, b: Vec<(u32, usize)>) {
+    let mut reference = a.clone();
+    let expected_updates = unpacked::merge(&mut reference, &b);
+
+    let mut dv = DependencyVector::from_lineages(a.clone());
+    let other = DependencyVector::from_lineages(b.clone());
+
+    // Pre-merge predicates against the model.
+    assert_eq!(
+        dv.would_learn_from(&other),
+        unpacked::would_learn(&a, &b),
+        "would_learn_from diverged"
+    );
+    assert_eq!(
+        dv.dominated_by(&other),
+        unpacked::dominated_by(&a, &b),
+        "dominated_by diverged"
+    );
+    assert_eq!(
+        other.dominated_by(&dv),
+        unpacked::dominated_by(&b, &a),
+        "dominated_by diverged (flipped)"
+    );
+    assert_eq!(
+        dv.join(&other).to_raw_lineages(),
+        unpacked::join(&a, &b),
+        "join diverged"
+    );
+
+    // The merge itself: final vector and update report.
+    let updated = dv.merge_from(&other);
+    assert_eq!(dv.to_raw_lineages(), reference, "merged vectors diverged");
+    assert_eq!(
+        updated.to_vec(),
+        expected_updates
+            .iter()
+            .map(|&i| ProcessId::new(i))
+            .collect::<Vec<_>>(),
+        "update sets diverged"
+    );
+
+    // Post-merge algebra: the merge result dominates both operands.
+    assert!(
+        other.dominated_by(&dv),
+        "merge result must dominate the merged-in operand"
+    );
+    assert!(DependencyVector::from_lineages(a).dominated_by(&dv));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -71,5 +164,32 @@ proptest! {
     #[test]
     fn bitset_merge_matches_reference_spill(pair in vec_pair(150)) {
         check_equivalence(pair.0, pair.1);
+    }
+
+    /// Packed kernels vs the unpacked model, inline representation — with
+    /// cross-incarnation entries, where lexicographic ≠ interval order.
+    #[test]
+    fn packed_kernels_match_unpacked_model_inline(pair in lineage_pair(5)) {
+        check_packed_against_unpacked(pair.0, pair.1);
+    }
+
+    /// Packed kernels vs the unpacked model at the inline/heap boundary.
+    #[test]
+    fn packed_kernels_match_unpacked_model_at_cap(pair in lineage_pair(16)) {
+        check_packed_against_unpacked(pair.0, pair.1);
+    }
+
+    /// Packed kernels vs the unpacked model, heap representation, spanning
+    /// a full update-report word boundary (n > 64).
+    #[test]
+    fn packed_kernels_match_unpacked_model_heap(pair in lineage_pair(70)) {
+        check_packed_against_unpacked(pair.0, pair.1);
+    }
+
+    /// Packed kernels vs the unpacked model with a spilled update report
+    /// (n > 128).
+    #[test]
+    fn packed_kernels_match_unpacked_model_spill(pair in lineage_pair(140)) {
+        check_packed_against_unpacked(pair.0, pair.1);
     }
 }

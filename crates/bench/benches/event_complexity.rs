@@ -4,10 +4,10 @@
 //! taking a checkpoint, and of sending, as the system size n grows.
 //! Receive and checkpoint cost should scale linearly in n
 //! (dependency-vector merge and snapshot copy dominate); the send series
-//! is flat by design — `Arc`-interned piggybacks make every send after
-//! the first in an interval an O(1) pointer clone, which is exactly the
-//! optimization this suite demonstrates. Peer piggybacks are prebuilt
-//! outside the timed region —
+//! is flat by design — `Rc`-interned piggybacks make every send after
+//! the first in an interval an O(1) pointer clone with a non-atomic
+//! refcount, which is exactly the optimization this suite demonstrates.
+//! Peer piggybacks are prebuilt outside the timed region —
 //! they model the network's input, not this process's work — and events
 //! run through the middleware's pooled `_into` entry points, exactly as
 //! the simulator drives them.

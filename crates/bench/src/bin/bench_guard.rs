@@ -1,0 +1,189 @@
+//! CI regression guard over the committed benchmark record.
+//!
+//! Compares a fresh `BENCH_JSON` NDJSON capture (one object per benchmark,
+//! as the criterion shim emits) against the `results` map of a committed
+//! `BENCH_<label>.json`, per suite (the part of the name before the first
+//! `/`). Fails — exit code 1 — when any suite's **geometric mean** of
+//! `current / committed` exceeds the allowed ratio.
+//!
+//! ```sh
+//! rm -f /tmp/bench.ndjson
+//! BENCH_QUICK=1 BENCH_JSON=/tmp/bench.ndjson cargo bench -p rdt-bench \
+//!     --bench merged_overhead --bench event_complexity
+//! cargo run -p rdt-bench --bin bench_guard -- /tmp/bench.ndjson BENCH_after.json 1.25
+//! ```
+//!
+//! The geomean (not per-benchmark deltas) is the gate because single cells
+//! on a virtualized single-core CI host are noisy at the ±10% level; a
+//! whole suite drifting by >25% is a real regression, not noise. Every
+//! benchmark named in the committed record must also be present in the
+//! capture — a renamed or dropped suite fails the gate rather than
+//! silently escaping it.
+//!
+//! Caveat: the committed record carries absolute nanoseconds from the host
+//! that recorded it, so a systematically slower/faster CI machine shifts
+//! every ratio by a constant factor. If the gate trips on a hardware
+//! change rather than a code change, re-record `BENCH_after.json` on a
+//! representative host (see BENCHMARKS.md) or pass a wider `max_ratio` —
+//! do not delete the step.
+//!
+//! Parsing is hand-rolled (the workspace's serde is an offline shim): both
+//! inputs are scanned for `"key": number` pairs, which covers the NDJSON
+//! capture and the committed record's flat `results` map alike.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts `"string": number` pairs from `text`. For NDJSON capture lines
+/// the benchmark name is assembled from the `group` and `bench` fields;
+/// for committed records the flat `results` keys (containing `/`) are
+/// taken verbatim.
+fn parse_means(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        // NDJSON shape: {"group":"g","bench":"b","mean_ns":N,"batches":M}
+        if let (Some(group), Some(bench), Some(mean)) = (
+            string_field(line, "group"),
+            string_field(line, "bench"),
+            number_field(line, "mean_ns"),
+        ) {
+            out.insert(format!("{group}/{bench}"), mean);
+            continue;
+        }
+        // Committed shape: `"suite/bench/param": N,` inside "results".
+        if let Some((key, value)) = flat_pair(line) {
+            if key.contains('/') {
+                out.insert(key, value);
+            }
+        }
+    }
+    out
+}
+
+/// `"name":"value"` → value.
+fn string_field(line: &str, name: &str) -> Option<String> {
+    let tag = format!("\"{name}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// `"name":number` → number.
+fn number_field(line: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// A whole line of the form `"key": number[,]` → (key, number).
+fn flat_pair(line: &str) -> Option<(String, f64)> {
+    let line = line.trim().trim_end_matches(',');
+    let rest = line.strip_prefix('"')?;
+    let quote = rest.find('"')?;
+    let key = &rest[..quote];
+    let value = rest[quote + 1..].trim().strip_prefix(':')?.trim();
+    Some((key.to_string(), value.parse().ok()?))
+}
+
+fn suite_of(name: &str) -> &str {
+    name.split('/').next().unwrap_or(name)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, committed_path) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            eprintln!("usage: bench_guard <current.ndjson> <committed.json> [max_ratio]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max_ratio: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("max_ratio is a number"))
+        .unwrap_or(1.25);
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let current = parse_means(&read(current_path));
+    let committed = parse_means(&read(committed_path));
+    assert!(!current.is_empty(), "no benchmarks in {current_path}");
+    assert!(!committed.is_empty(), "no benchmarks in {committed_path}");
+
+    // Per-suite log-ratio accumulation over the benchmarks both runs have.
+    let mut suites: BTreeMap<&str, (f64, u32)> = BTreeMap::new();
+    for (name, &now) in &current {
+        let Some(&then) = committed.get(name) else {
+            println!("note: {name} not in committed record, skipped");
+            continue;
+        };
+        let ratio = now / then;
+        println!("{name:<44} {then:>12.1} -> {now:>12.1} ns  x{ratio:.3}");
+        let slot = suites.entry(suite_of(name)).or_insert((0.0, 0));
+        slot.0 += ratio.ln();
+        slot.1 += 1;
+    }
+    assert!(
+        !suites.is_empty(),
+        "no overlapping benchmarks between {current_path} and {committed_path}"
+    );
+
+    let mut failed = false;
+    // Every committed benchmark must be present in the fresh capture: a
+    // renamed group or a dropped `--bench` flag must fail the gate, not
+    // silently shrink what it measures.
+    for name in committed.keys() {
+        if !current.contains_key(name) {
+            println!("missing: {name} is in the committed record but was not captured");
+            failed = true;
+        }
+    }
+    for (suite, (log_sum, count)) in &suites {
+        let geomean = (log_sum / f64::from(*count)).exp();
+        let verdict = if geomean > max_ratio {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("suite {suite:<30} geomean x{geomean:.3} ({count} benches) {verdict}");
+    }
+    if failed {
+        eprintln!("bench_guard: geomean regression beyond x{max_ratio} — failing");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ndjson_capture_lines() {
+        let text = "{\"group\":\"event_complexity\",\"bench\":\"send/4\",\"mean_ns\":123.5,\"batches\":9}\n";
+        let means = parse_means(text);
+        assert_eq!(means.get("event_complexity/send/4"), Some(&123.5));
+    }
+
+    #[test]
+    fn parses_committed_flat_results() {
+        let text = "{\n  \"results\": {\n    \"merged_overhead/fdas_plain/8\": 9088.3,\n    \"event_complexity/send/16\": 15824.9\n  }\n}\n";
+        let means = parse_means(text);
+        assert_eq!(means.get("merged_overhead/fdas_plain/8"), Some(&9088.3));
+        assert_eq!(means.get("event_complexity/send/16"), Some(&15824.9));
+        assert_eq!(means.len(), 2, "metadata keys without '/' are ignored");
+    }
+
+    #[test]
+    fn suite_is_the_leading_path_component() {
+        assert_eq!(suite_of("event_complexity/send/4"), "event_complexity");
+        assert_eq!(suite_of("flat"), "flat");
+    }
+}

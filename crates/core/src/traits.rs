@@ -65,7 +65,7 @@ impl LastIntervals {
 
     /// The interval component of the entry for process `j`.
     pub fn entry(&self, j: ProcessId) -> IntervalIndex {
-        self.0[j.index()].interval
+        self.0[j.index()].interval()
     }
 
     /// The full incarnation-qualified entry for process `j`.

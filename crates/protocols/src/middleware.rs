@@ -1,17 +1,15 @@
 //! The checkpointing middleware: protocol + garbage collector + stable
 //! storage, merged as in the paper's Algorithm 4.
 
-use std::sync::Arc;
-
 use serde::{Deserialize, Serialize};
 
 use rdt_base::{
     CheckpointIndex, DependencyVector, Error, Incarnation, Message, MessageId, MessageMeta,
-    Payload, ProcessId, Result, UpdateSet,
+    Payload, ProcessId, Result, SharedDv, SyncDv, UpdateSet,
 };
 use rdt_core::{CheckpointStore, ControlInfo, GarbageCollector, GcKind, LastIntervals};
 
-use crate::protocol::{Piggyback, ProtocolKind, ProtocolState};
+use crate::protocol::{Piggyback, ProtocolKind, ProtocolState, SyncPiggyback};
 
 /// What happened while processing one receive.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,6 +65,20 @@ pub struct RollbackReport {
 ///   one is released (the transient `n + 1` occupancy is observable through
 ///   [`CheckpointStore::peak`]).
 ///
+/// # Threading
+///
+/// A middleware instance is deliberately **`!Send`**: its interned
+/// piggyback snapshot is a thread-local [`SharedDv`] (non-atomic refcount),
+/// so the per-send cost on the single-threaded hot path is one plain
+/// counter increment — never an atomic RMW. Multi-threaded runtimes keep
+/// each process's middleware on its own thread and exchange the explicitly
+/// `Send` flavour instead: [`piggyback_sync`](Self::piggyback_sync) mints
+/// an [`Arc`](std::sync::Arc)-backed [`SyncPiggyback`] (with its own
+/// interned snapshot, so a burst of sends still shares one allocation) and
+/// [`receive_sync_piggyback_into`](Self::receive_sync_piggyback_into)
+/// consumes one. The Send-safety story is a type choice at the runtime
+/// boundary, not a tax on every message.
+///
 /// # Example
 ///
 /// ```
@@ -102,8 +114,15 @@ pub struct Middleware {
     incarnation: Incarnation,
     /// Interned snapshot of `dv` shared with outgoing piggybacks and
     /// messages; invalidated whenever `dv` mutates (copy-on-write: a burst
-    /// of sends within one interval shares a single allocation).
-    dv_snapshot: Option<Arc<DependencyVector>>,
+    /// of sends within one interval shares a single allocation). The
+    /// refcount is non-atomic — this field is what makes `Middleware`
+    /// `!Send`.
+    dv_snapshot: Option<SharedDv>,
+    /// [`Arc`](std::sync::Arc)-backed counterpart of `dv_snapshot`, interned
+    /// lazily for runtimes that ship piggybacks across threads
+    /// ([`piggyback_sync`](Self::piggyback_sync)); invalidated together
+    /// with it. `None` forever on the single-threaded hot path.
+    sync_snapshot: Option<SyncDv>,
 }
 
 impl Middleware {
@@ -129,6 +148,7 @@ impl Middleware {
             state_size: 0,
             incarnation: Incarnation::ZERO,
             dv_snapshot: None,
+            sync_snapshot: None,
         };
         mw.take_checkpoint(false);
         mw
@@ -190,6 +210,7 @@ impl Middleware {
             state_size: 0,
             incarnation,
             dv_snapshot: None,
+            sync_snapshot: None,
         }
     }
 
@@ -293,7 +314,7 @@ impl Middleware {
             self.basic_count += 1;
         }
         self.dv.begin_next_interval(self.owner);
-        self.dv_snapshot = None;
+        self.invalidate_snapshots();
         index
     }
 
@@ -343,30 +364,66 @@ impl Middleware {
         to: ProcessId,
         payload: Payload,
     ) -> (Message, Option<CheckpointReport>) {
+        let id = MessageId::new(self.owner, self.begin_send());
+        let msg = Message::new(MessageMeta::new(id, to, self.shared_dv()), payload);
+        let forced = self.post_send_force();
+        (msg, forced)
+    }
+
+    /// Send-side protocol duties shared by every send flavour: liveness
+    /// check, the protocol's `sent` flag, and the per-sender sequence
+    /// assignment. Returns the sequence number of this send.
+    fn begin_send(&mut self) -> u64 {
         assert!(!self.crashed, "crashed processes do not send");
         self.protocol.note_send();
-        let id = MessageId::new(self.owner, self.seq);
+        let seq = self.seq;
         self.seq += 1;
-        let msg = Message::new(MessageMeta::new(id, to, self.shared_dv()), payload);
-        let forced = self
-            .protocol
+        seq
+    }
+
+    /// The post-send forced checkpoint of the CAS/CASBR models, shared by
+    /// every send flavour. Callers must snapshot the piggybacked vector
+    /// *before* this runs — the forced checkpoint opens the next interval.
+    fn post_send_force(&mut self) -> Option<CheckpointReport> {
+        self.protocol
             .must_force_after_send()
-            .then(|| self.take_checkpoint(true));
-        (msg, forced)
+            .then(|| self.take_checkpoint(true))
     }
 
     /// The interned snapshot of the current dependency vector: cloned
     /// lazily on the first request after a local mutation, shared (one
-    /// atomic increment) by every subsequent send in the same interval.
-    fn shared_dv(&mut self) -> Arc<DependencyVector> {
+    /// non-atomic counter increment) by every subsequent send in the same
+    /// interval.
+    fn shared_dv(&mut self) -> SharedDv {
         match &self.dv_snapshot {
-            Some(snapshot) => Arc::clone(snapshot),
+            Some(snapshot) => snapshot.clone(),
             None => {
-                let snapshot = Arc::new(self.dv.clone());
-                self.dv_snapshot = Some(Arc::clone(&snapshot));
+                let snapshot = SharedDv::new(self.dv.clone());
+                self.dv_snapshot = Some(snapshot.clone());
                 snapshot
             }
         }
+    }
+
+    /// The [`std::sync::Arc`]-backed snapshot for cross-thread piggybacks,
+    /// interned separately from the thread-local one and invalidated by the
+    /// same mutations.
+    fn sync_dv(&mut self) -> SyncDv {
+        match &self.sync_snapshot {
+            Some(snapshot) => snapshot.clone(),
+            None => {
+                let snapshot = SyncDv::new(self.dv.clone());
+                self.sync_snapshot = Some(snapshot.clone());
+                snapshot
+            }
+        }
+    }
+
+    /// Drops both interned snapshots after a local mutation of `dv`; the
+    /// next send re-interns lazily (copy-on-write).
+    fn invalidate_snapshots(&mut self) {
+        self.dv_snapshot = None;
+        self.sync_snapshot = None;
     }
 
     /// The full piggyback for the last send (dependency vector plus BCS
@@ -374,6 +431,31 @@ impl Middleware {
     /// index transport this alongside. The vector is shared, not copied.
     pub fn piggyback(&mut self) -> Piggyback {
         Piggyback::new(self.shared_dv(), self.protocol.index())
+    }
+
+    /// The `Send` flavour of [`piggyback`](Self::piggyback), for runtimes
+    /// that ship control information between threads: the vector is shared
+    /// through an atomically refcounted [`SyncDv`] snapshot (interned, so a
+    /// burst of sends within one interval still shares one allocation).
+    pub fn piggyback_sync(&mut self) -> SyncPiggyback {
+        SyncPiggyback::new(self.sync_dv(), self.protocol.index())
+    }
+
+    /// A send whose entire observable output is the cross-thread piggyback:
+    /// performs the send-side protocol duties ([`send`](Self::send)'s
+    /// `sent` flag, sequence bump, and the CAS/CASBR post-send forced
+    /// checkpoint) and mints the [`SyncPiggyback`] — without constructing
+    /// the thread-local [`Message`] (and its [`SharedDv`] snapshot) that a
+    /// threaded runtime would immediately discard.
+    ///
+    /// # Panics
+    ///
+    /// Panics while crashed, like [`send`](Self::send).
+    pub fn send_sync(&mut self) -> (SyncPiggyback, Option<CheckpointReport>) {
+        let _seq = self.begin_send();
+        let pb = self.piggyback_sync();
+        let forced = self.post_send_force();
+        (pb, forced)
     }
 
     /// Processes a received message (Algorithm 4's receive handler):
@@ -386,7 +468,7 @@ impl Middleware {
     /// [`Error::ProcessCrashed`] while crashed (the message is lost;
     /// simulators may choose to re-deliver).
     pub fn receive(&mut self, msg: &Message) -> Result<ReceiveReport> {
-        self.receive_piggyback(&Piggyback::new(Arc::clone(&msg.meta.dv), 0))
+        self.receive_piggyback(&Piggyback::new(msg.meta.dv.clone(), 0))
     }
 
     /// [`receive`](Self::receive) with an explicit [`Piggyback`] (used when
@@ -414,14 +496,42 @@ impl Middleware {
         m: &Piggyback,
         report: &mut ReceiveReport,
     ) -> Result<()> {
+        self.receive_parts_into(&m.dv, m.index, report)
+    }
+
+    /// [`receive_piggyback_into`](Self::receive_piggyback_into) for the
+    /// `Send` piggyback flavour a threaded runtime delivers.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ProcessCrashed`] while crashed.
+    pub fn receive_sync_piggyback_into(
+        &mut self,
+        m: &SyncPiggyback,
+        report: &mut ReceiveReport,
+    ) -> Result<()> {
+        self.receive_parts_into(&m.dv, m.index, report)
+    }
+
+    /// The receive handler over the piggyback's components — the shared
+    /// core behind both piggyback flavours.
+    fn receive_parts_into(
+        &mut self,
+        their_dv: &DependencyVector,
+        their_index: u64,
+        report: &mut ReceiveReport,
+    ) -> Result<()> {
         self.ensure_alive()?;
         report.clear_for_reuse();
-        if self.protocol.must_force(&self.dv, m) {
+        if self
+            .protocol
+            .must_force_parts(&self.dv, their_dv, their_index)
+        {
             report.forced = Some(self.take_checkpoint_into(true, &mut report.eliminated));
         }
-        self.dv.merge_from_into(&m.dv, &mut report.updated);
+        self.dv.merge_from_into(their_dv, &mut report.updated);
         if !report.updated.is_empty() {
-            self.dv_snapshot = None;
+            self.invalidate_snapshots();
             self.gc.after_receive_into(
                 &mut self.store,
                 &report.updated,
@@ -429,7 +539,7 @@ impl Middleware {
                 &mut report.eliminated,
             );
         }
-        self.protocol.note_receive(m);
+        self.protocol.note_receive_index(their_index);
         Ok(())
     }
 
@@ -473,7 +583,7 @@ impl Middleware {
         self.store.raise_incarnation_floor(self.incarnation);
         dv.resume_incarnation(self.owner, self.incarnation);
         self.dv = dv;
-        self.dv_snapshot = None;
+        self.invalidate_snapshots();
         let eliminated = self.gc.after_rollback(&mut self.store, ri, li, &self.dv);
         self.protocol.note_checkpoint(true); // clears `sent`; not counted
         self.crashed = false;
@@ -674,6 +784,25 @@ mod tests {
         assert_eq!(m.meta.dv.entry(p(0)).value(), 1);
         assert_eq!(a.dv().entry(p(0)).value(), 2);
         assert_eq!(a.forced_count(), 1);
+    }
+
+    #[test]
+    fn send_sync_matches_send_side_effects() {
+        // CAS: the piggyback carries the pre-checkpoint vector and the
+        // post-send forced checkpoint is reported, exactly like send.
+        let (mut a, _) = pair(ProtocolKind::Cas);
+        let (pb, forced) = a.send_sync();
+        assert_eq!(pb.dv.entry(p(0)).value(), 1);
+        assert_eq!(forced.expect("CAS forces after send").stored, idx(1));
+        assert_eq!(a.forced_count(), 1);
+        // FDAS: no post-send force, but the sent flag is noted — the next
+        // news-bearing receive forces.
+        let (mut c, mut d) = pair(ProtocolKind::Fdas);
+        let (_, none) = c.send_sync();
+        assert!(none.is_none());
+        d.basic_checkpoint().unwrap();
+        let m = d.send(p(0), Payload::empty());
+        assert!(c.receive(&m).unwrap().forced.is_some(), "sent was noted");
     }
 
     #[test]

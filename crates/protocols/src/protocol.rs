@@ -2,11 +2,10 @@
 //! decision rules.
 
 use std::fmt;
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use rdt_base::DependencyVector;
+use rdt_base::{DependencyVector, SharedDv, SyncDv};
 
 /// Which communication-induced checkpointing protocol a process runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -108,22 +107,48 @@ impl fmt::Display for ProtocolKind {
 /// the dependency vector all RDT protocols propagate (Section 4.2) plus the
 /// scalar checkpoint index used by BCS.
 ///
-/// The vector is interned behind an [`Arc`] shared with the sender's
-/// snapshot cache: constructing, cloning and queueing piggybacks is
-/// pointer-cheap, and a burst of sends from an unchanged interval shares
-/// one allocation (the middleware copies on local mutation).
+/// The vector is interned behind a thread-local [`SharedDv`] shared with
+/// the sender's snapshot cache: constructing, cloning and queueing
+/// piggybacks is pointer-cheap with no atomic refcount traffic, and a burst
+/// of sends from an unchanged interval shares one allocation (the
+/// middleware copies on local mutation). Runtimes that move piggybacks
+/// between threads use [`SyncPiggyback`] instead — same shape, atomic
+/// ([`SyncDv`]) refcount, `Send`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Piggyback {
     /// The sender's dependency vector at send time (`m.DV`).
-    pub dv: Arc<DependencyVector>,
+    pub dv: SharedDv,
     /// The sender's BCS checkpoint index (ignored by other protocols).
     pub index: u64,
 }
 
 impl Piggyback {
     /// Creates a piggyback from an owned vector (wrapped) or an interned
-    /// `Arc` (shared without copying).
-    pub fn new(dv: impl Into<Arc<DependencyVector>>, index: u64) -> Self {
+    /// [`SharedDv`] (shared without copying).
+    pub fn new(dv: impl Into<SharedDv>, index: u64) -> Self {
+        Self {
+            dv: dv.into(),
+            index,
+        }
+    }
+}
+
+/// The `Send` flavour of [`Piggyback`], backed by an atomically
+/// reference-counted [`SyncDv`]: what a multi-threaded runtime (e.g.
+/// `rdt_sim`'s threaded runtime) ships between process threads. The
+/// single-threaded hot path never pays this refcount.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncPiggyback {
+    /// The sender's dependency vector at send time (`m.DV`).
+    pub dv: SyncDv,
+    /// The sender's BCS checkpoint index (ignored by other protocols).
+    pub index: u64,
+}
+
+impl SyncPiggyback {
+    /// Creates a piggyback from an owned vector (wrapped) or an interned
+    /// [`SyncDv`] (shared without copying).
+    pub fn new(dv: impl Into<SyncDv>, index: u64) -> Self {
         Self {
             dv: dv.into(),
             index,
@@ -176,13 +201,25 @@ impl ProtocolState {
     /// Whether a forced checkpoint must be stored *before* processing a
     /// message whose piggyback is `m`, given the local vector `dv`.
     pub fn must_force(&self, dv: &DependencyVector, m: &Piggyback) -> bool {
+        self.must_force_parts(dv, &m.dv, m.index)
+    }
+
+    /// [`must_force`](Self::must_force) over the piggyback's components —
+    /// the shared rule behind both piggyback flavours ([`Piggyback`],
+    /// [`SyncPiggyback`]).
+    pub fn must_force_parts(
+        &self,
+        dv: &DependencyVector,
+        their_dv: &DependencyVector,
+        their_index: u64,
+    ) -> bool {
         match self.kind {
             ProtocolKind::NoForced | ProtocolKind::Cas => false,
             ProtocolKind::Cbr | ProtocolKind::Casbr => true,
             ProtocolKind::Mrs => self.sent,
-            ProtocolKind::Fdi => dv.would_learn_from(&m.dv),
-            ProtocolKind::Fdas => self.sent && dv.would_learn_from(&m.dv),
-            ProtocolKind::Bcs => m.index > self.index,
+            ProtocolKind::Fdi => dv.would_learn_from(their_dv),
+            ProtocolKind::Fdas => self.sent && dv.would_learn_from(their_dv),
+            ProtocolKind::Bcs => their_index > self.index,
         }
     }
 
@@ -212,8 +249,14 @@ impl ProtocolState {
 
     /// Notes a processed receive, letting BCS adopt a higher index.
     pub fn note_receive(&mut self, m: &Piggyback) {
-        if self.kind == ProtocolKind::Bcs && m.index > self.index {
-            self.index = m.index;
+        self.note_receive_index(m.index);
+    }
+
+    /// [`note_receive`](Self::note_receive) over the piggybacked index
+    /// alone — the shared core behind both piggyback flavours.
+    pub fn note_receive_index(&mut self, their_index: u64) {
+        if self.kind == ProtocolKind::Bcs && their_index > self.index {
+            self.index = their_index;
         }
     }
 }

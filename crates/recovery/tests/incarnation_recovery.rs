@@ -74,8 +74,8 @@ fn dead_incarnation_knowledge_never_blocks_later_sessions() {
     assert_eq!(mws[1].incarnation(), Incarnation::new(1));
     assert!(report.degraded.is_empty());
     // r survived with its stale (incarnation-0) knowledge of f intact.
-    assert_eq!(mws[2].dv().lineage(f).interval.value(), 2);
-    assert_eq!(mws[2].dv().lineage(f).incarnation, Incarnation::ZERO);
+    assert_eq!(mws[2].dv().lineage(f).interval().value(), 2);
+    assert_eq!(mws[2].dv().lineage(f).incarnation(), Incarnation::ZERO);
 
     // Later session: f fails alone, with last stable s_f^1 in incarnation 1.
     // r's stale raw entry 2 > 1 would have blocked its volatile state (and
@@ -133,7 +133,7 @@ fn self_precedence_guard_holds_across_incarnations() {
         // The stored copy keeps its original incarnation; only the live
         // execution advances.
         assert_eq!(
-            mws[0].store().dv(idx(1)).unwrap().lineage(f).incarnation,
+            mws[0].store().dv(idx(1)).unwrap().lineage(f).incarnation(),
             Incarnation::ZERO
         );
     }

@@ -159,9 +159,9 @@ enum EventKind {
     Deliver {
         to: ProcessId,
         id: rdt_base::MessageId,
-        /// The sender's piggyback; the vector inside is `Arc`-shared with
-        /// the sender's snapshot, so queueing a delivery copies pointers,
-        /// not entries.
+        /// The sender's piggyback; the vector inside is `Rc`-shared with
+        /// the sender's snapshot, so queueing a delivery copies a pointer
+        /// and bumps a non-atomic counter — no entries, no atomics.
         pb: Piggyback,
     },
     ControlRound,

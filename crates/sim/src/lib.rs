@@ -40,4 +40,4 @@ pub use config::{ChannelConfig, SimConfig};
 pub use engine::{Simulation, SimulationBuilder, SimulationReport};
 pub use metrics::{Metrics, ProcessMetrics};
 pub use script::{run_script, ScriptRun};
-pub use threaded::{run_threaded, ThreadedReport};
+pub use threaded::{run_threaded, ProcessOutcome, ThreadedReport};

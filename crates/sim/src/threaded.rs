@@ -6,21 +6,38 @@
 //! the algorithm, not of a particular schedule; this runtime lets the test
 //! suite exercise them under genuine concurrency and message reordering.
 //!
+//! # Send-safety
+//!
+//! [`Middleware`] is deliberately `!Send` (its interned piggyback snapshot
+//! is a thread-local `Rc`, so the single-threaded hot path never pays an
+//! atomic refcount). This runtime therefore selects the `Arc`-backed
+//! flavour explicitly at every thread boundary:
+//!
+//! * each process's middleware is **constructed on its own thread** and
+//!   never leaves it;
+//! * what crosses threads is a [`SyncPiggyback`]
+//!   ([`Middleware::piggyback_sync`] → [`Envelope::App`] →
+//!   [`Middleware::receive_sync_piggyback_into`]), whose vector is shared
+//!   through an atomic refcount;
+//! * what comes back at join time is a [`ProcessOutcome`] — the stable
+//!   store plus counters, all plain `Send` data.
+//!
 //! Crash/recovery is not modelled here (a stop-the-world recovery manager
 //! needs the very synchrony this runtime omits); use the discrete-event
 //! simulator for failure experiments.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use rdt_base::{Payload, ProcessId};
-use rdt_core::GcKind;
-use rdt_protocols::{Middleware, Piggyback, ProtocolKind, ReceiveReport};
+use rdt_base::ProcessId;
+use rdt_core::{CheckpointStore, GcKind};
+use rdt_protocols::{Middleware, ProtocolKind, ReceiveReport, SyncPiggyback};
 use rdt_workloads::AppOp;
 
-/// What travels between process threads.
+/// What travels between process threads: `Send` by construction.
 enum Envelope {
-    /// An application message's piggyback (payloads are opaque anyway).
-    App(Piggyback),
+    /// An application message's piggyback (payloads are opaque anyway),
+    /// in the `Arc`-backed cross-thread flavour.
+    App(SyncPiggyback),
     /// End-of-stream marker, one per peer, sent at shutdown.
     Farewell,
 }
@@ -32,11 +49,60 @@ enum Command {
     Stop,
 }
 
+/// The `Send` summary a process thread returns at join time: everything the
+/// (`!Send`) middleware knows that outlives the run.
+#[derive(Debug)]
+pub struct ProcessOutcome {
+    owner: ProcessId,
+    store: CheckpointStore,
+    forced_count: u64,
+    basic_count: u64,
+    crashed: bool,
+}
+
+impl ProcessOutcome {
+    fn of(mw: &Middleware) -> Self {
+        Self {
+            owner: mw.owner(),
+            store: mw.store().clone(),
+            forced_count: mw.forced_count(),
+            basic_count: mw.basic_count(),
+            crashed: mw.is_crashed(),
+        }
+    }
+
+    /// The owning process.
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// The stable store as of the end of the run.
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Forced checkpoints taken during the run.
+    pub fn forced_count(&self) -> u64 {
+        self.forced_count
+    }
+
+    /// Basic checkpoints taken during the run (including `s^0`).
+    pub fn basic_count(&self) -> u64 {
+        self.basic_count
+    }
+
+    /// Whether the process ended the run crashed (never, here: crash ops
+    /// are not modelled).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+}
+
 /// Outcome of a threaded run.
 #[derive(Debug)]
 pub struct ThreadedReport {
-    /// The middleware instances after the run, in process-id order.
-    pub processes: Vec<Middleware>,
+    /// Per-process outcomes after the run, in process-id order.
+    pub processes: Vec<ProcessOutcome>,
 }
 
 impl ThreadedReport {
@@ -44,7 +110,7 @@ impl ThreadedReport {
     pub fn max_peak_retained(&self) -> usize {
         self.processes
             .iter()
-            .map(|mw| mw.store().peak())
+            .map(|p| p.store().peak())
             .max()
             .unwrap_or(0)
     }
@@ -66,14 +132,16 @@ pub fn run_threaded(n: usize, ops: &[AppOp], protocol: ProtocolKind, gc: GcKind)
     let (cmd_txs, cmd_rxs): (Vec<Sender<Command>>, Vec<Receiver<Command>>) =
         (0..n).map(|_| unbounded()).unzip();
 
-    let handles: Vec<std::thread::JoinHandle<Middleware>> = (0..n)
+    let handles: Vec<std::thread::JoinHandle<ProcessOutcome>> = (0..n)
         .map(|i| {
             let me = ProcessId::new(i);
-            let mut mw = Middleware::new(me, n, protocol, gc);
             let msg_rx = msg_rxs[i].clone();
             let cmd_rx = cmd_rxs[i].clone();
             let peers: Vec<Sender<Envelope>> = msg_txs.clone();
             std::thread::spawn(move || {
+                // The middleware is minted on this thread and stays here:
+                // it is !Send, and only its ProcessOutcome summary leaves.
+                let mut mw = Middleware::new(me, n, protocol, gc);
                 let mut farewells = 0usize;
                 let mut stopped = false;
                 // One reusable report per process thread: receives allocate
@@ -81,12 +149,12 @@ pub fn run_threaded(n: usize, ops: &[AppOp], protocol: ProtocolKind, gc: GcKind)
                 let mut report = ReceiveReport::default();
                 loop {
                     if stopped && farewells == n - 1 {
-                        return mw;
+                        return ProcessOutcome::of(&mw);
                     }
                     crossbeam::channel::select! {
                         recv(msg_rx) -> env => match env.expect("peers outlive messages") {
                             Envelope::App(pb) => {
-                                mw.receive_piggyback_into(&pb, &mut report)
+                                mw.receive_sync_piggyback_into(&pb, &mut report)
                                     .expect("process is alive");
                             }
                             Envelope::Farewell => farewells += 1,
@@ -96,8 +164,10 @@ pub fn run_threaded(n: usize, ops: &[AppOp], protocol: ProtocolKind, gc: GcKind)
                                 mw.basic_checkpoint().expect("process is alive");
                             }
                             Command::Send(to) => {
-                                let pb = mw.piggyback();
-                                let _ = mw.send(to, Payload::empty());
+                                // Message-free send: the piggyback is the
+                                // whole payload here, so skip minting the
+                                // thread-local Message nobody reads.
+                                let (pb, _forced) = mw.send_sync();
                                 peers[to.index()]
                                     .send(Envelope::App(pb))
                                     .expect("peer inbox open");
@@ -152,9 +222,9 @@ mod tests {
             .generate();
         let report = run_threaded(n, &ops, ProtocolKind::Fdas, GcKind::RdtLgc);
         assert_eq!(report.processes.len(), n);
-        for mw in &report.processes {
-            assert!(mw.store().len() <= n, "{}", mw.owner());
-            assert!(mw.store().peak() <= n + 1, "{}", mw.owner());
+        for p in &report.processes {
+            assert!(p.store().len() <= n, "{}", p.owner());
+            assert!(p.store().peak() <= n + 1, "{}", p.owner());
         }
     }
 
@@ -173,13 +243,13 @@ mod tests {
         let sent: u64 = report
             .processes
             .iter()
-            .map(|mw| {
+            .map(|p| {
                 // Every send advanced the per-sender sequence; recover the
                 // count from forced+basic is not possible, so check stores
                 // indirectly: all messages were delivered (unbounded
                 // reliable channels), so every process heard from its ring
                 // predecessor.
-                u64::from(mw.store().total_stored() > 0)
+                u64::from(p.store().total_stored() > 0)
             })
             .sum();
         assert_eq!(sent, n as u64);
@@ -202,5 +272,22 @@ mod tests {
         let ops = vec![AppOp::Checkpoint(ProcessId::new(0))];
         let report = run_threaded(1, &ops, ProtocolKind::Fdas, GcKind::RdtLgc);
         assert_eq!(report.processes[0].store().len(), 1);
+    }
+
+    #[test]
+    fn outcome_reports_counters() {
+        let n = 2;
+        let ops = vec![
+            AppOp::Checkpoint(ProcessId::new(0)),
+            AppOp::Send {
+                from: ProcessId::new(0),
+                to: ProcessId::new(1),
+            },
+        ];
+        let report = run_threaded(n, &ops, ProtocolKind::Cas, GcKind::RdtLgc);
+        let p0 = &report.processes[0];
+        assert_eq!(p0.owner(), ProcessId::new(0));
+        assert_eq!(p0.basic_count(), 2, "s^0 plus the explicit checkpoint");
+        assert_eq!(p0.forced_count(), 1, "CAS forces after the send");
     }
 }

@@ -4,14 +4,27 @@
 //!
 //! ```text
 //! magic   [u8; 4]   b"RDTC"
-//! version u16       current: 1
+//! version u16       current: 2
 //! owner   u32       process id
 //! index   u64       checkpoint index γ
 //! n       u32       dependency-vector length
-//! dv      u64 × n   interval indices
+//! dv      (u32 + u64) × n   entries: incarnation ν, interval γ
 //! size    u64       application state-snapshot size, in bytes
 //! check   u64       FNV-1a over every preceding byte
 //! ```
+//!
+//! The dependency-vector entries are stored **wide** — an explicit
+//! `u32` incarnation next to a full `u64` interval per entry — even though
+//! the in-memory [`rdt_base::DvEntry`] packs both into one word. Durable
+//! bytes outlive the in-memory representation: keeping the fields explicit
+//! means a future change of the packed field split (16/48 today) re-reads
+//! old mirrors without a migration, and an entry whose components no longer
+//! fit the current packing decodes to a typed error instead of silently
+//! folding into the wrong lineage.
+//!
+//! Version 1 records (written before incarnation numbers reached the disk
+//! format) carried bare `u64` intervals; they decode with every entry in
+//! the initial incarnation. Encoding always writes the current version.
 //!
 //! The checksum turns torn writes and bit rot into decode errors instead of
 //! silently corrupt recovery state — a checkpoint that cannot be trusted
@@ -22,7 +35,10 @@ use rdt_base::{CheckpointIndex, DependencyVector, ProcessId};
 use crate::error::{Error, Result};
 
 const MAGIC: [u8; 4] = *b"RDTC";
-const VERSION: u16 = 1;
+/// Pre-incarnation format: bare `u64` intervals. Decoded, never written.
+const VERSION_NARROW: u16 = 1;
+/// Current format: wide `(u32 incarnation, u64 interval)` entries.
+const VERSION: u16 = 2;
 
 /// One decoded checkpoint record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,17 +63,18 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Encodes a record into its on-disk bytes.
+/// Encodes a record into its on-disk bytes (always the current version).
 pub fn encode(record: &Record) -> Vec<u8> {
-    let raw = record.dv.to_raw();
-    let mut out = Vec::with_capacity(4 + 2 + 4 + 8 + 4 + raw.len() * 8 + 8 + 8);
+    let lineages = record.dv.to_raw_lineages();
+    let mut out = Vec::with_capacity(4 + 2 + 4 + 8 + 4 + lineages.len() * 12 + 8 + 8);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(record.owner.index() as u32).to_le_bytes());
     out.extend_from_slice(&(record.index.value() as u64).to_le_bytes());
-    out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
-    for entry in raw {
-        out.extend_from_slice(&(entry as u64).to_le_bytes());
+    out.extend_from_slice(&(lineages.len() as u32).to_le_bytes());
+    for (incarnation, interval) in lineages {
+        out.extend_from_slice(&incarnation.to_le_bytes());
+        out.extend_from_slice(&(interval as u64).to_le_bytes());
     }
     out.extend_from_slice(&(record.state_size as u64).to_le_bytes());
     let check = fnv1a(&out);
@@ -65,12 +82,13 @@ pub fn encode(record: &Record) -> Vec<u8> {
     out
 }
 
-/// Decodes a record from its on-disk bytes.
+/// Decodes a record from its on-disk bytes (current or version-1 format).
 ///
 /// # Errors
 ///
 /// [`Error::Corrupt`] for truncation, bad magic, unsupported version,
-/// trailing bytes or checksum mismatch.
+/// trailing bytes, checksum mismatch, or an entry whose components do not
+/// fit the in-memory packed representation.
 pub fn decode(bytes: &[u8]) -> Result<Record> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let magic = cursor.take(4)?;
@@ -78,7 +96,7 @@ pub fn decode(bytes: &[u8]) -> Result<Record> {
         return Err(Error::Corrupt("bad magic"));
     }
     let version = cursor.u16()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_NARROW {
         return Err(Error::Corrupt("unsupported version"));
     }
     let owner = cursor.u32()? as usize;
@@ -87,13 +105,16 @@ pub fn decode(bytes: &[u8]) -> Result<Record> {
     if n == 0 {
         return Err(Error::Corrupt("empty dependency vector"));
     }
+    let entry_size = if version == VERSION { 12 } else { 8 };
     // Guard against absurd lengths from corrupt headers before allocating.
-    if bytes.len() < cursor.pos + n.saturating_mul(8) + 16 {
+    if bytes.len() < cursor.pos + n.saturating_mul(entry_size) + 16 {
         return Err(Error::Corrupt("truncated dependency vector"));
     }
-    let mut raw = Vec::with_capacity(n);
+    let mut lineages = Vec::with_capacity(n);
     for _ in 0..n {
-        raw.push(cursor.u64()? as usize);
+        let incarnation = if version == VERSION { cursor.u32()? } else { 0 };
+        let interval = cursor.u64()? as usize;
+        lineages.push((incarnation, interval));
     }
     let state_size = cursor.u64()? as usize;
     let payload_end = cursor.pos;
@@ -104,10 +125,12 @@ pub fn decode(bytes: &[u8]) -> Result<Record> {
     if fnv1a(&bytes[..payload_end]) != check {
         return Err(Error::Corrupt("checksum mismatch"));
     }
+    let dv = DependencyVector::try_from_lineages(&lineages)
+        .map_err(|_| Error::Corrupt("entry overflows the packed dependency-vector word"))?;
     Ok(Record {
         owner: ProcessId::new(owner),
         index: CheckpointIndex::new(index),
-        dv: DependencyVector::from_raw(raw),
+        dv,
         state_size,
     })
 }
@@ -155,10 +178,66 @@ mod tests {
         }
     }
 
+    /// Hand-rolls a version-1 record (bare `u64` intervals) for
+    /// backward-compatibility tests.
+    fn encode_v1(owner: u32, index: u64, raw: &[u64], state_size: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION_NARROW.to_le_bytes());
+        out.extend_from_slice(&owner.to_le_bytes());
+        out.extend_from_slice(&index.to_le_bytes());
+        out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        for &entry in raw {
+            out.extend_from_slice(&entry.to_le_bytes());
+        }
+        out.extend_from_slice(&state_size.to_le_bytes());
+        let check = fnv1a(&out);
+        out.extend_from_slice(&check.to_le_bytes());
+        out
+    }
+
     #[test]
     fn roundtrip() {
         let r = record();
         assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn roundtrip_preserves_incarnations() {
+        let r = Record {
+            dv: DependencyVector::from_lineages(vec![(0, 3), (2, 1), (1, 9)]),
+            ..record()
+        };
+        let decoded = decode(&encode(&r)).unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(decoded.dv.to_raw_lineages(), vec![(0, 3), (2, 1), (1, 9)]);
+    }
+
+    #[test]
+    fn version_1_records_decode_in_the_initial_incarnation() {
+        let bytes = encode_v1(2, 7, &[3, 0, 8], 4096);
+        assert_eq!(decode(&bytes).unwrap(), record());
+    }
+
+    #[test]
+    fn oversized_components_are_corrupt_not_truncated() {
+        // A wide on-disk entry whose interval exceeds the packed 48-bit
+        // field must be rejected, not silently folded.
+        let r = record();
+        let mut bytes = encode(&r);
+        // Entry 0's interval u64 sits after magic+version+owner+index+n+inc0.
+        let off = 4 + 2 + 4 + 8 + 4 + 4;
+        bytes[off..off + 8].copy_from_slice(&(1u64 << 48).to_le_bytes());
+        // Re-seal the checksum so only the overflow check can fire.
+        let payload_end = bytes.len() - 8;
+        let check = fnv1a(&bytes[..payload_end]);
+        bytes[payload_end..].copy_from_slice(&check.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(Error::Corrupt(
+                "entry overflows the packed dependency-vector word"
+            ))
+        ));
     }
 
     #[test]

@@ -9,14 +9,37 @@ fn record_strategy() -> impl Strategy<Value = Record> {
     (
         0usize..64,
         0usize..10_000,
-        prop::collection::vec(0usize..1_000_000, 1..32),
+        // Incarnation-qualified entries, spanning the packed fields up to
+        // their exact maxima (the top of each range is promoted to the
+        // field maximum): the wide v2 encoding must carry both components
+        // faithfully.
+        prop::collection::vec((0u32..16, 0usize..1_000_000), 1..32),
         0usize..(1 << 30),
     )
-        .prop_map(|(owner, index, raw, state_size)| Record {
-            owner: ProcessId::new(owner),
-            index: CheckpointIndex::new(index),
-            dv: DependencyVector::from_raw(raw),
-            state_size,
+        .prop_map(|(owner, index, lineages, state_size)| {
+            let lineages = lineages
+                .into_iter()
+                .map(|(v, g)| {
+                    (
+                        if v == 15 {
+                            rdt_base::DvEntry::MAX_INCARNATION
+                        } else {
+                            v
+                        },
+                        if g >= 999_000 {
+                            rdt_base::DvEntry::MAX_INTERVAL
+                        } else {
+                            g
+                        },
+                    )
+                })
+                .collect();
+            Record {
+                owner: ProcessId::new(owner),
+                index: CheckpointIndex::new(index),
+                dv: DependencyVector::from_lineages(lineages),
+                state_size,
+            }
         })
 }
 
