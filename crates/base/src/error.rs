@@ -75,6 +75,9 @@ pub enum Error {
         /// The rejected interval index.
         interval: usize,
     },
+    /// A configuration value is out of its valid range (caught at
+    /// construction, before it can panic mid-run).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for Error {
@@ -114,6 +117,7 @@ impl fmt::Display for Error {
             Error::IntervalOverflow { interval } => {
                 write!(f, "interval {interval} exceeds the packed 48-bit field")
             }
+            Error::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }

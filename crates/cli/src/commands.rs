@@ -436,3 +436,83 @@ pub fn line(opts: &RunOpts) -> Result<(), String> {
     }
     Ok(())
 }
+
+/// The `torture` subcommand: crash-point sweep + seeded corruption plans
+/// over the durable storage layer (see `rdt_storage::torture`).
+pub fn torture(m: &clap::ArgMatches) -> Result<(), String> {
+    use rdt_storage::torture::{run_torture, TortureOptions};
+    let get = |name: &str| m.get_one::<String>(name).expect("defaulted").clone();
+    let n: usize = get("processes").parse().map_err(|e| format!("-n: {e}"))?;
+    if n < 2 {
+        return Err("-n: at least two processes required".into());
+    }
+    let opts = TortureOptions {
+        n,
+        events: get("events")
+            .parse()
+            .map_err(|e| format!("--events: {e}"))?,
+        seed: get("seed").parse().map_err(|e| format!("-S: {e}"))?,
+        protocol: crate::opts::parse_protocol(&get("protocol"))?,
+        gc: crate::opts::parse_gc(&get("gc"))?,
+        max_crash_points: get("max-crash-points")
+            .parse()
+            .map_err(|e| format!("--max-crash-points: {e}"))?,
+        fault_plans: get("fault-plans")
+            .parse()
+            .map_err(|e| format!("--fault-plans: {e}"))?,
+        root: None,
+    };
+    let report = run_torture(&opts).map_err(|e| format!("torture harness failed: {e}"))?;
+    if m.get_flag("json") {
+        let doc = Json::obj()
+            .field("total_ops", Json::UInt(report.total_ops))
+            .field(
+                "crash_points_tested",
+                Json::UInt(report.crash_points_tested as u64),
+            )
+            .field(
+                "fault_plans_tested",
+                Json::UInt(report.fault_plans_tested as u64),
+            )
+            .field("quarantined", Json::UInt(report.quarantined as u64))
+            .field("transient_retries", Json::UInt(report.transient_retries))
+            .field(
+                "failures",
+                Json::Arr(
+                    report
+                        .failures
+                        .iter()
+                        .map(|f| Json::Str(f.clone()))
+                        .collect(),
+                ),
+            )
+            .field("passed", Json::Bool(report.passed()))
+            .build();
+        println!("{}", doc.pretty());
+    } else {
+        println!(
+            "tortured {} backend ops: {} crash points, {} fault plans \
+             ({} quarantined, {} transient retries absorbed)",
+            report.total_ops,
+            report.crash_points_tested,
+            report.fault_plans_tested,
+            report.quarantined,
+            report.transient_retries,
+        );
+        for failure in &report.failures {
+            println!("  FAIL {failure}");
+        }
+        if report.passed() {
+            println!("every crash point recovered to the oracle line");
+        }
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} probes violated the crash-consistency contract",
+            report.failures.len(),
+            report.crash_points_tested + report.fault_plans_tested
+        ))
+    }
+}

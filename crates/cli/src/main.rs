@@ -49,18 +49,70 @@ fn cli() -> Command {
         .subcommand(with_common_args(
             Command::new("line").about("recovery lines for every single-process failure"),
         ))
+        .subcommand(torture_args(Command::new("torture").about(
+            "crash-point sweep + corruption fault plans over the durable storage layer",
+        )))
+}
+
+/// The torture subcommand has its own argument set: it drives the storage
+/// harness, not the simulator, so channel/workload options do not apply.
+fn torture_args(cmd: Command) -> Command {
+    let arg =
+        |name: &'static str, short: Option<char>, help: &'static str, default: &'static str| {
+            let a = clap::Arg::new(name)
+                .long(name)
+                .help(help)
+                .default_value(default)
+                .value_name(name);
+            match short {
+                Some(s) => a.short(s),
+                None => a,
+            }
+        };
+    cmd.arg(arg("processes", Some('n'), "number of processes", "4"))
+        .arg(arg("events", Some('e'), "scripted workload events", "60"))
+        .arg(arg("seed", Some('S'), "script and fault-plan seed", "1"))
+        .arg(arg("protocol", Some('P'), "checkpointing protocol", "fdas"))
+        .arg(arg(
+            "gc",
+            Some('g'),
+            "garbage collector (rdt-lgc, none, simple, wang, time:<horizon>)",
+            "rdt-lgc",
+        ))
+        .arg(arg(
+            "max-crash-points",
+            None,
+            "crash-point budget (0 disables the sweep; sampled evenly when below the op count)",
+            "200",
+        ))
+        .arg(arg(
+            "fault-plans",
+            None,
+            "seeded corruption plans to run (0 disables)",
+            "16",
+        ))
+        .arg(
+            clap::Arg::new("json")
+                .long("json")
+                .help("emit machine-readable JSON instead of tables")
+                .action(clap::ArgAction::SetTrue),
+        )
 }
 
 fn main() {
     let matches = cli().get_matches();
     let (name, sub) = matches.subcommand().expect("subcommand required");
-    let result = run_opts(sub).and_then(|opts| match name {
-        "simulate" => commands::simulate(&opts, sub.get_flag("occupancy")),
-        "analyze" => commands::analyze(&opts, sub.get_one::<String>("dot").map(String::as_str)),
-        "audit" => commands::audit(&opts),
-        "line" => commands::line(&opts),
-        _ => unreachable!("clap rejects unknown subcommands"),
-    });
+    let result = if name == "torture" {
+        commands::torture(sub)
+    } else {
+        run_opts(sub).and_then(|opts| match name {
+            "simulate" => commands::simulate(&opts, sub.get_flag("occupancy")),
+            "analyze" => commands::analyze(&opts, sub.get_one::<String>("dot").map(String::as_str)),
+            "audit" => commands::audit(&opts),
+            "line" => commands::line(&opts),
+            _ => unreachable!("clap rejects unknown subcommands"),
+        })
+    };
     if let Err(msg) = result {
         eprintln!("rdt: {msg}");
         std::process::exit(1);
@@ -85,5 +137,28 @@ mod tests {
             let (_, subm) = m.subcommand().unwrap();
             assert!(run_opts(subm).is_ok());
         }
+    }
+
+    #[test]
+    fn torture_subcommand_parses_its_own_args() {
+        let m = cli()
+            .try_get_matches_from([
+                "rdt",
+                "torture",
+                "-n",
+                "3",
+                "--events",
+                "20",
+                "--max-crash-points",
+                "10",
+                "--fault-plans",
+                "2",
+                "--json",
+            ])
+            .expect("parses");
+        let (name, subm) = m.subcommand().unwrap();
+        assert_eq!(name, "torture");
+        assert_eq!(subm.get_one::<String>("events").unwrap(), "20");
+        assert!(subm.get_flag("json"));
     }
 }

@@ -48,6 +48,31 @@ impl ChannelConfig {
             loss_rate: 0.0,
         }
     }
+
+    /// Validates the channel parameters. Hand-built and deserialized
+    /// configs bypass the checked constructors, and an out-of-range
+    /// `loss_rate` would otherwise panic deep inside the engine's RNG
+    /// mid-run; this turns it into a typed error at construction time.
+    ///
+    /// # Errors
+    ///
+    /// [`rdt_base::Error::InvalidConfig`] if `loss_rate` is not a
+    /// probability (NaN included) or `min_delay > max_delay`.
+    pub fn validate(&self) -> rdt_base::Result<()> {
+        if !(0.0..=1.0).contains(&self.loss_rate) {
+            return Err(rdt_base::Error::InvalidConfig(format!(
+                "channel loss_rate {} is not a probability in [0, 1]",
+                self.loss_rate
+            )));
+        }
+        if self.min_delay > self.max_delay {
+            return Err(rdt_base::Error::InvalidConfig(format!(
+                "channel min_delay {} exceeds max_delay {}",
+                self.min_delay, self.max_delay
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Default for ChannelConfig {
@@ -94,6 +119,23 @@ impl SimConfig {
             ..Self::default()
         }
     }
+
+    /// Validates the whole configuration (channel included) — see
+    /// [`ChannelConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`rdt_base::Error::InvalidConfig`] for any out-of-range field.
+    pub fn validate(&self) -> rdt_base::Result<()> {
+        self.channel.validate()?;
+        if !(0.0..=1.0).contains(&self.correlated_crash_prob) {
+            return Err(rdt_base::Error::InvalidConfig(format!(
+                "correlated_crash_prob {} is not a probability in [0, 1]",
+                self.correlated_crash_prob
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Default for SimConfig {
@@ -136,5 +178,43 @@ mod tests {
         let c = SimConfig::default();
         assert!(!c.record_trace);
         assert!(c.control_every.is_none());
+    }
+
+    #[test]
+    fn validate_accepts_every_preset() {
+        for c in [
+            ChannelConfig::reliable(),
+            ChannelConfig::instant(),
+            ChannelConfig::lossy(1.0),
+        ] {
+            c.validate().unwrap();
+        }
+        SimConfig::default().validate().unwrap();
+        SimConfig::fault_heavy().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_hand_built_out_of_range_configs() {
+        let bad_loss = ChannelConfig {
+            loss_rate: 1.5,
+            ..ChannelConfig::reliable()
+        };
+        assert!(bad_loss.validate().is_err());
+        let nan_loss = ChannelConfig {
+            loss_rate: f64::NAN,
+            ..ChannelConfig::reliable()
+        };
+        assert!(nan_loss.validate().is_err());
+        let inverted = ChannelConfig {
+            min_delay: 9,
+            max_delay: 3,
+            ..ChannelConfig::reliable()
+        };
+        assert!(inverted.validate().is_err());
+        let bad_corr = SimConfig {
+            correlated_crash_prob: -0.1,
+            ..SimConfig::default()
+        };
+        assert!(bad_corr.validate().is_err());
     }
 }

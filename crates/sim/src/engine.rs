@@ -127,9 +127,13 @@ impl SimulationBuilder {
     ///
     /// # Errors
     ///
-    /// Propagates middleware errors; none occur under the simulator's own
-    /// scheduling discipline, but the signature keeps the harness honest.
+    /// [`rdt_base::Error::InvalidConfig`] if the configuration fails
+    /// [`SimConfig::validate`] — caught here, before construction, instead
+    /// of panicking mid-run inside the channel RNG. Otherwise propagates
+    /// middleware errors; none occur under the simulator's own scheduling
+    /// discipline, but the signature keeps the harness honest.
     pub fn run(self) -> Result<SimulationReport> {
+        self.config.validate()?;
         let ops = self.spec.generate();
         let mut sim = Simulation::new(
             self.spec.n,
@@ -188,6 +192,14 @@ pub struct Simulation {
 
 impl Simulation {
     /// Creates a simulation over `n` fresh middleware instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SimConfig::validate`] (e.g. a
+    /// hand-built or deserialized `loss_rate` outside `[0, 1]`) — better
+    /// a clear panic at construction than a cryptic one mid-run. Fallible
+    /// callers should validate first or go through
+    /// [`SimulationBuilder::run`], which returns a typed error instead.
     pub fn new(
         n: usize,
         protocol: ProtocolKind,
@@ -196,6 +208,9 @@ impl Simulation {
         recovery_mode: RecoveryMode,
         seed: u64,
     ) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid simulator configuration: {e}");
+        }
         let mut sim = Self {
             time: 0,
             seq: 0,

@@ -92,3 +92,23 @@ fn time_based_collector_still_degrades_gracefully_and_is_counted() {
         "the tight-horizon storm was expected to force fallbacks"
     );
 }
+
+#[test]
+fn invalid_configs_error_at_construction_not_mid_run() {
+    use rdt_sim::ChannelConfig;
+    // A hand-built (or deserialized) loss_rate > 1 used to survive until
+    // the first channel draw and panic inside the RNG; the builder now
+    // rejects it up front with a typed error.
+    let bad = SimConfig {
+        channel: ChannelConfig {
+            loss_rate: 1.5,
+            ..ChannelConfig::reliable()
+        },
+        ..SimConfig::default()
+    };
+    let err = SimulationBuilder::new(WorkloadSpec::uniform_random(2, 10))
+        .config(bad)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, rdt_base::Error::InvalidConfig(_)), "{err}");
+}

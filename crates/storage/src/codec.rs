@@ -53,8 +53,8 @@ pub struct Record {
     pub state_size: usize,
 }
 
-/// FNV-1a, 64-bit.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a, 64-bit. Shared with the incarnation-log slot format.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

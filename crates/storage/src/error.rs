@@ -1,4 +1,10 @@
 //! Error type for the durable-storage layer.
+//!
+//! Errors are split by what the caller should do about them:
+//! [`Error::Transient`] means a bounded retry already failed on an error
+//! class that often clears (`EIO`, `ENOSPC`, interrupts) and the caller
+//! may retry the whole operation later; [`Error::Io`] and
+//! [`Error::Corrupt`] are permanent for the operation that raised them.
 
 use std::fmt;
 use std::io;
@@ -9,13 +15,19 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// What can go wrong persisting or loading checkpoints.
 #[derive(Debug)]
 pub enum Error {
-    /// An underlying filesystem operation failed.
+    /// An underlying filesystem operation failed with a permanent error
+    /// (or an error class the retry path does not cover).
     Io(io::Error),
     /// A record failed validation (truncation, bad magic, checksum…).
     Corrupt(&'static str),
-    /// A file in the checkpoint directory does not follow the naming
-    /// scheme and cannot be attributed to a checkpoint.
-    UnrecognizedFile(String),
+    /// A transient filesystem error (`EIO`, `ENOSPC`, interrupt) persisted
+    /// through every bounded retry attempt.
+    Transient {
+        /// The last error observed.
+        source: io::Error,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -23,9 +35,10 @@ impl fmt::Display for Error {
         match self {
             Error::Io(e) => write!(f, "stable-storage i/o failed: {e}"),
             Error::Corrupt(what) => write!(f, "corrupt checkpoint record: {what}"),
-            Error::UnrecognizedFile(name) => {
-                write!(f, "unrecognized file in checkpoint directory: {name}")
-            }
+            Error::Transient { source, attempts } => write!(
+                f,
+                "transient storage error persisted through {attempts} attempts: {source}"
+            ),
         }
     }
 }
@@ -34,7 +47,8 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
-            _ => None,
+            Error::Transient { source, .. } => Some(source),
+            Error::Corrupt(_) => None,
         }
     }
 }
@@ -55,6 +69,11 @@ mod tests {
         let s = e.to_string();
         assert!(s.starts_with(char::is_lowercase));
         assert!(!s.ends_with('.'));
+        let t = Error::Transient {
+            source: io::Error::from_raw_os_error(5),
+            attempts: 5,
+        };
+        assert!(t.to_string().starts_with(char::is_lowercase));
     }
 
     #[test]
@@ -62,5 +81,10 @@ mod tests {
         use std::error::Error as _;
         let e = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
         assert!(e.source().is_some());
+        let t = Error::Transient {
+            source: io::Error::from_raw_os_error(28),
+            attempts: 3,
+        };
+        assert!(t.source().is_some());
     }
 }

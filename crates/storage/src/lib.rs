@@ -26,11 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod codec;
 mod durable;
 mod error;
 mod mirror;
+pub mod torture;
 
-pub use durable::DurableStore;
+pub use backend::{FaultFs, FaultKind, FaultPlan, StdFs, StorageBackend};
+pub use durable::{DurableStore, RestartReport};
 pub use error::{Error, Result};
 pub use mirror::MirroredMiddleware;

@@ -16,7 +16,8 @@ use rdt_protocols::{
     CheckpointReport, Middleware, Piggyback, ProtocolKind, ReceiveReport, RollbackReport,
 };
 
-use crate::durable::DurableStore;
+use crate::backend::{StdFs, StorageBackend};
+use crate::durable::{DurableStore, RestartReport};
 use crate::error::Result;
 
 /// A [`Middleware`] with a write-through durable mirror.
@@ -41,8 +42,25 @@ impl MirroredMiddleware {
         protocol: ProtocolKind,
         gc: GcKind,
     ) -> Result<Self> {
+        Self::create_with(dir, owner, n, protocol, gc, Box::new(StdFs))
+    }
+
+    /// [`create`](Self::create) through an explicit [`StorageBackend`] —
+    /// the entry point for fault injection.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the directory or writing `s^0`.
+    pub fn create_with(
+        dir: impl Into<PathBuf>,
+        owner: ProcessId,
+        n: usize,
+        protocol: ProtocolKind,
+        gc: GcKind,
+        fs: Box<dyn StorageBackend>,
+    ) -> Result<Self> {
         let inner = Middleware::new(owner, n, protocol, gc);
-        let disk = DurableStore::open(dir, owner)?;
+        let disk = DurableStore::open_with(dir, owner, fs)?;
         let this = Self { inner, disk };
         this.disk.sync(this.inner.store())?;
         Ok(this)
@@ -61,12 +79,33 @@ impl MirroredMiddleware {
         protocol: ProtocolKind,
         gc: GcKind,
     ) -> Result<Self> {
-        let disk = DurableStore::open(dir, owner)?;
-        let store = disk.rebuild()?;
-        Ok(Self {
-            inner: Middleware::from_store(owner, n, protocol, gc, store),
-            disk,
-        })
+        Self::restart_with(dir, owner, n, protocol, gc, Box::new(StdFs)).map(|(mw, _)| mw)
+    }
+
+    /// [`restart`](Self::restart) through an explicit [`StorageBackend`],
+    /// also returning the [`RestartReport`] of the lenient rebuild (how
+    /// many records were restored, quarantined, or skipped).
+    ///
+    /// # Errors
+    ///
+    /// I/O and validation errors reading the records.
+    pub fn restart_with(
+        dir: impl Into<PathBuf>,
+        owner: ProcessId,
+        n: usize,
+        protocol: ProtocolKind,
+        gc: GcKind,
+        fs: Box<dyn StorageBackend>,
+    ) -> Result<(Self, RestartReport)> {
+        let disk = DurableStore::open_with(dir, owner, fs)?;
+        let (store, report) = disk.rebuild_reported()?;
+        Ok((
+            Self {
+                inner: Middleware::from_store(owner, n, protocol, gc, store),
+                disk,
+            },
+            report,
+        ))
     }
 
     /// The wrapped middleware (read access; mutating it directly would
@@ -102,8 +141,29 @@ impl MirroredMiddleware {
     ///
     /// I/O errors from the mirror.
     pub fn send(&mut self, to: ProcessId, payload: Payload) -> Result<Message> {
-        let (msg, _) = self.inner.send_reported(to, payload);
-        self.synced(msg)
+        self.send_reported(to, payload).map(|(msg, _)| msg)
+    }
+
+    /// Mirrored [`Middleware::send_reported`]: as [`send`](Self::send),
+    /// also returning the report of the post-send forced checkpoint when
+    /// the protocol demands one.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the mirror.
+    pub fn send_reported(
+        &mut self,
+        to: ProcessId,
+        payload: Payload,
+    ) -> Result<(Message, Option<CheckpointReport>)> {
+        let out = self.inner.send_reported(to, payload);
+        self.synced(out)
+    }
+
+    /// Passthrough of [`Middleware::piggyback`] (control-information-only;
+    /// stable storage is unchanged, so nothing needs mirroring).
+    pub fn piggyback(&mut self) -> Piggyback {
+        self.inner.piggyback()
     }
 
     /// Mirrored [`Middleware::receive`].

@@ -1,0 +1,624 @@
+//! CrashMonkey-style crash-point torture for the durable store.
+//!
+//! The stable-storage contract of the paper's Section 2 is an *assumption*
+//! there; here it has to be earned. This module proves it mechanically:
+//!
+//! 1. A deterministic scripted workload (checkpoints, sends, deliveries
+//!    over `n` middleware stacks, each mirrored through the durable store
+//!    with a [`FaultFs`] backend) runs once fault-free as the **reference
+//!    run**, recording the replayable trace and, per event, how many
+//!    backend operations it consumed and which checkpoint (if any) it made
+//!    durable.
+//! 2. For **every backend operation** `K` (optionally sampled), the same
+//!    script re-runs against a plan that stops the backend dead after `K`
+//!    operations. Every process then restarts from the surviving files
+//!    alone, a full recovery session runs (all processes faulty), and the
+//!    online recovery line is compared against the offline
+//!    [`rdt_ccp`] oracle replaying the reference-trace prefix that the
+//!    surviving disk state actually witnesses.
+//! 3. Separately, seeded **fault plans** (torn writes, bit flips, lost
+//!    renames, transient `EIO`/`ENOSPC`, with or without a crash point)
+//!    exercise graceful degradation: the restart must quarantine what is
+//!    corrupt, restore from the intact remainder, recover, and keep
+//!    executing.
+//!
+//! The oracle cut is chosen adaptively. One event's mirror sync persists
+//! its (at most one) new checkpoint *before* any removals, so a crash
+//! image is either exactly the state after the previous event — the new
+//! checkpoint is not durable — or the state after the partial event plus
+//! only Theorem-1-obsolete leftovers, which a newest-first Lemma-1 scan
+//! never restores. Whether the partial event's checkpoint survived on
+//! disk therefore decides which trace prefix the oracle replays; the
+//! online line must match it exactly.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use rdt_base::{Payload, ProcessId, TraceEvent};
+use rdt_ccp::CcpBuilder;
+use rdt_core::GcKind;
+use rdt_protocols::{Middleware, Piggyback, ProtocolKind};
+use rdt_recovery::{FaultySet, RecoveryManager};
+use rdt_workloads::{Script, ScriptOp};
+
+use crate::backend::{FaultFs, FaultKind, FaultPlan};
+use crate::durable::DurableStore;
+use crate::error::{Error, Result};
+
+/// Configuration of one torture session.
+#[derive(Debug, Clone)]
+pub struct TortureOptions {
+    /// Number of processes.
+    pub n: usize,
+    /// Number of scripted events.
+    pub events: usize,
+    /// Seed for script and fault-plan generation.
+    pub seed: u64,
+    /// Checkpointing protocol.
+    pub protocol: ProtocolKind,
+    /// Garbage collector.
+    pub gc: GcKind,
+    /// Crash-point cap: when the script consumes more backend operations
+    /// than this, the sweep samples evenly instead of enumerating all.
+    /// `0` disables the crash-point sweep.
+    pub max_crash_points: usize,
+    /// Number of seeded corruption fault plans to run. `0` disables them.
+    pub fault_plans: usize,
+    /// Scratch directory; a unique subdirectory is used per run. Defaults
+    /// to the system temp dir.
+    pub root: Option<PathBuf>,
+}
+
+impl Default for TortureOptions {
+    fn default() -> Self {
+        Self {
+            n: 4,
+            events: 60,
+            seed: 1,
+            protocol: ProtocolKind::Fdas,
+            gc: GcKind::RdtLgc,
+            max_crash_points: 200,
+            fault_plans: 16,
+            root: None,
+        }
+    }
+}
+
+/// What a torture session found.
+#[derive(Debug, Clone, Default)]
+pub struct TortureReport {
+    /// Backend operations one fault-free run of the script consumes.
+    pub total_ops: u64,
+    /// Crash points actually exercised.
+    pub crash_points_tested: usize,
+    /// Corruption fault plans actually exercised.
+    pub fault_plans_tested: usize,
+    /// Checkpoint files quarantined across all restarts.
+    pub quarantined: usize,
+    /// Transient errors absorbed by the retry path across all runs.
+    pub transient_retries: u64,
+    /// Human-readable descriptions of every failed check. Empty means the
+    /// storage layer survived everything thrown at it.
+    pub failures: Vec<String>,
+}
+
+impl TortureReport {
+    /// Whether every crash point and fault plan passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// A splitmix64-style generator: deterministic, seedable, no external deps.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(2).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// Generates the scripted workload: ~30% basic checkpoints, ~45% sends,
+/// ~25% deliveries of the oldest pending send (falling back to a
+/// checkpoint when nothing is in flight).
+fn generate_script(n: usize, events: usize, seed: u64) -> Script {
+    let mut rng = Lcg::new(seed);
+    let mut script = Script::new();
+    let mut pending: Vec<usize> = Vec::new();
+    for _ in 0..events {
+        let roll = rng.below(100);
+        if roll < 30 {
+            script.checkpoint(ProcessId::new(rng.below(n as u64) as usize));
+        } else if roll < 75 || pending.is_empty() {
+            let from = rng.below(n as u64) as usize;
+            let to = (from + 1 + rng.below(n as u64 - 1) as usize) % n;
+            pending.push(script.send(ProcessId::new(from), ProcessId::new(to)));
+        } else {
+            script.deliver(pending.remove(0));
+        }
+    }
+    script
+}
+
+/// Per-event bookkeeping from the reference run.
+#[derive(Debug, Clone, Copy)]
+struct EventMeta {
+    /// Cumulative backend operations once this event's sync completed.
+    ops_after: u64,
+    /// Trace length once this event's trace entries were appended.
+    trace_len_after: usize,
+    /// The checkpoint this event made durable, if any.
+    inserted: Option<(usize, usize)>,
+}
+
+/// Where each send sits in the event sequence, for prefix `Drop` marking.
+#[derive(Debug, Clone, Copy)]
+struct SendSpan {
+    id: rdt_base::MessageId,
+    sent_at: usize,
+    delivered_at: Option<usize>,
+}
+
+/// Everything the oracle needs about the fault-free execution.
+struct Reference {
+    trace: Vec<TraceEvent>,
+    meta: Vec<EventMeta>,
+    sends: Vec<SendSpan>,
+    create_ops: u64,
+    total_ops: u64,
+}
+
+/// Trace entries one event appended, plus the checkpoint it made durable
+/// as `(process index, checkpoint index)`, if any.
+type StepOutcome = (Vec<TraceEvent>, Option<(usize, usize)>);
+
+/// The live world one run executes in: middlewares plus durable mirrors
+/// on a shared fault-injecting backend.
+struct World {
+    mws: Vec<Middleware>,
+    disks: Vec<DurableStore>,
+    backend: FaultFs,
+}
+
+impl World {
+    fn create(root: &Path, opts: &TortureOptions, plan: FaultPlan) -> Result<Self> {
+        let backend = FaultFs::new(plan);
+        let mws: Vec<Middleware> = (0..opts.n)
+            .map(|i| Middleware::new(ProcessId::new(i), opts.n, opts.protocol, opts.gc))
+            .collect();
+        let mut disks = Vec::with_capacity(opts.n);
+        for (i, mw) in mws.iter().enumerate() {
+            let disk = DurableStore::open_with(
+                root.join(format!("p{i}")),
+                ProcessId::new(i),
+                Box::new(backend.clone()),
+            )?;
+            disk.sync(mw.store())?;
+            disks.push(disk);
+        }
+        Ok(Self {
+            mws,
+            disks,
+            backend,
+        })
+    }
+
+    /// Executes one script event and syncs the touched process's mirror.
+    /// Returns the trace entries it appended and the checkpoint it made
+    /// durable, if any.
+    fn step(
+        &mut self,
+        op: ScriptOp,
+        inflight: &mut Vec<Option<(rdt_base::MessageId, ProcessId, Piggyback)>>,
+    ) -> Result<StepOutcome> {
+        let mut events = Vec::with_capacity(2);
+        let mut inserted = None;
+        let touched = match op {
+            ScriptOp::Checkpoint(p) => {
+                let report = self.mws[p.index()].basic_checkpoint().map_err(other)?;
+                events.push(TraceEvent::Checkpoint {
+                    process: p,
+                    forced: false,
+                });
+                inserted = Some((p.index(), report.stored.value()));
+                p
+            }
+            ScriptOp::Send { from, to } => {
+                let pb = self.mws[from.index()].piggyback();
+                let (msg, forced) = self.mws[from.index()].send_reported(to, Payload::empty());
+                events.push(TraceEvent::Send {
+                    id: msg.meta.id,
+                    to,
+                });
+                if let Some(report) = forced {
+                    events.push(TraceEvent::Checkpoint {
+                        process: from,
+                        forced: true,
+                    });
+                    inserted = Some((from.index(), report.stored.value()));
+                }
+                inflight.push(Some((msg.meta.id, to, pb)));
+                from
+            }
+            ScriptOp::Deliver { send_ordinal } => {
+                let (id, to, pb) = inflight[send_ordinal]
+                    .take()
+                    .expect("script delivers each send at most once");
+                let report = self.mws[to.index()].receive_piggyback(&pb).map_err(other)?;
+                if let Some(forced) = report.forced {
+                    events.push(TraceEvent::Checkpoint {
+                        process: to,
+                        forced: true,
+                    });
+                    inserted = Some((to.index(), forced.value()));
+                }
+                events.push(TraceEvent::Deliver { id });
+                to
+            }
+        };
+        self.disks[touched.index()].sync(self.mws[touched.index()].store())?;
+        Ok((events, inserted))
+    }
+}
+
+fn other(e: rdt_base::Error) -> Error {
+    Error::Io(std::io::Error::other(e.to_string()))
+}
+
+/// Runs the script fault-free (but op-counted) and records everything the
+/// crash-point oracle needs.
+fn reference_run(root: &Path, opts: &TortureOptions, script: &Script) -> Result<Reference> {
+    let mut world = World::create(root, opts, FaultPlan::none())?;
+    let create_ops = world.backend.ops_executed();
+    let mut trace = Vec::new();
+    let mut meta = Vec::with_capacity(script.len());
+    let mut sends = Vec::with_capacity(script.send_count());
+    let mut inflight = Vec::with_capacity(script.send_count());
+    for (j, &op) in script.ops().iter().enumerate() {
+        match op {
+            ScriptOp::Send { .. } => {}
+            ScriptOp::Deliver { send_ordinal } => {
+                let span: &mut SendSpan = &mut sends[send_ordinal];
+                span.delivered_at = Some(j);
+            }
+            ScriptOp::Checkpoint(_) => {}
+        }
+        let (events, inserted) = world.step(op, &mut inflight)?;
+        if let ScriptOp::Send { .. } = op {
+            let id = events
+                .iter()
+                .find_map(|e| match e {
+                    TraceEvent::Send { id, .. } => Some(*id),
+                    _ => None,
+                })
+                .expect("send events carry an id");
+            sends.push(SendSpan {
+                id,
+                sent_at: j,
+                delivered_at: None,
+            });
+        }
+        trace.extend(events);
+        meta.push(EventMeta {
+            ops_after: world.backend.ops_executed(),
+            trace_len_after: trace.len(),
+            inserted,
+        });
+    }
+    let total_ops = world.backend.ops_executed();
+    Ok(Reference {
+        trace,
+        meta,
+        sends,
+        create_ops,
+        total_ops,
+    })
+}
+
+/// Replays the script until the backend crashes (or the script ends).
+/// The middleware state is then discarded — only the files survive.
+fn run_until_crash(
+    root: &Path,
+    opts: &TortureOptions,
+    script: &Script,
+    plan: FaultPlan,
+) -> Result<(FaultFs, u64)> {
+    let mut world = World::create(root, opts, plan)?;
+    let mut inflight = Vec::with_capacity(script.send_count());
+    for &op in script.ops() {
+        match world.step(op, &mut inflight) {
+            Ok(_) => {}
+            Err(_) if world.backend.has_crashed() => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let retries = world.disks.iter().map(|d| d.transient_retries()).sum();
+    Ok((world.backend, retries))
+}
+
+/// Restarts every process from its surviving files. Returns the rebuilt
+/// (crashed) middlewares, their stores' disk handles, and the total
+/// quarantine count.
+fn restart_all(
+    root: &Path,
+    opts: &TortureOptions,
+) -> Result<(Vec<Middleware>, Vec<DurableStore>, usize)> {
+    let mut mws = Vec::with_capacity(opts.n);
+    let mut disks = Vec::with_capacity(opts.n);
+    let mut quarantined = 0;
+    for i in 0..opts.n {
+        let disk = DurableStore::open(root.join(format!("p{i}")), ProcessId::new(i))?;
+        let (store, report) = disk.rebuild_reported()?;
+        quarantined += report.quarantined;
+        if store.is_empty() {
+            // `Middleware::from_store` treats an empty store as a caller
+            // bug and panics; surface the torn-disk image as a typed
+            // error the probes can report instead.
+            return Err(Error::Corrupt(
+                "restart found no checkpoint to anchor recovery",
+            ));
+        }
+        mws.push(Middleware::from_store(
+            ProcessId::new(i),
+            opts.n,
+            opts.protocol,
+            opts.gc,
+            store,
+        ));
+        disks.push(disk);
+    }
+    Ok((mws, disks, quarantined))
+}
+
+/// The offline oracle line for the reference-trace prefix of `cut`
+/// completed events, with unresolved sends dropped.
+fn oracle_line(n: usize, reference: &Reference, cut: usize, faulty: &FaultySet) -> Vec<usize> {
+    let trace_len = if cut == 0 {
+        0
+    } else {
+        reference.meta[cut - 1].trace_len_after
+    };
+    let mut prefix: Vec<TraceEvent> = reference.trace[..trace_len].to_vec();
+    for span in &reference.sends {
+        if span.sent_at < cut && span.delivered_at.is_none_or(|d| d >= cut) {
+            prefix.push(TraceEvent::Drop { id: span.id });
+        }
+    }
+    let ccp = CcpBuilder::from_trace(n, &prefix)
+        .expect("reference prefixes replay")
+        .build();
+    ccp.recovery_line(faulty).to_raw()
+}
+
+/// One crash-point probe: run to the injected crash, restart, recover,
+/// compare the online line against the adaptive-cut oracle.
+fn probe_crash_point(
+    root: &Path,
+    opts: &TortureOptions,
+    script: &Script,
+    reference: &Reference,
+    k: u64,
+    report: &mut TortureReport,
+) -> Result<()> {
+    let (backend, retries) = run_until_crash(root, opts, script, FaultPlan::crash_after(k))?;
+    report.transient_retries += retries;
+    if !backend.has_crashed() {
+        report
+            .failures
+            .push(format!("crash point {k}: the plan never fired"));
+        return Ok(());
+    }
+    let (mut mws, disks, quarantined) = restart_all(root, opts)?;
+    report.quarantined += quarantined;
+    if quarantined != 0 {
+        // A pure stop-after-K crash tears nothing; the atomic-write
+        // discipline must leave only intact or invisible files.
+        report.failures.push(format!(
+            "crash point {k}: {quarantined} files quarantined by a clean stop"
+        ));
+    }
+
+    // How many events completed their sync before op K, adjusted by
+    // whether the partial event's checkpoint is already durable.
+    let mut cut = reference.meta.iter().filter(|m| m.ops_after <= k).count();
+    if cut < reference.meta.len() {
+        if let Some((p, idx)) = reference.meta[cut].inserted {
+            let on_disk = disks[p].indices()?.iter().any(|i| i.value() == idx);
+            if on_disk {
+                cut += 1;
+            }
+        }
+    }
+
+    let faulty: FaultySet = ProcessId::all(opts.n).collect();
+    let offline = oracle_line(opts.n, reference, cut, &faulty);
+    let session = match RecoveryManager::new().recover(&mut mws, &faulty) {
+        Ok(session) => session,
+        Err(e) => {
+            report
+                .failures
+                .push(format!("crash point {k}: recovery failed: {e}"));
+            return Ok(());
+        }
+    };
+    let online: Vec<usize> = session.line.iter().map(|c| c.value()).collect();
+    if online != offline {
+        report.failures.push(format!(
+            "crash point {k} (cut {cut}): online line {online:?} != oracle {offline:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// One seeded corruption plan: run (crashing or not), restart, recover,
+/// and keep executing. Asserts the graceful-degradation contract, not
+/// oracle equality — a quarantined checkpoint legitimately shifts the
+/// line to an older intact one.
+fn probe_fault_plan(
+    root: &Path,
+    opts: &TortureOptions,
+    script: &Script,
+    reference: &Reference,
+    plan_no: usize,
+    report: &mut TortureReport,
+) -> Result<()> {
+    let mut rng = Lcg::new(opts.seed ^ (0x9e37_79b9 + plan_no as u64));
+    let span = reference.total_ops - reference.create_ops;
+    let mut plan = FaultPlan::none();
+    let kinds = [
+        FaultKind::TornWrite,
+        FaultKind::BitFlip,
+        FaultKind::LostRename,
+        FaultKind::TransientEio,
+        FaultKind::TransientEnospc,
+    ];
+    let mut used = BTreeSet::new();
+    for f in 0..(2 + rng.below(3)) {
+        // Transient faults shift later op indices by one retry each, so
+        // spread fault sites out to keep plans from stacking on one op.
+        let op = reference.create_ops + rng.below(span);
+        if used.iter().any(|&u: &u64| u.abs_diff(op) < 8) {
+            continue;
+        }
+        used.insert(op);
+        plan = plan.with_fault(op, kinds[(plan_no + f as usize) % kinds.len()]);
+    }
+    if rng.below(2) == 0 {
+        plan.stop_after = Some(reference.create_ops + rng.below(span));
+    }
+
+    let (_backend, retries) = run_until_crash(root, opts, script, plan)?;
+    report.transient_retries += retries;
+    let (mut mws, _disks, quarantined) = match restart_all(root, opts) {
+        Ok(v) => v,
+        Err(e) => {
+            report
+                .failures
+                .push(format!("fault plan {plan_no}: restart failed: {e}"));
+            return Ok(());
+        }
+    };
+    report.quarantined += quarantined;
+    let faulty: FaultySet = ProcessId::all(opts.n).collect();
+    if let Err(e) = RecoveryManager::new().recover(&mut mws, &faulty) {
+        report
+            .failures
+            .push(format!("fault plan {plan_no}: recovery failed: {e}"));
+        return Ok(());
+    }
+    // The system must keep executing from the recovered cut.
+    for mw in &mut mws {
+        if mw.basic_checkpoint().is_err() {
+            report.failures.push(format!(
+                "fault plan {plan_no}: {} cannot checkpoint after recovery",
+                mw.owner()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs a full torture session: the crash-point sweep and the seeded
+/// corruption plans.
+///
+/// # Errors
+///
+/// Harness-level I/O errors (scratch-directory setup, unexpected
+/// non-injected failures). Contract violations are *not* errors — they
+/// are collected in [`TortureReport::failures`].
+pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport> {
+    let root = opts
+        .root
+        .clone()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!("rdt-torture-{}-{}", std::process::id(), opts.seed));
+    let _ = std::fs::remove_dir_all(&root);
+    let script = generate_script(opts.n, opts.events, opts.seed);
+    let mut report = TortureReport::default();
+
+    let ref_dir = root.join("reference");
+    let reference = reference_run(&ref_dir, opts, &script)?;
+    report.total_ops = reference.total_ops;
+
+    if opts.max_crash_points > 0 {
+        let span = reference.total_ops - reference.create_ops;
+        let count = (opts.max_crash_points as u64).min(span);
+        let mut probed = BTreeSet::new();
+        for i in 0..count {
+            // Even sampling over [create_ops, total_ops); enumerates all
+            // when the budget covers the span.
+            probed.insert(reference.create_ops + i * span / count);
+        }
+        for k in probed {
+            let run_dir = root.join(format!("crash-{k}"));
+            probe_crash_point(&run_dir, opts, &script, &reference, k, &mut report)?;
+            let _ = std::fs::remove_dir_all(&run_dir);
+            report.crash_points_tested += 1;
+        }
+    }
+
+    for plan_no in 0..opts.fault_plans {
+        let run_dir = root.join(format!("fault-{plan_no}"));
+        probe_fault_plan(&run_dir, opts, &script, &reference, plan_no, &mut report)?;
+        let _ = std::fs::remove_dir_all(&run_dir);
+        report.fault_plans_tested += 1;
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        let a = generate_script(4, 50, 7);
+        let b = generate_script(4, 50, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_script(4, 50, 8));
+    }
+
+    #[test]
+    fn every_crash_point_recovers_to_the_oracle_line() {
+        let opts = TortureOptions {
+            n: 3,
+            events: 24,
+            seed: 11,
+            max_crash_points: 64,
+            fault_plans: 0,
+            ..TortureOptions::default()
+        };
+        let report = run_torture(&opts).expect("harness runs");
+        assert!(report.crash_points_tested > 0);
+        assert!(report.passed(), "failures: {:#?}", report.failures);
+    }
+
+    #[test]
+    fn fault_plans_degrade_gracefully() {
+        let opts = TortureOptions {
+            n: 3,
+            events: 24,
+            seed: 5,
+            max_crash_points: 0,
+            fault_plans: 8,
+            ..TortureOptions::default()
+        };
+        let report = run_torture(&opts).expect("harness runs");
+        assert_eq!(report.fault_plans_tested, 8);
+        assert!(report.passed(), "failures: {:#?}", report.failures);
+    }
+}

@@ -70,6 +70,8 @@ pub mod prelude {
     pub use rdt_sim::{
         run_script, run_threaded, ChannelConfig, SimConfig, SimulationBuilder, SimulationReport,
     };
-    pub use rdt_storage::DurableStore;
+    pub use rdt_storage::{
+        DurableStore, FaultFs, FaultKind, FaultPlan, RestartReport, StdFs, StorageBackend,
+    };
     pub use rdt_workloads::{Pattern, Script, WorkloadSpec};
 }

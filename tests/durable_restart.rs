@@ -74,8 +74,14 @@ impl DurableWorld {
     /// Kills process `i` (drops its volatile state) and restarts it from
     /// disk alone.
     fn crash_and_restart(&mut self, i: usize) {
+        self.crash_and_restart_reported(i);
+    }
+
+    /// As [`crash_and_restart`](Self::crash_and_restart), returning the
+    /// lenient-rebuild report (quarantine counts and the like).
+    fn crash_and_restart_reported(&mut self, i: usize) -> RestartReport {
         let n = self.mws.len();
-        let rebuilt = self.disks[i].rebuild().expect("disk is readable");
+        let (rebuilt, report) = self.disks[i].rebuild_reported().expect("disk is readable");
         self.mws[i] = Middleware::from_store(
             ProcessId::new(i),
             n,
@@ -84,6 +90,20 @@ impl DurableWorld {
             rebuilt,
         );
         assert!(self.mws[i].is_crashed());
+        report
+    }
+
+    /// On-disk path of process `i`'s newest stored checkpoint.
+    fn newest_ckpt_path(&self, i: usize) -> PathBuf {
+        let newest = self.disks[i]
+            .indices()
+            .expect("dir listable")
+            .into_iter()
+            .max()
+            .expect("at least one checkpoint on disk");
+        self.root
+            .join(format!("p{i}"))
+            .join(format!("ckpt_{}.bin", newest.value()))
     }
 
     fn recover(&mut self, faulty: &[usize]) {
@@ -257,4 +277,209 @@ fn simultaneous_restart_of_every_process_recovers() {
     w.message(0, 2);
     w.checkpoint(2);
     assert!(w.mws[2].store().len() <= 3);
+}
+
+/// Builds enough cross-process history that every process retains at
+/// least two stable checkpoints, so corrupting the newest leaves an
+/// older intact one to fall back to.
+fn world_with_depth(tag: &str) -> DurableWorld {
+    // Each process checkpoints right after receiving from a sender that
+    // never checkpoints behind its send: the new checkpoint depends on a
+    // volatile interval, so the older one stays a live rollback target.
+    let mut w = DurableWorld::new(3, tag);
+    w.message(1, 0);
+    w.checkpoint(0);
+    w.message(2, 1);
+    w.checkpoint(1);
+    w.message(0, 2);
+    w.checkpoint(2);
+    for i in 0..3 {
+        assert!(
+            w.disks[i].indices().unwrap().len() >= 2,
+            "p{i} needs a fallback checkpoint for these tests"
+        );
+    }
+    w
+}
+
+#[test]
+fn torn_write_is_quarantined_and_the_older_checkpoint_restored() {
+    let mut w = world_with_depth("torn");
+    // Tear p1's newest checkpoint to a prefix — the on-disk image of a
+    // crash mid-write that somehow survived the atomic-replace discipline
+    // (e.g. media corruption after the fact).
+    let victim = w.newest_ckpt_path(1);
+    let bytes = fs::read(&victim).unwrap();
+    fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    let intact_before = w.disks[1].indices().unwrap().len();
+    let report = w.crash_and_restart_reported(1);
+    assert_eq!(report.quarantined, 1, "exactly the torn file is set aside");
+    assert_eq!(report.loaded, intact_before - 1);
+    assert!(
+        victim.with_extension("bin.quarantined").exists(),
+        "the torn file is preserved for forensics, not deleted"
+    );
+
+    // The system still reaches a consistent cut and keeps executing.
+    w.recover(&[1]);
+    w.message(1, 2);
+    w.checkpoint(2);
+    for mw in &w.mws {
+        assert!(!mw.is_crashed());
+        assert!(!mw.store().is_empty());
+    }
+}
+
+#[test]
+fn bit_flip_is_detected_by_the_checksum_and_quarantined() {
+    let mut w = world_with_depth("bitflip");
+    let victim = w.newest_ckpt_path(0);
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&victim, &bytes).unwrap();
+
+    let report = w.crash_and_restart_reported(0);
+    assert_eq!(report.quarantined, 1, "one silently corrupted record");
+    w.recover(&[0]);
+    w.message(0, 1);
+    w.checkpoint(1);
+    for mw in &w.mws {
+        assert!(!mw.is_crashed());
+    }
+}
+
+#[test]
+fn corruption_on_every_process_at_once_still_recovers() {
+    let mut w = world_with_depth("multi-corrupt");
+    // All three processes lose their newest checkpoint to different
+    // faults in the same incident.
+    for i in 0..3 {
+        let victim = w.newest_ckpt_path(i);
+        let bytes = fs::read(&victim).unwrap();
+        match i {
+            0 => fs::write(&victim, &bytes[..bytes.len() / 3]).unwrap(),
+            1 => {
+                let mut b = bytes.clone();
+                let last = b.len() - 1;
+                b[last] ^= 0x01;
+                fs::write(&victim, &b).unwrap();
+            }
+            _ => fs::write(&victim, b"").unwrap(),
+        }
+    }
+    let mut quarantined = 0;
+    for i in 0..3 {
+        quarantined += w.crash_and_restart_reported(i).quarantined;
+    }
+    assert_eq!(quarantined, 3);
+    w.recover(&[0, 1, 2]);
+    w.message(0, 2);
+    w.checkpoint(2);
+    for mw in &w.mws {
+        assert!(!mw.is_crashed());
+        assert!(!mw.store().is_empty(), "{} lost its anchor", mw.owner());
+    }
+}
+
+#[test]
+fn lost_rename_never_loses_the_recovery_anchor() {
+    // A lost rename is the crash image of dying between rename and the
+    // parent-directory fsync — `FaultFs` models exactly that: the rename
+    // reports success and the backend is dead from the next operation
+    // on. Sweep the fault across every backend operation of a persist
+    // window; keyed to a non-rename operation it simply does not fire.
+    let owner = ProcessId::new(0);
+    let run = |dir: &PathBuf, plan: FaultPlan| -> (FaultFs, Result<(), String>) {
+        let backend = FaultFs::new(plan);
+        let outcome = (|| {
+            let disk = DurableStore::open_with(dir, owner, Box::new(backend.clone()))
+                .map_err(|e| e.to_string())?;
+            let mut mw = Middleware::new(owner, 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+            disk.sync(mw.store()).map_err(|e| e.to_string())?;
+            mw.basic_checkpoint().map_err(|e| e.to_string())?;
+            disk.sync(mw.store()).map_err(|e| e.to_string())?;
+            Ok(())
+        })();
+        (backend, outcome)
+    };
+
+    // Reference run: find the operation window of the second sync, the
+    // one that persists checkpoint 1 and removes the now-lone checkpoint 0.
+    let refdir = scratch("lost-rename-ref");
+    let probe = FaultFs::new(FaultPlan::none());
+    let window = {
+        let disk = DurableStore::open_with(&refdir, owner, Box::new(probe.clone())).unwrap();
+        let mut mw = Middleware::new(owner, 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        disk.sync(mw.store()).unwrap();
+        let start = probe.ops_executed();
+        mw.basic_checkpoint().unwrap();
+        disk.sync(mw.store()).unwrap();
+        start..probe.ops_executed()
+    };
+    fs::remove_dir_all(&refdir).ok();
+
+    for k in window {
+        let dir = scratch(&format!("lost-rename-{k}"));
+        let plan = FaultPlan::none().with_fault(k, FaultKind::LostRename);
+        let (backend, outcome) = run(&dir, plan);
+        // The fault fires only when op k is a rename; the crash then
+        // surfaces on the operation after it (one always follows — a
+        // rename is never the sync's last operation, `atomic_write`
+        // always chases it with the directory fsync).
+        assert_eq!(
+            outcome.is_err(),
+            backend.has_crashed(),
+            "op {k}: the only permitted error is the injected crash"
+        );
+        assert_eq!(backend.has_crashed(), backend.faults_injected() > 0);
+
+        // Restart from the surviving files with the real filesystem.
+        let disk = DurableStore::open(&dir, owner).unwrap();
+        let (rebuilt, report) = disk.rebuild_reported().unwrap();
+        assert!(
+            !rebuilt.is_empty(),
+            "op {k}: either the old or the new checkpoint survives — \
+             removals only run after the replacement's rename is durable"
+        );
+        assert_eq!(
+            report.quarantined, 0,
+            "op {k}: a lost rename corrupts nothing"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+mod torture_props {
+    use proptest::prelude::*;
+    use rdt_checkpointing::storage::torture::{run_torture, TortureOptions};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Crash-point enumeration over a random scripted trace always
+        /// yields a recovery line equal to the offline `rdt-ccp` oracle
+        /// replaying the surviving prefix.
+        #[test]
+        fn crash_point_enumeration_matches_the_oracle(
+            seed in 1000u64..9000,
+            n in 2usize..4,
+        ) {
+            let opts = TortureOptions {
+                n,
+                events: 18,
+                seed,
+                max_crash_points: 24,
+                fault_plans: 2,
+                ..TortureOptions::default()
+            };
+            let report = run_torture(&opts).expect("harness runs");
+            prop_assert!(
+                report.passed(),
+                "seed {seed}, n {n}: {:?}",
+                report.failures
+            );
+        }
+    }
 }
