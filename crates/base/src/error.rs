@@ -78,6 +78,9 @@ pub enum Error {
     /// A configuration value is out of its valid range (caught at
     /// construction, before it can panic mid-run).
     InvalidConfig(String),
+    /// The durability sink behind a middleware failed (write-ahead log or
+    /// checkpoint commit); carries the sink's own error rendering.
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -118,6 +121,7 @@ impl fmt::Display for Error {
                 write!(f, "interval {interval} exceeds the packed 48-bit field")
             }
             Error::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            Error::Storage(what) => write!(f, "storage sink failed: {what}"),
         }
     }
 }

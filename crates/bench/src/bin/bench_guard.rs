@@ -93,33 +93,35 @@ fn suite_of(name: &str) -> &str {
     name.split('/').next().unwrap_or(name)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (current_path, committed_path) = match (args.first(), args.get(1)) {
-        (Some(a), Some(b)) => (a, b),
-        _ => {
-            eprintln!("usage: bench_guard <current.ndjson> <committed.json> [max_ratio]");
-            return ExitCode::FAILURE;
-        }
-    };
-    let max_ratio: f64 = args
-        .get(2)
-        .map(|s| s.parse().expect("max_ratio is a number"))
-        .unwrap_or(1.25);
+/// What the gate decided. `Skip` is deliberate: an absent or empty capture
+/// (a PR that never ran the bench step, a baseline not yet recorded, a
+/// brand-new suite) is not a regression and must not fail CI — but it must
+/// say loudly that nothing was gated.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    Skip(String),
+    Pass,
+    Fail,
+}
 
-    let read = |path: &str| {
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
-    };
-    let current = parse_means(&read(current_path));
-    let committed = parse_means(&read(committed_path));
-    assert!(!current.is_empty(), "no benchmarks in {current_path}");
-    assert!(!committed.is_empty(), "no benchmarks in {committed_path}");
+fn guard(
+    current: &BTreeMap<String, f64>,
+    committed: &BTreeMap<String, f64>,
+    max_ratio: f64,
+) -> Outcome {
+    if current.is_empty() {
+        return Outcome::Skip("the fresh capture has no benchmarks".into());
+    }
+    if committed.is_empty() {
+        return Outcome::Skip("the committed baseline has no benchmarks".into());
+    }
 
     // Per-suite log-ratio accumulation over the benchmarks both runs have.
     let mut suites: BTreeMap<&str, (f64, u32)> = BTreeMap::new();
-    for (name, &now) in &current {
+    let mut fresh_suites: BTreeMap<&str, u32> = BTreeMap::new();
+    for (name, &now) in current {
         let Some(&then) = committed.get(name) else {
-            println!("note: {name} not in committed record, skipped");
+            *fresh_suites.entry(suite_of(name)).or_insert(0) += 1;
             continue;
         };
         let ratio = now / then;
@@ -128,10 +130,14 @@ fn main() -> ExitCode {
         slot.0 += ratio.ln();
         slot.1 += 1;
     }
-    assert!(
-        !suites.is_empty(),
-        "no overlapping benchmarks between {current_path} and {committed_path}"
-    );
+    for (suite, count) in &fresh_suites {
+        if !suites.contains_key(suite) {
+            println!("skip: suite {suite} ({count} benches) is absent from the baseline — not gated until it is recorded");
+        }
+    }
+    if suites.is_empty() {
+        return Outcome::Skip("no benchmark overlaps the committed baseline".into());
+    }
 
     let mut failed = false;
     // Every committed benchmark must be present in the fresh capture: a
@@ -154,10 +160,52 @@ fn main() -> ExitCode {
         println!("suite {suite:<30} geomean x{geomean:.3} ({count} benches) {verdict}");
     }
     if failed {
-        eprintln!("bench_guard: geomean regression beyond x{max_ratio} — failing");
-        ExitCode::FAILURE
+        Outcome::Fail
     } else {
-        ExitCode::SUCCESS
+        Outcome::Pass
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, committed_path) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            eprintln!("usage: bench_guard <current.ndjson> <committed.json> [max_ratio]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max_ratio: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("max_ratio is a number"))
+        .unwrap_or(1.25);
+
+    let read = |path: &str, what: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Ok(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Err(format!("{what} {path} does not exist"))
+        }
+        Err(e) => Err(format!("{what} {path} is unreadable: {e}")),
+    };
+    let outcome = match (
+        read(current_path, "capture"),
+        read(committed_path, "baseline"),
+    ) {
+        (Ok(current), Ok(committed)) => {
+            guard(&parse_means(&current), &parse_means(&committed), max_ratio)
+        }
+        (Err(why), _) | (_, Err(why)) => Outcome::Skip(why),
+    };
+    match outcome {
+        Outcome::Skip(why) => {
+            println!("bench_guard: SKIPPED — {why}; nothing was gated");
+            ExitCode::SUCCESS
+        }
+        Outcome::Pass => ExitCode::SUCCESS,
+        Outcome::Fail => {
+            eprintln!("bench_guard: geomean regression beyond x{max_ratio} — failing");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -185,5 +233,48 @@ mod tests {
     fn suite_is_the_leading_path_component() {
         assert_eq!(suite_of("event_complexity/send/4"), "event_complexity");
         assert_eq!(suite_of("flat"), "flat");
+    }
+
+    fn means(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn empty_inputs_skip_instead_of_failing() {
+        let some = means(&[("s/a", 1.0)]);
+        assert!(matches!(
+            guard(&BTreeMap::new(), &some, 1.25),
+            Outcome::Skip(_)
+        ));
+        assert!(matches!(
+            guard(&some, &BTreeMap::new(), 1.25),
+            Outcome::Skip(_)
+        ));
+    }
+
+    #[test]
+    fn disjoint_suites_skip_instead_of_failing() {
+        let current = means(&[("new_suite/a", 1.0), ("new_suite/b", 2.0)]);
+        let committed = means(&[("old_suite/a", 1.0)]);
+        assert!(matches!(
+            guard(&current, &committed, 1.25),
+            Outcome::Skip(_)
+        ));
+    }
+
+    #[test]
+    fn fresh_suite_rides_along_while_overlap_is_gated() {
+        let current = means(&[("gated/a", 1.0), ("brand_new/a", 99.0)]);
+        let committed = means(&[("gated/a", 1.0)]);
+        assert_eq!(guard(&current, &committed, 1.25), Outcome::Pass);
+    }
+
+    #[test]
+    fn regression_and_dropped_benchmarks_still_fail() {
+        let committed = means(&[("s/a", 1.0), ("s/b", 1.0)]);
+        let slow = means(&[("s/a", 2.0), ("s/b", 2.0)]);
+        assert_eq!(guard(&slow, &committed, 1.25), Outcome::Fail);
+        let partial = means(&[("s/a", 1.0)]);
+        assert_eq!(guard(&partial, &committed, 1.25), Outcome::Fail);
     }
 }

@@ -477,6 +477,24 @@ pub fn torture(m: &clap::ArgMatches) -> Result<(), String> {
             .field("quarantined", Json::UInt(report.quarantined as u64))
             .field("transient_retries", Json::UInt(report.transient_retries))
             .field(
+                "restarts",
+                Json::Arr(
+                    report
+                        .restarts
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .field("crash_point", Json::UInt(r.crash_point))
+                                .field("loaded", Json::UInt(r.loaded as u64))
+                                .field("quarantined", Json::UInt(r.quarantined as u64))
+                                .field("skipped_alien", Json::UInt(r.skipped_alien as u64))
+                                .field("transient_retries", Json::UInt(r.transient_retries))
+                                .build()
+                        })
+                        .collect(),
+                ),
+            )
+            .field(
                 "failures",
                 Json::Arr(
                     report

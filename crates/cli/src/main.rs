@@ -12,6 +12,7 @@
 mod commands;
 mod json;
 mod opts;
+mod serve;
 
 use clap::Command;
 
@@ -52,6 +53,14 @@ fn cli() -> Command {
         .subcommand(torture_args(Command::new("torture").about(
             "crash-point sweep + corruption fault plans over the durable storage layer",
         )))
+        .subcommand(serve::serve_args(Command::new("serve").about(
+            "run N real OS processes over loopback sockets with live checkpoint GC (--chaos for a kill-9 + restart cycle)",
+        )))
+        .subcommand(serve::worker_args(
+            Command::new("__serve-worker")
+                .about("internal: one process of an `rdt serve` run")
+                .hide(true),
+        ))
 }
 
 /// The torture subcommand has its own argument set: it drives the storage
@@ -104,6 +113,10 @@ fn main() {
     let (name, sub) = matches.subcommand().expect("subcommand required");
     let result = if name == "torture" {
         commands::torture(sub)
+    } else if name == "serve" {
+        serve::serve(sub)
+    } else if name == "__serve-worker" {
+        serve::worker(sub)
     } else {
         run_opts(sub).and_then(|opts| match name {
             "simulate" => commands::simulate(&opts, sub.get_flag("occupancy")),

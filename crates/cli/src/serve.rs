@@ -1,0 +1,737 @@
+//! `rdt serve` — the real runtime: N OS processes exchanging piggybacked
+//! traffic over Unix-domain loopback sockets with live checkpoint GC, and
+//! a kill-9 chaos harness that checks online recovery against the offline
+//! CCP oracle.
+//!
+//! # Topology
+//!
+//! The parent re-executes its own binary once per rank with the hidden
+//! `__serve-worker` subcommand. Each worker binds a datagram socket in the
+//! shared run directory, opens its durable checkpoint directory
+//! (`p<rank>/`, a `DiskSink` behind a generic `Middleware`), and drives a
+//! [`LiveNode`] — the same delivery path as the threaded runtime — over a
+//! [`RealEnv`] bundle: monotonic clock, seeded generator, UDS transport.
+//!
+//! # The trace log and its write ordering
+//!
+//! Every worker appends a per-process event log (`trace_p<rank>.log`)
+//! that the chaos harness later merges into a global [`TraceEvent`]
+//! sequence for the offline oracle. The per-op discipline is **apply →
+//! log → transmit**:
+//!
+//! 1. the middleware operation runs (which commits durable state through
+//!    the sink),
+//! 2. the event line(s) are written to the log,
+//! 3. only then is a sent frame put on the wire.
+//!
+//! A SIGKILL therefore leaves at most one in-doubt *tail* op per worker,
+//! and each case reconciles from what survives: an applied-but-unlogged
+//! checkpoint is visible on disk (the harness appends a synthetic
+//! `Checkpoint` event); an applied-but-unlogged send was never
+//! transmitted, so no peer saw it; an applied-but-unlogged deliver merged
+//! only volatile state, which the crash discards. Because a send is
+//! logged (and page-cache durable — the OS survives the kill) before the
+//! frame leaves, every `Deliver` in any log can find its `Send` in the
+//! sender's log, and the merge is total.
+//!
+//! # Chaos cycle
+//!
+//! With `--chaos`, the workers run an endless workload; once every log
+//! shows traffic the parent SIGKILLs all of them mid-flight, rebuilds
+//! every process from its surviving files, runs a full recovery session
+//! (all processes faulty — rollback exercises the incarnation WAL against
+//! the real filesystem), and asserts the online recovery line equals the
+//! offline `rdt-ccp` oracle replaying the merged logs. It then respawns
+//! every worker with `--resume` (rollback to the recovered line, more
+//! traffic, clean exit) to prove the system keeps executing.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command as OsCommand};
+use std::time::{Duration, Instant};
+
+use clap::ArgMatches;
+
+use rdt_base::{MessageId, ProcessId, TraceEvent};
+use rdt_ccp::CcpBuilder;
+use rdt_core::GcKind;
+use rdt_env::transport::MAX_FRAME;
+use rdt_env::{RealEnv, Rng as _, Transport as _, UdsTransport};
+use rdt_protocols::{Middleware, ProtocolKind};
+use rdt_recovery::{FaultySet, RecoveryManager};
+use rdt_sim::LiveNode;
+use rdt_storage::{DiskSink, DurableStore};
+
+use crate::json::Json;
+use crate::opts::{parse_gc, parse_protocol};
+
+/// Everything both the parent and a worker need to agree on.
+#[derive(Debug, Clone)]
+struct ServeConfig {
+    n: usize,
+    ops: usize,
+    seed: u64,
+    protocol: ProtocolKind,
+    gc: GcKind,
+    dir: PathBuf,
+}
+
+fn parse_config(
+    m: &ArgMatches,
+    default_dir: impl FnOnce() -> PathBuf,
+) -> Result<ServeConfig, String> {
+    let get = |name: &str| m.get_one::<String>(name).expect("defaulted").clone();
+    let n: usize = get("processes").parse().map_err(|e| format!("-n: {e}"))?;
+    if n < 2 {
+        return Err("-n: at least two processes required".into());
+    }
+    Ok(ServeConfig {
+        n,
+        ops: get("ops").parse().map_err(|e| format!("--ops: {e}"))?,
+        seed: get("seed").parse().map_err(|e| format!("-S: {e}"))?,
+        protocol: parse_protocol(&get("protocol"))?,
+        gc: parse_gc(&get("gc"))?,
+        dir: m
+            .get_one::<String>("dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(default_dir),
+    })
+}
+
+fn trace_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("trace_p{rank}.log"))
+}
+
+fn summary_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("summary_p{rank}.txt"))
+}
+
+fn store_dir(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("p{rank}"))
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct WorkerStats {
+    sent: u64,
+    delivered: u64,
+    basic: u64,
+    forced: u64,
+    eliminated: u64,
+}
+
+/// Drains every frame currently deliverable, logging each event.
+fn pump(
+    transport: &mut UdsTransport,
+    node: &mut LiveNode<DiskSink>,
+    log: &mut std::fs::File,
+    buf: &mut [u8],
+    stats: &mut WorkerStats,
+) -> Result<(), String> {
+    loop {
+        match transport.recv(buf) {
+            Ok(Some(len)) => {
+                let outcome = node
+                    .deliver_frame(&buf[..len])
+                    .map_err(|e| format!("deliver failed: {e}"))?;
+                let Some(out) = outcome else { continue };
+                // Forced-on-receive precedes the Deliver in trace order
+                // (the checkpoint is stored before the merge), and both
+                // lines go down in one write for per-op tail atomicity.
+                let mut lines = String::new();
+                if let Some(f) = out.forced {
+                    lines.push_str(&format!("C {}\n", f.value()));
+                    stats.forced += 1;
+                }
+                lines.push_str(&format!("D {} {}\n", out.sender.index(), out.seq));
+                log.write_all(lines.as_bytes())
+                    .map_err(|e| format!("trace log write failed: {e}"))?;
+                stats.delivered += 1;
+                stats.eliminated += out.eliminated as u64;
+            }
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(format!("recv failed: {e}")),
+        }
+    }
+}
+
+/// The hidden `__serve-worker` subcommand: one real process of the system.
+pub fn worker(m: &ArgMatches) -> Result<(), String> {
+    let cfg = parse_config(m, || unreachable!("the parent always passes --dir"))?;
+    let rank: usize = m
+        .get_one::<String>("rank")
+        .expect("required")
+        .parse()
+        .map_err(|e| format!("--rank: {e}"))?;
+    let resume = m.get_flag("resume");
+    let me = ProcessId::new(rank);
+
+    let transport = UdsTransport::bind(&cfg.dir, rank, Duration::from_millis(1))
+        .map_err(|e| format!("bind failed: {e}"))?;
+    let disk = DurableStore::open(store_dir(&cfg.dir, rank), me)
+        .map_err(|e| format!("durable store failed: {e}"))?;
+
+    let mut node = if resume {
+        let (store, _report) = disk
+            .rebuild_reported()
+            .map_err(|e| format!("rebuild failed: {e}"))?;
+        let target = store
+            .indices()
+            .last()
+            .ok_or_else(|| "resume found no checkpoint to anchor recovery".to_string())?;
+        let mut mw = Middleware::from_store_with(
+            me,
+            cfg.n,
+            cfg.protocol,
+            cfg.gc,
+            store,
+            DiskSink::over(disk),
+        );
+        // Uncoordinated self-recovery to the newest surviving checkpoint
+        // (the parent's recovery session already truncated every store to
+        // the line); the write-ahead incarnation log runs again here.
+        mw.rollback(target, None)
+            .map_err(|e| format!("resume rollback failed: {e}"))?;
+        LiveNode::over(mw)
+    } else {
+        LiveNode::over(Middleware::with_storage(
+            me,
+            cfg.n,
+            cfg.protocol,
+            cfg.gc,
+            DiskSink::over(disk),
+        ))
+    };
+    if let Some(e) = node.middleware_mut().take_sink_error() {
+        return Err(format!("initial commit failed: {e}"));
+    }
+
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(trace_path(&cfg.dir, rank))
+        .map_err(|e| format!("trace log open failed: {e}"))?;
+
+    let mut env = RealEnv::new(
+        cfg.seed ^ (rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        transport,
+    );
+    let mut buf = vec![0u8; MAX_FRAME];
+    let mut stats = WorkerStats::default();
+    let mut step = 0usize;
+    loop {
+        if cfg.ops > 0 && step >= cfg.ops {
+            break;
+        }
+        step += 1;
+        pump(
+            &mut env.transport,
+            &mut node,
+            &mut log,
+            &mut buf,
+            &mut stats,
+        )?;
+        let roll = env.rng.between(0, 99);
+        if roll < 35 {
+            let idx = node
+                .checkpoint()
+                .map_err(|e| format!("checkpoint failed: {e}"))?;
+            log.write_all(format!("C {}\n", idx.value()).as_bytes())
+                .map_err(|e| format!("trace log write failed: {e}"))?;
+            stats.basic += 1;
+        } else {
+            let peer = {
+                let k = env.rng.between(0, cfg.n as u64 - 2) as usize;
+                ProcessId::new(if k >= rank { k + 1 } else { k })
+            };
+            let (frame, forced) = node.send_frame(peer);
+            let mut lines = format!("S {} {}\n", frame.seq, peer.index());
+            if let Some(idx) = forced {
+                lines.push_str(&format!("C {}\n", idx.value()));
+                stats.forced += 1;
+            }
+            log.write_all(lines.as_bytes())
+                .map_err(|e| format!("trace log write failed: {e}"))?;
+            // Transmit strictly after the send is in the log: a peer can
+            // only deliver a message whose Send the oracle will find.
+            env.transport
+                .send(peer, &frame.encode())
+                .map_err(|e| format!("send failed: {e}"))?;
+            stats.sent += 1;
+        }
+        if let Some(e) = node.middleware_mut().take_sink_error() {
+            return Err(format!("durable commit failed: {e}"));
+        }
+        std::thread::sleep(Duration::from_micros(300));
+    }
+
+    // Finite run: drain in-flight traffic for a grace window, then report.
+    let deadline = Instant::now() + Duration::from_millis(250);
+    while Instant::now() < deadline {
+        pump(
+            &mut env.transport,
+            &mut node,
+            &mut log,
+            &mut buf,
+            &mut stats,
+        )?;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if let Some(e) = node.middleware_mut().take_sink_error() {
+        return Err(format!("durable commit failed: {e}"));
+    }
+    let retained = node.middleware().store().len();
+    std::fs::write(
+        summary_path(&cfg.dir, rank),
+        format!(
+            "sent={} delivered={} basic={} forced={} eliminated={} retained={}\n",
+            stats.sent, stats.delivered, stats.basic, stats.forced, stats.eliminated, retained
+        ),
+    )
+    .map_err(|e| format!("summary write failed: {e}"))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parent side: log merge and the recovery-line check
+// ---------------------------------------------------------------------------
+
+/// One parsed line of a worker's trace log.
+#[derive(Debug, Clone, Copy)]
+enum LogEvent {
+    Checkpoint,
+    Send { seq: u64, to: usize },
+    Deliver { sender: usize, seq: u64 },
+}
+
+fn parse_log_line(line: &str) -> Option<LogEvent> {
+    let mut parts = line.split_whitespace();
+    let ev = match parts.next()? {
+        "C" => {
+            let _idx: usize = parts.next()?.parse().ok()?;
+            LogEvent::Checkpoint
+        }
+        "S" => LogEvent::Send {
+            seq: parts.next()?.parse().ok()?,
+            to: parts.next()?.parse().ok()?,
+        },
+        "D" => LogEvent::Deliver {
+            sender: parts.next()?.parse().ok()?,
+            seq: parts.next()?.parse().ok()?,
+        },
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(ev)
+}
+
+/// Reads one worker's log leniently: a torn final line (the SIGKILL tail)
+/// is dropped; garbage anywhere else is an error.
+fn read_log(dir: &Path, rank: usize) -> Result<VecDeque<LogEvent>, String> {
+    let raw = match std::fs::read_to_string(trace_path(dir, rank)) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(format!("reading trace of p{rank}: {e}")),
+    };
+    let mut events = VecDeque::new();
+    let lines: Vec<&str> = raw.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_log_line(line) {
+            Some(ev) => events.push_back(ev),
+            None if i + 1 == lines.len() && !raw.ends_with('\n') => {} // torn tail
+            None => return Err(format!("corrupt trace line in p{rank}: {line:?}")),
+        }
+    }
+    Ok(events)
+}
+
+/// Merges the per-process logs into one oracle-replayable trace:
+/// checkpoints and sends merge eagerly in local order, a deliver waits
+/// until its send has merged, and checkpoints the disk knows but the log
+/// missed (the applied-but-unlogged kill tail) are appended synthetically.
+/// Undelivered sends become `Drop` events.
+fn merged_trace(dir: &Path, cfg: &ServeConfig) -> Result<Vec<TraceEvent>, String> {
+    let mut queues: Vec<VecDeque<LogEvent>> = (0..cfg.n)
+        .map(|i| read_log(dir, i))
+        .collect::<Result<_, _>>()?;
+
+    // Disk reconciliation: the sink commits before the log is written, so
+    // the disk may be exactly one checkpoint ahead of the log — never
+    // behind. Structural checkpoint indices are sequential, so the gap
+    // closes with synthetic Checkpoint events at the queue tail.
+    for (i, queue) in queues.iter_mut().enumerate() {
+        let disk = DurableStore::open(store_dir(dir, i), ProcessId::new(i))
+            .map_err(|e| format!("opening store of p{i}: {e}"))?;
+        let disk_max = disk
+            .indices()
+            .map_err(|e| format!("listing store of p{i}: {e}"))?
+            .last()
+            .map_or(0, |c| c.value());
+        let log_max = queue
+            .iter()
+            .filter(|e| matches!(e, LogEvent::Checkpoint))
+            .count();
+        for _ in log_max..disk_max {
+            queue.push_back(LogEvent::Checkpoint);
+        }
+    }
+
+    let mut trace = Vec::new();
+    let mut sent: BTreeMap<(usize, u64), bool> = BTreeMap::new();
+    loop {
+        let mut progress = false;
+        for (i, queue) in queues.iter_mut().enumerate() {
+            while let Some(&ev) = queue.front() {
+                match ev {
+                    LogEvent::Checkpoint => trace.push(TraceEvent::Checkpoint {
+                        process: ProcessId::new(i),
+                        forced: false,
+                    }),
+                    LogEvent::Send { seq, to } => {
+                        trace.push(TraceEvent::Send {
+                            id: MessageId::new(ProcessId::new(i), seq),
+                            to: ProcessId::new(to),
+                        });
+                        sent.insert((i, seq), false);
+                    }
+                    LogEvent::Deliver { sender, seq } => {
+                        let Some(delivered) = sent.get_mut(&(sender, seq)) else {
+                            break; // the send has not merged yet: wait
+                        };
+                        *delivered = true;
+                        trace.push(TraceEvent::Deliver {
+                            id: MessageId::new(ProcessId::new(sender), seq),
+                        });
+                    }
+                }
+                queue.pop_front();
+                progress = true;
+            }
+        }
+        if queues.iter().all(VecDeque::is_empty) {
+            break;
+        }
+        if !progress {
+            return Err("unmergeable trace logs: a deliver references an unlogged send".into());
+        }
+    }
+    for ((sender, seq), delivered) in sent {
+        if !delivered {
+            trace.push(TraceEvent::Drop {
+                id: MessageId::new(ProcessId::new(sender), seq),
+            });
+        }
+    }
+    Ok(trace)
+}
+
+/// Rebuilds every process from disk, runs a full recovery session (all
+/// faulty), and returns `(online line, offline oracle line)`.
+fn check_lines(dir: &Path, cfg: &ServeConfig) -> Result<(Vec<usize>, Vec<usize>), String> {
+    let trace = merged_trace(dir, cfg)?;
+    let faulty: FaultySet = ProcessId::all(cfg.n).collect();
+    let offline = CcpBuilder::from_trace(cfg.n, &trace)
+        .map_err(|e| format!("oracle replay failed: {e}"))?
+        .build()
+        .recovery_line(&faulty)
+        .to_raw();
+
+    let mut mws = Vec::with_capacity(cfg.n);
+    for i in 0..cfg.n {
+        let me = ProcessId::new(i);
+        let disk = DurableStore::open(store_dir(dir, i), me)
+            .map_err(|e| format!("opening store of p{i}: {e}"))?;
+        let (store, _report) = disk
+            .rebuild_reported()
+            .map_err(|e| format!("rebuilding p{i}: {e}"))?;
+        if store.is_empty() {
+            return Err(format!("p{i} has no surviving checkpoint to recover from"));
+        }
+        mws.push(Middleware::from_store_with(
+            me,
+            cfg.n,
+            cfg.protocol,
+            cfg.gc,
+            store,
+            DiskSink::over(disk),
+        ));
+    }
+    let session = RecoveryManager::new()
+        .recover(&mut mws, &faulty)
+        .map_err(|e| format!("online recovery failed: {e}"))?;
+    let online: Vec<usize> = session.line.iter().map(|c| c.value()).collect();
+    Ok((online, offline))
+}
+
+// ---------------------------------------------------------------------------
+// Parent side: process management
+// ---------------------------------------------------------------------------
+
+fn spawn_workers(cfg: &ServeConfig, ops: usize, resume: bool) -> Result<Vec<Child>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    (0..cfg.n)
+        .map(|rank| {
+            let mut cmd = OsCommand::new(&exe);
+            cmd.arg("__serve-worker")
+                .arg("--rank")
+                .arg(rank.to_string())
+                .arg("--processes")
+                .arg(cfg.n.to_string())
+                .arg("--ops")
+                .arg(ops.to_string())
+                .arg("--seed")
+                .arg(cfg.seed.to_string())
+                .arg("--protocol")
+                .arg(cfg.protocol.to_string())
+                .arg("--gc")
+                .arg(cfg.gc.to_string())
+                .arg("--dir")
+                .arg(&cfg.dir);
+            if resume {
+                cmd.arg("--resume");
+            }
+            cmd.spawn().map_err(|e| format!("spawning p{rank}: {e}"))
+        })
+        .collect()
+}
+
+/// Waits for every worker and fails on the first non-zero exit.
+fn join_workers(children: Vec<Child>) -> Result<(), String> {
+    let mut failure = None;
+    for (rank, mut child) in children.into_iter().enumerate() {
+        let status = child
+            .wait()
+            .map_err(|e| format!("waiting on p{rank}: {e}"))?;
+        if !status.success() && failure.is_none() {
+            failure = Some(format!("worker p{rank} exited with {status}"));
+        }
+    }
+    failure.map_or(Ok(()), Err)
+}
+
+/// Polls until every worker's trace log shows real traffic (so a SIGKILL
+/// lands mid-flight, not before startup). Fails fast if a worker dies.
+fn wait_for_traffic(cfg: &ServeConfig, children: &mut [Child]) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let all_busy = (0..cfg.n)
+            .all(|i| std::fs::metadata(trace_path(&cfg.dir, i)).is_ok_and(|m| m.len() >= 200));
+        if all_busy {
+            return Ok(());
+        }
+        for (rank, child) in children.iter_mut().enumerate() {
+            if let Ok(Some(status)) = child.try_wait() {
+                return Err(format!("worker p{rank} died before the kill: {status}"));
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err("workers produced no traffic within 20s".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn kill_workers(children: &mut [Child]) -> Result<(), String> {
+    for (rank, child) in children.iter_mut().enumerate() {
+        child.kill().map_err(|e| format!("killing p{rank}: {e}"))?; // SIGKILL
+        child.wait().map_err(|e| format!("reaping p{rank}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[derive(Debug, Default)]
+struct ServeSummary {
+    sent: u64,
+    delivered: u64,
+    basic: u64,
+    forced: u64,
+    eliminated: u64,
+    max_retained: u64,
+}
+
+fn read_summaries(dir: &Path, n: usize) -> ServeSummary {
+    let mut out = ServeSummary::default();
+    for i in 0..n {
+        let Ok(raw) = std::fs::read_to_string(summary_path(dir, i)) else {
+            continue;
+        };
+        for field in raw.split_whitespace() {
+            let Some((key, value)) = field.split_once('=') else {
+                continue;
+            };
+            let Ok(v) = value.parse::<u64>() else {
+                continue;
+            };
+            match key {
+                "sent" => out.sent += v,
+                "delivered" => out.delivered += v,
+                "basic" => out.basic += v,
+                "forced" => out.forced += v,
+                "eliminated" => out.eliminated += v,
+                "retained" => out.max_retained = out.max_retained.max(v),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// The `serve` subcommand.
+pub fn serve(m: &ArgMatches) -> Result<(), String> {
+    let user_dir = m.get_one::<String>("dir").is_some();
+    let cfg = parse_config(m, || {
+        std::env::temp_dir().join(format!("rdt-serve-{}", std::process::id()))
+    })?;
+    let chaos = m.get_flag("chaos");
+    let json = m.get_flag("json");
+    std::fs::create_dir_all(&cfg.dir).map_err(|e| format!("run dir: {e}"))?;
+
+    let outcome = run_serve(&cfg, chaos);
+    let summary = read_summaries(&cfg.dir, cfg.n);
+    if !user_dir {
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+    let (online, offline) = outcome?;
+    let agree = online == offline;
+
+    if json {
+        let doc = Json::obj()
+            .field("processes", Json::UInt(cfg.n as u64))
+            .field("transport", Json::Str("unix-datagram".into()))
+            .field("chaos", Json::Bool(chaos))
+            .field("online_line", Json::uints(online.iter().copied()))
+            .field("oracle_line", Json::uints(offline.iter().copied()))
+            .field("lines_agree", Json::Bool(agree))
+            .field("sent", Json::UInt(summary.sent))
+            .field("delivered", Json::UInt(summary.delivered))
+            .field("basic_checkpoints", Json::UInt(summary.basic))
+            .field("forced_checkpoints", Json::UInt(summary.forced))
+            .field("collected", Json::UInt(summary.eliminated))
+            .field("max_retained", Json::UInt(summary.max_retained))
+            .build();
+        println!("{}", doc.pretty());
+    } else {
+        println!(
+            "served {} real processes over unix-datagram loopback ({} {})",
+            cfg.n, cfg.protocol, cfg.gc
+        );
+        if summary.sent + summary.delivered > 0 {
+            println!(
+                "traffic: {} sent, {} delivered; checkpoints: {} basic + {} forced, {} collected live (max retained {})",
+                summary.sent,
+                summary.delivered,
+                summary.basic,
+                summary.forced,
+                summary.eliminated,
+                summary.max_retained
+            );
+        }
+        if chaos {
+            println!("chaos: SIGKILL mid-flight, restart from disk, resumed to a clean exit");
+        }
+        println!("online recovery line {online:?}");
+        println!("oracle recovery line {offline:?}");
+    }
+    if agree {
+        Ok(())
+    } else {
+        Err(format!(
+            "online recovery line {online:?} disagrees with the offline oracle {offline:?}"
+        ))
+    }
+}
+
+/// Runs the workers (one chaos cycle when asked) and returns the
+/// `(online, offline)` recovery lines of the kill point (chaos) or the
+/// final state (clean run).
+fn run_serve(cfg: &ServeConfig, chaos: bool) -> Result<(Vec<usize>, Vec<usize>), String> {
+    if chaos {
+        // Endless workload; the kill decides the cut.
+        let mut children = spawn_workers(cfg, 0, false)?;
+        if let Err(e) = wait_for_traffic(cfg, &mut children) {
+            let _ = kill_workers(&mut children);
+            return Err(e);
+        }
+        kill_workers(&mut children)?;
+        let lines = check_lines(&cfg.dir, cfg)?;
+        // Restart the real processes from the recovered disks: rollback
+        // (second WAL round), fresh traffic, clean exit.
+        let resumed = spawn_workers(cfg, cfg.ops.max(20), true)?;
+        join_workers(resumed)?;
+        Ok(lines)
+    } else {
+        let children = spawn_workers(cfg, cfg.ops, false)?;
+        join_workers(children)?;
+        check_lines(&cfg.dir, cfg)
+    }
+}
+
+/// Argument set shared by `serve` and the hidden worker.
+fn common_args(cmd: clap::Command) -> clap::Command {
+    let arg = |name: &'static str, help: &'static str, default: &'static str| {
+        clap::Arg::new(name)
+            .long(name)
+            .help(help)
+            .default_value(default)
+            .value_name(name)
+    };
+    cmd.arg(arg("processes", "number of OS processes", "3").short('n'))
+        .arg(arg("ops", "workload operations per process", "200"))
+        .arg(arg("seed", "workload seed", "0").short('S'))
+        .arg(arg("protocol", "checkpointing protocol", "fdas").short('P'))
+        .arg(arg(
+            "gc",
+            "garbage collector (rdt-lgc, none, simple, wang, time:<horizon>)",
+            "rdt-lgc",
+        ))
+        .arg(
+            clap::Arg::new("dir")
+                .long("dir")
+                .help("run directory for sockets, stores and logs (default: a temp dir)")
+                .value_name("path"),
+        )
+}
+
+/// Builds the `serve` subcommand.
+pub fn serve_args(cmd: clap::Command) -> clap::Command {
+    common_args(cmd)
+        .arg(
+            clap::Arg::new("chaos")
+                .long("chaos")
+                .help("one kill-9 + restart cycle: SIGKILL all workers mid-flight, verify the online recovery line against the offline ccp oracle, resume to a clean exit")
+                .action(clap::ArgAction::SetTrue),
+        )
+        .arg(
+            clap::Arg::new("json")
+                .long("json")
+                .help("emit machine-readable JSON instead of text")
+                .action(clap::ArgAction::SetTrue),
+        )
+}
+
+/// Builds the hidden `__serve-worker` subcommand.
+pub fn worker_args(cmd: clap::Command) -> clap::Command {
+    common_args(cmd)
+        .arg(
+            clap::Arg::new("rank")
+                .long("rank")
+                .help("this worker's process id")
+                .required(true)
+                .value_name("rank"),
+        )
+        .arg(
+            clap::Arg::new("resume")
+                .long("resume")
+                .help("restart from the surviving durable store instead of a fresh system")
+                .action(clap::ArgAction::SetTrue),
+        )
+}

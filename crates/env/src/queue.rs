@@ -8,8 +8,8 @@
 //! (they migrate into the ring as time approaches). Within a tick, events
 //! pop in push (sequence) order, so the total order is exactly the
 //! `(at, seq)` order the previous `BinaryHeap<Reverse<…>>` implementation
-//! produced; `tests/queue_equiv.rs` proves the equivalence against a heap
-//! reference, operation by operation.
+//! produced; the in-file `equivalence` proptest module proves it against a
+//! heap reference, operation by operation.
 //!
 //! Crash sessions use [`retain`](BucketQueue::retain) to drop in-transit
 //! deliveries **in place** — the old engine rebuilt the whole heap
@@ -39,7 +39,7 @@ type Bucket<T> = VecDeque<(u64, T)>;
 ///
 /// Both are `debug_assert`ed.
 #[derive(Debug)]
-pub(crate) struct BucketQueue<T> {
+pub struct BucketQueue<T> {
     /// Tick represented by `ring[0]`.
     base: u64,
     /// Per-tick buckets for `base .. base + ring.len()`, each in `seq`
@@ -55,9 +55,15 @@ pub(crate) struct BucketQueue<T> {
     last_seq: u64,
 }
 
+impl<T> Default for BucketQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<T> BucketQueue<T> {
     /// An empty queue starting at tick 0.
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         Self {
             base: 0,
             ring: VecDeque::new(),
@@ -69,14 +75,12 @@ impl<T> BucketQueue<T> {
     }
 
     /// Number of queued events.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.len
     }
 
     /// Whether no events are queued.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
@@ -94,7 +98,7 @@ impl<T> BucketQueue<T> {
     }
 
     /// Enqueues `item` at tick `at` with sequence number `seq`.
-    pub(crate) fn push(&mut self, at: u64, seq: u64, item: T) {
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
         debug_assert!(
             self.last_seq == 0 || seq > self.last_seq,
             "sequence numbers must increase"
@@ -114,7 +118,7 @@ impl<T> BucketQueue<T> {
 
     /// Dequeues the earliest event as `(at, seq, item)`, in `(at, seq)`
     /// order.
-    pub(crate) fn pop(&mut self) -> Option<(u64, u64, T)> {
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
         if self.len == 0 {
             return None;
         }
@@ -168,11 +172,7 @@ impl<T> BucketQueue<T> {
     /// through pooled scratch storage — one element move per event, no
     /// queue rebuild. This is the crash-session drain: the old engine
     /// `mem::take`-and-re-pushed its entire heap here.
-    pub(crate) fn retain(
-        &mut self,
-        mut keep: impl FnMut(&T) -> bool,
-        mut drop_fn: impl FnMut(u64, T),
-    ) {
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool, mut drop_fn: impl FnMut(u64, T)) {
         let len = &mut self.len;
         let pool = &mut self.pool;
         let mut filter = |bucket: &mut Bucket<T>, at: u64| {

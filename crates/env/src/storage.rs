@@ -1,0 +1,65 @@
+//! Storage capability: the durability sink behind a middleware.
+//!
+//! The protocol code mutates its in-memory [`CheckpointStore`] and then
+//! offers the new state to its sink. In the simulator the sink is
+//! [`Volatile`] — a zero-sized no-op whose error type is uninhabited, so
+//! the compiler erases every commit call and fixed-seed behaviour is
+//! untouched. In the real runtime the sink is `rdt_storage::DiskSink`,
+//! which mirrors the store into a `DurableStore` on the filesystem and
+//! write-aheads incarnation bumps so a kill-9 between "decide to roll
+//! back" and "finish rolling back" still recovers to a total order.
+
+use std::convert::Infallible;
+use std::fmt;
+
+use rdt_base::Incarnation;
+use rdt_core::CheckpointStore;
+
+/// Where a middleware's checkpoint state goes to survive the process.
+///
+/// Implementations must be crash-ordered: `wal_incarnation(i)` must be
+/// durable before any `commit` that reflects incarnation `i` state, which
+/// the middleware guarantees by calling it first (write-ahead).
+pub trait Storage: fmt::Debug {
+    /// Commit failure. `Infallible` for in-memory sinks lets the
+    /// compiler drop the error paths entirely.
+    type Error: fmt::Display + fmt::Debug;
+
+    /// Makes the current contents of `store` durable (checkpoints added
+    /// and collected since the last commit).
+    fn commit(&mut self, store: &CheckpointStore) -> Result<(), Self::Error>;
+
+    /// Write-ahead record that the owner is about to enter `incarnation`
+    /// (called *before* the in-memory rollback mutates anything).
+    fn wal_incarnation(&mut self, incarnation: Incarnation) -> Result<(), Self::Error>;
+}
+
+/// The simulator's sink: state lives (and dies) with the process.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Volatile;
+
+impl Storage for Volatile {
+    type Error = Infallible;
+
+    fn commit(&mut self, _store: &CheckpointStore) -> Result<(), Infallible> {
+        Ok(())
+    }
+
+    fn wal_incarnation(&mut self, _incarnation: Incarnation) -> Result<(), Infallible> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_base::ProcessId;
+
+    #[test]
+    fn volatile_accepts_everything() {
+        let mut sink = Volatile;
+        let store = CheckpointStore::new(ProcessId::new(0));
+        assert!(sink.commit(&store).is_ok());
+        assert!(sink.wal_incarnation(Incarnation::new(3)).is_ok());
+    }
+}

@@ -8,6 +8,7 @@ use rdt_base::{
     Payload, ProcessId, Result, SharedDv, SyncDv, UpdateSet,
 };
 use rdt_core::{CheckpointStore, ControlInfo, GarbageCollector, GcKind, LastIntervals};
+use rdt_env::{Storage, Volatile};
 
 use crate::protocol::{Piggyback, ProtocolKind, ProtocolState, SyncPiggyback};
 
@@ -79,6 +80,20 @@ pub struct RollbackReport {
 /// consumes one. The Send-safety story is a type choice at the runtime
 /// boundary, not a tax on every message.
 ///
+/// # Durability
+///
+/// The middleware is generic over a [`Storage`] sink (default
+/// [`Volatile`], a zero-sized no-op whose error type is uninhabited — the
+/// simulator pays nothing). Every mutation of the stable store is
+/// followed by a `commit` offer to the sink, and
+/// [`rollback`](Self::rollback) write-aheads the new incarnation through
+/// [`Storage::wal_incarnation`] *before* any in-memory state changes, so
+/// a crash between the WAL and the commit recovers to a total incarnation
+/// order. Commit failures are buffered (the in-memory protocol state
+/// stays authoritative) and surfaced through
+/// [`take_sink_error`](Self::take_sink_error); a WAL failure aborts the
+/// rollback with [`Error::Storage`] before anything mutates.
+///
 /// # Example
 ///
 /// ```
@@ -96,7 +111,7 @@ pub struct RollbackReport {
 /// assert!(report.forced.is_none()); // no send yet in b's interval
 /// ```
 #[derive(Debug)]
-pub struct Middleware {
+pub struct Middleware<S: Storage = Volatile> {
     owner: ProcessId,
     n: usize,
     dv: DependencyVector,
@@ -123,7 +138,29 @@ pub struct Middleware {
     /// ([`piggyback_sync`](Self::piggyback_sync)); invalidated together
     /// with it. `None` forever on the single-threaded hot path.
     sync_snapshot: Option<SyncDv>,
+    /// The durability sink state changes are offered to. [`Volatile`] by
+    /// default: calls vanish at compile time.
+    sink: S,
+    /// First unreported commit failure (rendered); see
+    /// [`take_sink_error`](Self::take_sink_error).
+    sink_err: Option<String>,
 }
+
+/// Compile-time pin of the threading contract: the `Rc`-flavoured
+/// middleware must stay `!Send` (its interned [`SharedDv`] snapshot has a
+/// non-atomic refcount). If a refactor ever made `Middleware` `Send`,
+/// the `Invalid` impl below would apply too and this item lookup would
+/// become ambiguous — a compile error, not a latent data race.
+const _: fn() = || {
+    trait AmbiguousIfSend<A> {
+        fn guard() {}
+    }
+    impl<T: ?Sized> AmbiguousIfSend<()> for T {}
+    #[allow(dead_code)]
+    struct Invalid;
+    impl<T: ?Sized + Send> AmbiguousIfSend<Invalid> for T {}
+    let _ = <Middleware as AmbiguousIfSend<_>>::guard;
+};
 
 impl Middleware {
     /// Creates the middleware for `owner` in an `n`-process system and
@@ -133,25 +170,7 @@ impl Middleware {
     ///
     /// Panics if `n == 0` or `owner` is out of range.
     pub fn new(owner: ProcessId, n: usize, protocol: ProtocolKind, gc: GcKind) -> Self {
-        assert!(owner.index() < n, "owner out of range");
-        let mut mw = Self {
-            owner,
-            n,
-            dv: DependencyVector::new(n),
-            store: CheckpointStore::new(owner),
-            protocol: ProtocolState::new(protocol),
-            gc: gc.build(owner, n),
-            gc_kind: gc,
-            seq: 0,
-            basic_count: 0,
-            crashed: false,
-            state_size: 0,
-            incarnation: Incarnation::ZERO,
-            dv_snapshot: None,
-            sync_snapshot: None,
-        };
-        mw.take_checkpoint(false);
-        mw
+        Self::with_storage(owner, n, protocol, gc, Volatile)
     }
 
     /// Reconstructs the middleware for a process **restarting after a
@@ -182,6 +201,54 @@ impl Middleware {
         gc: GcKind,
         store: CheckpointStore,
     ) -> Self {
+        Self::from_store_with(owner, n, protocol, gc, store, Volatile)
+    }
+}
+
+impl<S: Storage> Middleware<S> {
+    /// [`new`](Middleware::new) with an explicit durability sink: the
+    /// initial checkpoint `s_i^0` is committed to `sink` before this
+    /// returns.
+    pub fn with_storage(
+        owner: ProcessId,
+        n: usize,
+        protocol: ProtocolKind,
+        gc: GcKind,
+        sink: S,
+    ) -> Self {
+        assert!(owner.index() < n, "owner out of range");
+        let mut mw = Self {
+            owner,
+            n,
+            dv: DependencyVector::new(n),
+            store: CheckpointStore::new(owner),
+            protocol: ProtocolState::new(protocol),
+            gc: gc.build(owner, n),
+            gc_kind: gc,
+            seq: 0,
+            basic_count: 0,
+            crashed: false,
+            state_size: 0,
+            incarnation: Incarnation::ZERO,
+            dv_snapshot: None,
+            sync_snapshot: None,
+            sink,
+            sink_err: None,
+        };
+        mw.take_checkpoint(false);
+        mw
+    }
+
+    /// [`from_store`](Middleware::from_store) with an explicit durability
+    /// sink (typically the one the store itself was rebuilt from).
+    pub fn from_store_with(
+        owner: ProcessId,
+        n: usize,
+        protocol: ProtocolKind,
+        gc: GcKind,
+        store: CheckpointStore,
+        sink: S,
+    ) -> Self {
         assert!(owner.index() < n, "owner out of range");
         assert_eq!(store.owner(), owner, "store owned by a different process");
         let last = store
@@ -211,6 +278,8 @@ impl Middleware {
             incarnation,
             dv_snapshot: None,
             sync_snapshot: None,
+            sink,
+            sink_err: None,
         }
     }
 
@@ -286,6 +355,33 @@ impl Middleware {
         self.state_size
     }
 
+    /// The durability sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The durability sink, mutably (e.g. to fsync or inspect it).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Takes the first commit failure the sink reported since the last
+    /// call, if any. Commit failures do not poison the in-memory state —
+    /// the protocol remains correct, only durability is degraded — so
+    /// they are buffered rather than returned from the hot-path
+    /// operations; runtimes that care poll this after each batch.
+    pub fn take_sink_error(&mut self) -> Option<String> {
+        self.sink_err.take()
+    }
+
+    /// Offers the current stable store to the sink, buffering the first
+    /// failure for [`take_sink_error`](Self::take_sink_error).
+    fn commit_sink(&mut self) {
+        if let Err(e) = self.sink.commit(&self.store) {
+            self.sink_err.get_or_insert_with(|| e.to_string());
+        }
+    }
+
     /// Stores a checkpoint: insert first, then run GC, then advance the
     /// interval ("On taking checkpoint", Algorithms 2 and 4).
     fn take_checkpoint(&mut self, forced: bool) -> CheckpointReport {
@@ -315,6 +411,7 @@ impl Middleware {
         }
         self.dv.begin_next_interval(self.owner);
         self.invalidate_snapshots();
+        self.commit_sink();
         index
     }
 
@@ -532,12 +629,16 @@ impl Middleware {
         self.dv.merge_from_into(their_dv, &mut report.updated);
         if !report.updated.is_empty() {
             self.invalidate_snapshots();
+            let before = report.eliminated.len();
             self.gc.after_receive_into(
                 &mut self.store,
                 &report.updated,
                 &self.dv,
                 &mut report.eliminated,
             );
+            if report.eliminated.len() > before {
+                self.commit_sink();
+            }
         }
         self.protocol.note_receive_index(their_index);
         Ok(())
@@ -557,7 +658,10 @@ impl Middleware {
     ///
     /// # Errors
     ///
-    /// [`Error::InvalidRollbackTarget`] if `ri` is not in stable storage.
+    /// [`Error::InvalidRollbackTarget`] if `ri` is not in stable storage;
+    /// [`Error::Storage`] if the sink's incarnation write-ahead fails (the
+    /// middleware is left untouched — still crashed, same incarnation —
+    /// so the rollback can be retried).
     pub fn rollback(
         &mut self,
         ri: CheckpointIndex,
@@ -569,17 +673,21 @@ impl Middleware {
                 index: ri,
             });
         }
-        let mut dv = self.store.dv(ri).expect("checked").clone();
         // Every rollback opens a fresh incarnation: the re-executed
         // intervals reuse indices, and the incarnation component is what
         // keeps knowledge of the abandoned attempt distinguishable from
         // knowledge of this one (Lemma-1 totality under repeated crashes).
-        self.incarnation = self.incarnation.next();
-        // Log the new incarnation in the store's incarnation floor: a later
-        // restart from the store alone must not reuse it. Durably-backed
-        // deployments need the log on disk *before* the rollback runs —
-        // `rdt_storage::MirroredMiddleware::rollback` write-aheads the
-        // floor for exactly that reason.
+        // The sink logs the new incarnation *before* anything mutates: a
+        // kill-9 mid-rollback must restart into an incarnation at least
+        // this high, never a reused one.
+        let next = self.incarnation.next();
+        self.sink
+            .wal_incarnation(next)
+            .map_err(|e| Error::Storage(e.to_string()))?;
+        let mut dv = self.store.dv(ri).expect("checked").clone();
+        self.incarnation = next;
+        // Mirror the log in the in-memory store's incarnation floor: a
+        // later restart from the store alone must not reuse it either.
         self.store.raise_incarnation_floor(self.incarnation);
         dv.resume_incarnation(self.owner, self.incarnation);
         self.dv = dv;
@@ -587,6 +695,7 @@ impl Middleware {
         let eliminated = self.gc.after_rollback(&mut self.store, ri, li, &self.dv);
         self.protocol.note_checkpoint(true); // clears `sent`; not counted
         self.crashed = false;
+        self.commit_sink();
         Ok(RollbackReport {
             restored: ri,
             eliminated,
@@ -596,19 +705,31 @@ impl Middleware {
     /// Recovery participation for a process that does **not** roll back:
     /// releases pins invalidated by the new last-interval vector.
     pub fn recovery_info(&mut self, li: &LastIntervals) -> Vec<CheckpointIndex> {
-        self.gc.on_recovery_info(&mut self.store, li, &self.dv)
+        let eliminated = self.gc.on_recovery_info(&mut self.store, li, &self.dv);
+        if !eliminated.is_empty() {
+            self.commit_sink();
+        }
+        eliminated
     }
 
     /// Delivers coordinator control information to the garbage collector
     /// (used by the coordinated baselines).
     pub fn control(&mut self, info: &ControlInfo) -> Vec<CheckpointIndex> {
-        self.gc.on_control(&mut self.store, info, &self.dv)
+        let eliminated = self.gc.on_control(&mut self.store, info, &self.dv);
+        if !eliminated.is_empty() {
+            self.commit_sink();
+        }
+        eliminated
     }
 
     /// Advances the garbage collector's local clock (used by the time-based
     /// baseline; a no-op for every other collector).
     pub fn tick(&mut self, now: u64) -> Vec<CheckpointIndex> {
-        self.gc.on_tick(&mut self.store, now, &self.dv)
+        let eliminated = self.gc.on_tick(&mut self.store, now, &self.dv);
+        if !eliminated.is_empty() {
+            self.commit_sink();
+        }
+        eliminated
     }
 
     /// The collector's `UC` vector, if it maintains one (RDT-LGC does) —
@@ -844,5 +965,118 @@ mod tests {
             a.basic_checkpoint().unwrap();
         }
         assert_eq!(a.store().len(), 6);
+    }
+
+    /// Test sink observing the commit/WAL call pattern, optionally failing.
+    #[derive(Debug, Default)]
+    struct RecordingSink {
+        commits: usize,
+        last_len: usize,
+        wals: Vec<u32>,
+        fail_commit: bool,
+        fail_wal: bool,
+    }
+
+    impl Storage for RecordingSink {
+        type Error = String;
+
+        fn commit(&mut self, store: &CheckpointStore) -> std::result::Result<(), String> {
+            if self.fail_commit {
+                return Err("commit refused".into());
+            }
+            self.commits += 1;
+            self.last_len = store.len();
+            Ok(())
+        }
+
+        fn wal_incarnation(&mut self, inc: Incarnation) -> std::result::Result<(), String> {
+            if self.fail_wal {
+                return Err("wal refused".into());
+            }
+            self.wals.push(inc.value());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_store_mutation() {
+        let mut a = Middleware::with_storage(
+            p(0),
+            2,
+            ProtocolKind::Fdas,
+            GcKind::RdtLgc,
+            RecordingSink::default(),
+        );
+        assert_eq!(a.sink().commits, 1, "s^0 is committed at construction");
+        a.basic_checkpoint().unwrap();
+        assert_eq!(a.sink().commits, 2);
+        assert_eq!(a.sink().last_len, a.store().len());
+        assert!(a.take_sink_error().is_none());
+    }
+
+    #[test]
+    fn rollback_write_aheads_the_incarnation_before_committing() {
+        let mut a = Middleware::with_storage(
+            p(0),
+            2,
+            ProtocolKind::Fdas,
+            GcKind::RdtLgc,
+            RecordingSink::default(),
+        );
+        a.basic_checkpoint().unwrap();
+        a.crash();
+        let target = a.last_stable();
+        a.rollback(target, None).unwrap();
+        assert_eq!(
+            a.sink().wals,
+            vec![1],
+            "incarnation 1 was write-ahead logged"
+        );
+        assert_eq!(a.incarnation(), Incarnation::new(1));
+        // The post-rollback commit reflects the truncated store.
+        assert_eq!(a.sink().last_len, a.store().len());
+    }
+
+    #[test]
+    fn failed_wal_aborts_rollback_without_mutating() {
+        let mut a = Middleware::with_storage(
+            p(0),
+            2,
+            ProtocolKind::Fdas,
+            GcKind::RdtLgc,
+            RecordingSink {
+                fail_wal: true,
+                ..RecordingSink::default()
+            },
+        );
+        a.basic_checkpoint().unwrap();
+        a.crash();
+        let target = a.last_stable();
+        let err = a.rollback(target, None).unwrap_err();
+        assert!(matches!(err, Error::Storage(_)));
+        assert!(a.is_crashed(), "a failed WAL leaves the process crashed");
+        assert_eq!(a.incarnation(), Incarnation::ZERO);
+        // The sink becomes writable again: the retry succeeds.
+        a.sink_mut().fail_wal = false;
+        assert!(a.rollback(target, None).is_ok());
+    }
+
+    #[test]
+    fn commit_failures_are_buffered_not_fatal() {
+        let mut a = Middleware::with_storage(
+            p(0),
+            2,
+            ProtocolKind::Fdas,
+            GcKind::RdtLgc,
+            RecordingSink {
+                fail_commit: true,
+                ..RecordingSink::default()
+            },
+        );
+        // The protocol keeps running on the in-memory store.
+        a.basic_checkpoint().unwrap();
+        let err = a.take_sink_error().expect("failure surfaced");
+        assert!(err.contains("commit refused"));
+        assert!(a.take_sink_error().is_none(), "error is taken once");
     }
 }

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use rdt_base::{CheckpointId, CheckpointIndex, Incarnation, ProcessId};
 use rdt_core::{GcKind, LastIntervals};
+use rdt_env::Storage;
 use rdt_protocols::Middleware;
 
 /// The set of processes that failed, triggering the recovery session.
@@ -34,6 +35,16 @@ pub enum RecoveryError {
         /// The (safe) collector that eliminated the needed checkpoint.
         gc: GcKind,
     },
+    /// A rollback's durability sink failed mid-session (the incarnation
+    /// write-ahead log could not be made stable). The affected process is
+    /// left crashed and unmutated, so the session can be retried once the
+    /// sink recovers.
+    Storage {
+        /// The process whose sink refused the write-ahead.
+        process: ProcessId,
+        /// The sink's own error rendering.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RecoveryError {
@@ -44,6 +55,12 @@ impl fmt::Display for RecoveryError {
                 "recovery line exhausted {process}'s stored checkpoints under safe collector {gc}: \
                  Lemma 1 must be total"
             ),
+            RecoveryError::Storage { process, detail } => {
+                write!(
+                    f,
+                    "rollback of {process} failed at the storage sink: {detail}"
+                )
+            }
         }
     }
 }
@@ -55,6 +72,9 @@ impl From<RecoveryError> for rdt_base::Error {
         match e {
             RecoveryError::LineExhausted { process, .. } => {
                 rdt_base::Error::RecoveryLineExhausted { process }
+            }
+            RecoveryError::Storage { process, detail } => {
+                rdt_base::Error::Storage(format!("{process}: {detail}"))
             }
         }
     }
@@ -178,9 +198,9 @@ impl RecoveryManager {
     ///
     /// Panics if `faulty` references processes outside `processes`, or if
     /// process ids do not match vector positions.
-    pub fn recovery_line(
+    pub fn recovery_line<S: Storage>(
         &self,
-        processes: &[Middleware],
+        processes: &[Middleware<S>],
         faulty: &FaultySet,
     ) -> Result<Vec<CheckpointIndex>, RecoveryError> {
         self.line_with_degradation(processes, faulty)
@@ -189,9 +209,9 @@ impl RecoveryManager {
 
     /// [`recovery_line`](Self::recovery_line), also reporting which
     /// processes degraded to the oldest survivor.
-    fn line_with_degradation(
+    fn line_with_degradation<S: Storage>(
         &self,
-        processes: &[Middleware],
+        processes: &[Middleware<S>],
         faulty: &FaultySet,
     ) -> Result<(Vec<CheckpointIndex>, Vec<ProcessId>), RecoveryError> {
         let n = processes.len();
@@ -281,9 +301,9 @@ impl RecoveryManager {
     /// # Panics
     ///
     /// As for [`recovery_line`](Self::recovery_line).
-    pub fn recover(
+    pub fn recover<S: Storage>(
         &self,
-        processes: &mut [Middleware],
+        processes: &mut [Middleware<S>],
         faulty: &FaultySet,
     ) -> Result<RecoverySessionReport, RecoveryError> {
         let (line, degraded) = self.line_with_degradation(processes, faulty)?;
@@ -319,9 +339,20 @@ impl RecoveryManager {
             let p = mw.owner();
             let volatile = mw.last_stable().next();
             if component < volatile {
-                let report = mw
-                    .rollback(component, li_opt)
-                    .expect("recovery-line component is stored (Theorem 4 safety)");
+                let report = match mw.rollback(component, li_opt) {
+                    Ok(report) => report,
+                    // A sink refusing the incarnation WAL leaves the
+                    // process crashed and unmutated; surface it as a
+                    // retryable session failure.
+                    Err(rdt_base::Error::Storage(detail)) => {
+                        return Err(RecoveryError::Storage { process: p, detail })
+                    }
+                    // Any other rollback failure contradicts Theorem 4
+                    // (the line only names stored checkpoints): a bug.
+                    Err(e) => {
+                        panic!("recovery-line component is stored (Theorem 4 safety): {e}")
+                    }
+                };
                 debug_assert_eq!(
                     mw.incarnation(),
                     components[p.index()].1,

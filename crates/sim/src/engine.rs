@@ -1,17 +1,14 @@
 //! The deterministic discrete-event simulator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use rdt_base::{Incarnation, Payload, ProcessId, Result, TraceEvent};
 use rdt_core::{ControlInfo, GcKind, LastIntervals};
+use rdt_env::{Rng as _, SimEnv};
 use rdt_protocols::{CheckpointReport, Middleware, Piggyback, ProtocolKind, ReceiveReport};
 use rdt_recovery::{RecoveryManager, RecoveryMode, RecoverySessionReport};
 use rdt_workloads::{AppOp, WorkloadSpec};
 
 use crate::config::{ChannelConfig, SimConfig};
 use crate::metrics::Metrics;
-use crate::queue::BucketQueue;
 
 /// Outcome of a simulation run.
 #[derive(Debug, Clone)]
@@ -172,13 +169,15 @@ enum EventKind {
 }
 
 /// The discrete-event simulation state.
+///
+/// Scheduling, virtual time and randomness live in a
+/// [`SimEnv`](rdt_env::SimEnv) — the engine is a driver over the
+/// environment abstraction, and a fixed seed reproduces the exact event
+/// and rng stream of the pre-abstraction engine (replay-golden).
 #[derive(Debug)]
 pub struct Simulation {
-    time: u64,
-    seq: u64,
-    queue: BucketQueue<EventKind>,
+    env: SimEnv<EventKind>,
     processes: Vec<Middleware>,
-    rng: StdRng,
     config: SimConfig,
     manager: RecoveryManager,
     metrics: Metrics,
@@ -212,9 +211,9 @@ impl Simulation {
             panic!("invalid simulator configuration: {e}");
         }
         let mut sim = Self {
-            time: 0,
-            seq: 0,
-            queue: BucketQueue::new(),
+            // The seed salt predates the environment split; keeping it on
+            // this side of the boundary keeps historical seeds stable.
+            env: SimEnv::new(seed ^ 0x5eed_c0de),
             processes: (0..n)
                 .map(|i| {
                     let mut mw = Middleware::new(ProcessId::new(i), n, protocol, gc);
@@ -222,7 +221,6 @@ impl Simulation {
                     mw
                 })
                 .collect(),
-            rng: StdRng::seed_from_u64(seed ^ 0x5eed_c0de),
             config,
             manager: RecoveryManager::with_mode(recovery_mode),
             metrics: Metrics::new(n),
@@ -258,9 +256,7 @@ impl Simulation {
     }
 
     fn push_at(&mut self, at: u64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(at, seq, kind);
+        self.env.schedule(at, kind);
     }
 
     /// Runs until the event queue drains.
@@ -273,8 +269,7 @@ impl Simulation {
         // `_into` entry points clear and refill them, so the per-event loop
         // performs no report allocation.
         let mut scratch = EventScratch::default();
-        while let Some((at, _seq, kind)) = self.queue.pop() {
-            self.time = at.max(self.time);
+        while let Some((_at, _seq, kind)) = self.env.pop() {
             match kind {
                 EventKind::App(op) => self.handle_app(op, &mut scratch)?,
                 EventKind::Deliver { to, id, pb } => {
@@ -289,7 +284,7 @@ impl Simulation {
     /// Advances `p`'s garbage-collector clock to the current simulation
     /// time (only the time-based baseline reacts).
     fn tick_process(&mut self, p: ProcessId) {
-        let collected = self.processes[p.index()].tick(self.time);
+        let collected = self.processes[p.index()].tick(self.env.now());
         if !collected.is_empty() {
             self.trace_collects(p, &collected);
             self.sample(p);
@@ -348,7 +343,7 @@ impl Simulation {
                     self.trace_collects(from, &ck.eliminated);
                     self.sample(from);
                 }
-                let lost = self.rng.gen_bool(self.config.channel.loss_rate);
+                let lost = self.env.rng().chance(self.config.channel.loss_rate);
                 if lost {
                     self.metrics.per_process[to.index()].lost += 1;
                     if self.config.record_trace {
@@ -356,9 +351,10 @@ impl Simulation {
                     }
                 } else {
                     let delay = self
-                        .rng
-                        .gen_range(self.config.channel.min_delay..=self.config.channel.max_delay);
-                    let at = self.time + delay;
+                        .env
+                        .rng()
+                        .between(self.config.channel.min_delay, self.config.channel.max_delay);
+                    let at = self.env.now() + delay;
                     self.push_at(
                         at,
                         EventKind::Deliver {
@@ -451,7 +447,7 @@ impl Simulation {
             self.sample(ProcessId::new(k));
         }
         if let Some(every) = self.config.control_every {
-            let at = self.time + every;
+            let at = self.env.now() + every;
             if at <= self.horizon {
                 self.push_at(at, EventKind::ControlRound);
             }
@@ -468,7 +464,7 @@ impl Simulation {
             for q in ProcessId::all(self.processes.len()) {
                 if q != p
                     && !self.processes[q.index()].is_crashed()
-                    && self.rng.gen_bool(self.config.correlated_crash_prob)
+                    && self.env.rng().chance(self.config.correlated_crash_prob)
                 {
                     faulty.insert(q);
                 }
@@ -487,7 +483,7 @@ impl Simulation {
         let metrics = &mut self.metrics;
         let trace = &mut self.trace;
         let record_trace = self.config.record_trace;
-        self.queue.retain(
+        self.env.cancel(
             |kind| !matches!(kind, EventKind::Deliver { .. }),
             |_, kind| {
                 if let EventKind::Deliver { to, id, .. } = kind {
@@ -526,13 +522,13 @@ impl Simulation {
         let (len, peak) = (store.len(), store.peak());
         self.metrics.sample(p, len, peak);
         if self.config.record_occupancy {
-            self.occupancy.push((self.time, p, len));
+            self.occupancy.push((self.env.now(), p, len));
         }
     }
 
     /// Finalizes counters and produces the report.
     pub fn into_report(mut self) -> SimulationReport {
-        self.metrics.ticks = self.time;
+        self.metrics.ticks = self.env.now();
         for (k, mw) in self.processes.iter().enumerate() {
             let m = &mut self.metrics.per_process[k];
             m.retained = mw.store().len();

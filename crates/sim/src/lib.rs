@@ -1,10 +1,12 @@
 //! Simulators for asynchronous message-passing systems running RDT
 //! checkpointing with garbage collection.
 //!
-//! Three execution engines share the `rdt-protocols` middleware stack:
+//! Three execution engines share the `rdt-protocols` middleware stack,
+//! all running over the `rdt-env` runtime abstraction:
 //!
 //! * [`SimulationBuilder`] / [`Simulation`] — a deterministic, seeded
-//!   **discrete-event simulator** implementing the paper's system model
+//!   **discrete-event simulator** over `SimEnv` (virtual clock +
+//!   bucket-queue transport) implementing the paper's system model
 //!   (Section 2): asynchronous processes, channels with variable delay,
 //!   loss and reordering, crash/recover failures with a centralized
 //!   recovery manager, and optional coordinator control rounds for the
@@ -13,8 +15,10 @@
 //!   [`Script`](rdt_workloads::Script)s, used to reproduce the paper's
 //!   worked figures (4 and 5).
 //! * [`run_threaded`] — the same middleware driven by OS threads and
-//!   crossbeam channels, validating that the algorithm's guarantees do not
-//!   depend on the simulator's determinism.
+//!   crossbeam channels through the [`LiveNode`] wire-frame driver
+//!   (shared with the `rdt serve` multi-process runtime), validating
+//!   that the algorithm's guarantees do not depend on the simulator's
+//!   determinism.
 //!
 //! ```
 //! use rdt_sim::SimulationBuilder;
@@ -31,13 +35,14 @@
 
 mod config;
 mod engine;
+mod live;
 mod metrics;
-mod queue;
 mod script;
 mod threaded;
 
 pub use config::{ChannelConfig, SimConfig};
 pub use engine::{Simulation, SimulationBuilder, SimulationReport};
+pub use live::{DeliverOutcome, LiveNode};
 pub use metrics::{Metrics, ProcessMetrics};
 pub use script::{run_script, ScriptRun};
 pub use threaded::{run_threaded, ProcessOutcome, ThreadedReport};

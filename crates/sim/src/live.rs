@@ -1,0 +1,208 @@
+//! The shared per-process protocol driver for *live* runtimes (threads,
+//! real OS processes) — every delivery path that is not the
+//! discrete-event engine funnels through here.
+//!
+//! A [`LiveNode`] wraps one middleware and speaks the crate-neutral
+//! [`WireFrame`] codec: sends produce an encoded frame ready for any
+//! [`Transport`](rdt_env::Transport) (or an in-process channel), receives
+//! consume raw bytes and reject malformed or alien frames instead of
+//! panicking. The threaded runtime and the `rdt serve` workers both drive
+//! this type, so the protocol-side handling of a message exists exactly
+//! once.
+
+use rdt_base::{CheckpointIndex, DependencyVector, ProcessId, Result, SharedDv};
+use rdt_core::GcKind;
+use rdt_env::{Storage, Volatile, WireFrame};
+use rdt_protocols::{Middleware, Piggyback, ProtocolKind, ReceiveReport};
+
+/// What a delivered frame did to the local middleware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliverOutcome {
+    /// The frame's originating process.
+    pub sender: ProcessId,
+    /// The sender-local message sequence number.
+    pub seq: u64,
+    /// The forced checkpoint the receive stored, if the protocol demanded
+    /// one.
+    pub forced: Option<CheckpointIndex>,
+    /// Checkpoints garbage-collected during this receive.
+    pub eliminated: usize,
+}
+
+/// One process of a live runtime: a middleware plus the wire codec and a
+/// reusable receive report (steady-state receives allocate nothing).
+#[derive(Debug)]
+pub struct LiveNode<S: Storage = Volatile> {
+    mw: Middleware<S>,
+    scratch: ReceiveReport,
+    /// Sender-local sequence of the next outgoing message — the wire
+    /// identity peers see; volatile, like the middleware's own counter.
+    next_seq: u64,
+}
+
+impl LiveNode {
+    /// A fresh node with volatile storage (the threaded runtime's flavour).
+    pub fn new(owner: ProcessId, n: usize, protocol: ProtocolKind, gc: GcKind) -> Self {
+        Self::over(Middleware::new(owner, n, protocol, gc))
+    }
+}
+
+impl<S: Storage> LiveNode<S> {
+    /// Wraps an existing middleware (e.g. one rebuilt from durable
+    /// storage after a crash).
+    pub fn over(mw: Middleware<S>) -> Self {
+        Self {
+            mw,
+            scratch: ReceiveReport::default(),
+            next_seq: 0,
+        }
+    }
+
+    /// The wrapped middleware.
+    pub fn middleware(&self) -> &Middleware<S> {
+        &self.mw
+    }
+
+    /// The wrapped middleware, mutably (rollback, sink access).
+    pub fn middleware_mut(&mut self) -> &mut Middleware<S> {
+        &mut self.mw
+    }
+
+    /// Unwraps the middleware.
+    pub fn into_middleware(self) -> Middleware<S> {
+        self.mw
+    }
+
+    /// Takes a basic checkpoint; returns the stored index.
+    ///
+    /// # Errors
+    ///
+    /// As [`Middleware::basic_checkpoint`].
+    pub fn checkpoint(&mut self) -> Result<CheckpointIndex> {
+        Ok(self.mw.basic_checkpoint()?.stored)
+    }
+
+    /// Performs a send's protocol duties and encodes the piggyback as a
+    /// wire frame for the caller to transmit. Returns the frame and the
+    /// post-send forced checkpoint (CAS/CASBR), if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics while crashed, like [`Middleware::send`].
+    pub fn send_frame(&mut self, to: ProcessId) -> (WireFrame, Option<CheckpointIndex>) {
+        let _ = to; // routing is the transport's business; kept for symmetry
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let (pb, forced) = self.mw.send_sync();
+        let frame = WireFrame {
+            sender: self.mw.owner(),
+            seq,
+            index: pb.index,
+            lineages: pb.dv.to_raw_lineages(),
+        };
+        (frame, forced.map(|report| report.stored))
+    }
+
+    /// Decodes and delivers one received frame. Returns `Ok(None)` for
+    /// frames that fail validation — torn datagrams, wrong magic, vectors
+    /// of a different system size, overflowing lineages — which a lossy
+    /// transport treats as channel noise, not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`rdt_base::Error::ProcessCrashed`] while crashed.
+    pub fn deliver_frame(&mut self, bytes: &[u8]) -> Result<Option<DeliverOutcome>> {
+        let Some(frame) = WireFrame::decode(bytes) else {
+            return Ok(None);
+        };
+        if frame.lineages.len() != self.mw.n() || frame.sender.index() >= self.mw.n() {
+            return Ok(None);
+        }
+        let Ok(dv) = DependencyVector::try_from_lineages(&frame.lineages) else {
+            return Ok(None);
+        };
+        let pb = Piggyback::new(SharedDv::new(dv), frame.index);
+        self.mw.receive_piggyback_into(&pb, &mut self.scratch)?;
+        Ok(Some(DeliverOutcome {
+            sender: frame.sender,
+            seq: frame.seq,
+            forced: self.scratch.forced,
+            eliminated: self.scratch.eliminated.len(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn frames_round_trip_between_nodes() {
+        let mut a = LiveNode::new(p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        let mut b = LiveNode::new(p(1), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        b.checkpoint().unwrap();
+        let (frame, forced) = b.send_frame(p(0));
+        assert!(forced.is_none(), "FDAS never forces on send");
+        assert_eq!(frame.seq, 0);
+        let outcome = a
+            .deliver_frame(&frame.encode())
+            .unwrap()
+            .expect("valid frame");
+        assert_eq!(outcome.sender, p(1));
+        // The receiver learned the sender's interval.
+        assert_eq!(a.middleware().dv().entry(p(1)).value(), 2);
+    }
+
+    #[test]
+    fn wire_send_matches_in_memory_send_effects() {
+        // The same scenario through frames and through in-memory messages
+        // must leave identical middleware state.
+        let mut wire_a = LiveNode::new(p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        let mut wire_b = LiveNode::new(p(1), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        let mut mem_a = Middleware::new(p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        let mut mem_b = Middleware::new(p(1), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+
+        // a sends, then b checkpoints and sends fresher info back: forced.
+        let (f1, _) = wire_a.send_frame(p(1));
+        let m1 = mem_a.send(p(1), rdt_base::Payload::empty());
+        wire_b.deliver_frame(&f1.encode()).unwrap().unwrap();
+        mem_b.receive(&m1).unwrap();
+        wire_b.checkpoint().unwrap();
+        mem_b.basic_checkpoint().unwrap();
+        let (f2, _) = wire_b.send_frame(p(0));
+        let m2 = mem_b.send(p(0), rdt_base::Payload::empty());
+        let wire_out = wire_a.deliver_frame(&f2.encode()).unwrap().unwrap();
+        let mem_out = mem_a.receive(&m2).unwrap();
+
+        assert_eq!(wire_out.forced, mem_out.forced);
+        assert_eq!(wire_a.middleware().dv(), mem_a.dv());
+        assert_eq!(wire_a.middleware().store().len(), mem_a.store().len());
+    }
+
+    #[test]
+    fn garbage_and_alien_frames_are_ignored() {
+        let mut a = LiveNode::new(p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        assert_eq!(a.deliver_frame(b"not a frame").unwrap(), None);
+        // A frame from a 3-process system does not fit a 2-process node.
+        let alien = WireFrame {
+            sender: p(2),
+            seq: 0,
+            index: 0,
+            lineages: vec![(0, 1), (0, 0), (0, 0)],
+        };
+        assert_eq!(a.deliver_frame(&alien.encode()).unwrap(), None);
+    }
+
+    #[test]
+    fn crashed_node_rejects_delivery() {
+        let mut a = LiveNode::new(p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        let mut b = LiveNode::new(p(1), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        let (frame, _) = b.send_frame(p(0));
+        a.middleware_mut().crash();
+        assert!(a.deliver_frame(&frame.encode()).is_err());
+    }
+}

@@ -8,36 +8,36 @@
 //!
 //! # Send-safety
 //!
-//! [`Middleware`] is deliberately `!Send` (its interned piggyback snapshot
-//! is a thread-local `Rc`, so the single-threaded hot path never pays an
-//! atomic refcount). This runtime therefore selects the `Arc`-backed
-//! flavour explicitly at every thread boundary:
-//!
-//! * each process's middleware is **constructed on its own thread** and
-//!   never leaves it;
-//! * what crosses threads is a [`SyncPiggyback`]
-//!   ([`Middleware::piggyback_sync`] → [`Envelope::App`] →
-//!   [`Middleware::receive_sync_piggyback_into`]), whose vector is shared
-//!   through an atomic refcount;
-//! * what comes back at join time is a [`ProcessOutcome`] — the stable
-//!   store plus counters, all plain `Send` data.
+//! [`Middleware`](rdt_protocols::Middleware) is deliberately `!Send` (its
+//! interned piggyback snapshot is a thread-local `Rc`, so the
+//! single-threaded hot path never pays an atomic refcount). This runtime
+//! therefore keeps every middleware on its own thread, wrapped in a
+//! [`LiveNode`], and what crosses threads is the same encoded
+//! [`WireFrame`](rdt_env::WireFrame) bytes the real-process runtime puts on
+//! loopback sockets — plain `Send` data. Delivery decoding and protocol
+//! handling live in [`LiveNode`], shared with `rdt serve`, so the threaded
+//! runtime has no delivery path of its own. What comes back at join time is
+//! a [`ProcessOutcome`] — the stable store plus counters.
 //!
 //! Crash/recovery is not modelled here (a stop-the-world recovery manager
 //! needs the very synchrony this runtime omits); use the discrete-event
-//! simulator for failure experiments.
+//! simulator for failure experiments, or `rdt serve --chaos` for real
+//! kill-9 recovery.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use rdt_base::ProcessId;
 use rdt_core::{CheckpointStore, GcKind};
-use rdt_protocols::{Middleware, ProtocolKind, ReceiveReport, SyncPiggyback};
+use rdt_protocols::{Middleware, ProtocolKind};
 use rdt_workloads::AppOp;
+
+use crate::live::LiveNode;
 
 /// What travels between process threads: `Send` by construction.
 enum Envelope {
-    /// An application message's piggyback (payloads are opaque anyway),
-    /// in the `Arc`-backed cross-thread flavour.
-    App(SyncPiggyback),
+    /// An encoded [`WireFrame`](rdt_env::WireFrame) — the same bytes the
+    /// real-process runtime transmits.
+    App(Vec<u8>),
     /// End-of-stream marker, one per peer, sent at shutdown.
     Farewell,
 }
@@ -139,37 +139,33 @@ pub fn run_threaded(n: usize, ops: &[AppOp], protocol: ProtocolKind, gc: GcKind)
             let cmd_rx = cmd_rxs[i].clone();
             let peers: Vec<Sender<Envelope>> = msg_txs.clone();
             std::thread::spawn(move || {
-                // The middleware is minted on this thread and stays here:
-                // it is !Send, and only its ProcessOutcome summary leaves.
-                let mut mw = Middleware::new(me, n, protocol, gc);
+                // The node is minted on this thread and stays here: its
+                // middleware is !Send, and only the ProcessOutcome summary
+                // leaves.
+                let mut node = LiveNode::new(me, n, protocol, gc);
                 let mut farewells = 0usize;
                 let mut stopped = false;
-                // One reusable report per process thread: receives allocate
-                // nothing at steady state.
-                let mut report = ReceiveReport::default();
                 loop {
                     if stopped && farewells == n - 1 {
-                        return ProcessOutcome::of(&mw);
+                        return ProcessOutcome::of(node.middleware());
                     }
                     crossbeam::channel::select! {
                         recv(msg_rx) -> env => match env.expect("peers outlive messages") {
-                            Envelope::App(pb) => {
-                                mw.receive_sync_piggyback_into(&pb, &mut report)
-                                    .expect("process is alive");
+                            Envelope::App(bytes) => {
+                                node.deliver_frame(&bytes).expect("process is alive");
                             }
                             Envelope::Farewell => farewells += 1,
                         },
                         recv(cmd_rx) -> cmd => match cmd.expect("driver outlives commands") {
                             Command::Checkpoint => {
-                                mw.basic_checkpoint().expect("process is alive");
+                                node.checkpoint().expect("process is alive");
                             }
                             Command::Send(to) => {
-                                // Message-free send: the piggyback is the
-                                // whole payload here, so skip minting the
-                                // thread-local Message nobody reads.
-                                let (pb, _forced) = mw.send_sync();
+                                // Message-free send: the frame carries the
+                                // piggyback, which is the whole payload here.
+                                let (frame, _forced) = node.send_frame(to);
                                 peers[to.index()]
-                                    .send(Envelope::App(pb))
+                                    .send(Envelope::App(frame.encode()))
                                     .expect("peer inbox open");
                             }
                             Command::Stop => {

@@ -6,238 +6,17 @@
 //! sessions** (`correlated_crash_prob > 0`): repeated crash/rollback
 //! sessions with multi-process faulty sets exercise exactly the orphaned
 //! causal knowledge that used to break Lemma-1 totality before incarnation
-//! numbers landed. Any engine refactor must reproduce every fingerprint
-//! byte-for-byte under the canonical dump below.
+//! numbers landed. Any engine refactor — including the move onto the
+//! `rdt-env` runtime abstraction — must reproduce every fingerprint
+//! byte-for-byte under the canonical dump in `common`.
 //!
 //! To re-bless after an *intentional* semantic change:
 //! `REPLAY_BLESS=1 cargo test -p rdt-sim --test replay_golden`.
 
 use std::fmt::Write as _;
 
-use rdt_core::GcKind;
-use rdt_protocols::ProtocolKind;
-use rdt_recovery::RecoveryMode;
-use rdt_sim::{ChannelConfig, SimConfig, SimulationBuilder, SimulationReport};
-use rdt_workloads::{Pattern, WorkloadSpec};
-
-const GOLDEN_PATH: &str = "tests/replay_golden.txt";
-
-struct Scenario {
-    name: &'static str,
-    n: usize,
-    steps: usize,
-    seed: u64,
-    protocol: ProtocolKind,
-    gc: GcKind,
-    pattern: Pattern,
-    crash: f64,
-    correlated: f64,
-    loss: f64,
-    control_every: Option<u64>,
-    mode: RecoveryMode,
-}
-
-fn scenarios() -> Vec<Scenario> {
-    vec![
-        Scenario {
-            name: "uniform_fdas_lgc",
-            n: 6,
-            steps: 1200,
-            seed: 42,
-            protocol: ProtocolKind::Fdas,
-            gc: GcKind::RdtLgc,
-            pattern: Pattern::UniformRandom,
-            crash: 0.0,
-            correlated: 0.0,
-            loss: 0.0,
-            control_every: None,
-            mode: RecoveryMode::Coordinated,
-        },
-        Scenario {
-            name: "crashy_fdas_lgc",
-            n: 5,
-            steps: 900,
-            seed: 7,
-            protocol: ProtocolKind::Fdas,
-            gc: GcKind::RdtLgc,
-            pattern: Pattern::UniformRandom,
-            crash: 0.01,
-            correlated: 0.25,
-            loss: 0.05,
-            control_every: None,
-            mode: RecoveryMode::Coordinated,
-        },
-        Scenario {
-            name: "crashy_uncoordinated",
-            n: 4,
-            steps: 800,
-            seed: 1234,
-            protocol: ProtocolKind::Cas,
-            gc: GcKind::RdtLgc,
-            pattern: Pattern::Ring,
-            crash: 0.02,
-            correlated: 0.3,
-            loss: 0.0,
-            control_every: None,
-            mode: RecoveryMode::Uncoordinated,
-        },
-        Scenario {
-            name: "coordinated_wang_control",
-            n: 4,
-            steps: 700,
-            seed: 99,
-            protocol: ProtocolKind::Fdi,
-            gc: GcKind::WangGlobal,
-            pattern: Pattern::TokenRing,
-            crash: 0.0,
-            correlated: 0.0,
-            loss: 0.1,
-            control_every: Some(120),
-            mode: RecoveryMode::Coordinated,
-        },
-        Scenario {
-            name: "timebased_bursty",
-            n: 8,
-            steps: 1000,
-            seed: 5,
-            protocol: ProtocolKind::Mrs,
-            gc: GcKind::TimeBased { horizon: 200 },
-            pattern: Pattern::Bursty { burst: 6 },
-            crash: 0.005,
-            correlated: 0.2,
-            loss: 0.02,
-            control_every: None,
-            mode: RecoveryMode::Coordinated,
-        },
-    ]
-}
-
-fn run(s: &Scenario) -> SimulationReport {
-    let spec = WorkloadSpec::uniform_random(s.n, s.steps)
-        .with_pattern(s.pattern)
-        .with_seed(s.seed)
-        .with_checkpoint_prob(0.25)
-        .with_crash_prob(s.crash);
-    SimulationBuilder::new(spec)
-        .protocol(s.protocol)
-        .garbage_collector(s.gc)
-        .config(SimConfig {
-            channel: ChannelConfig::lossy(s.loss),
-            control_every: s.control_every,
-            correlated_crash_prob: s.correlated,
-            record_trace: true,
-            record_occupancy: true,
-            state_size: 512,
-            ..SimConfig::default()
-        })
-        .recovery_mode(s.mode)
-        .run()
-        .expect("simulation runs")
-}
-
-/// Canonical textual dump of every semantic field of a report, independent
-/// of the in-memory representation of vectors, sets and queues.
-fn canonical_dump(report: &SimulationReport) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "n={}", report.n);
-    for (i, dv) in report.final_dvs.iter().enumerate() {
-        let _ = writeln!(out, "dv[{i}]={:?}", dv.to_raw());
-    }
-    let _ = writeln!(out, "last_stable={:?}", report.final_last_stable);
-    let _ = writeln!(out, "retained={:?}", report.final_retained);
-    let _ = writeln!(
-        out,
-        "incarnations={:?}",
-        report
-            .final_incarnations
-            .iter()
-            .map(|v| v.value())
-            .collect::<Vec<_>>()
-    );
-    let m = &report.metrics;
-    let _ = writeln!(
-        out,
-        "ticks={} sessions={} rolled_back={} control_rounds={} peak_global={} degraded={}",
-        m.ticks,
-        m.recovery_sessions,
-        m.total_rolled_back,
-        m.control_rounds,
-        m.peak_global_retained,
-        m.degraded_lines
-    );
-    for (i, pm) in m.per_process.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "p{i}: retained={} peak={} stored={} collected={} basic={} forced={} sent={} delivered={} lost={} rsum={} samples={}",
-            pm.retained,
-            pm.peak_retained,
-            pm.total_stored,
-            pm.total_collected,
-            pm.basic,
-            pm.forced,
-            pm.sent,
-            pm.delivered,
-            pm.lost,
-            pm.retained_sum,
-            pm.samples
-        );
-    }
-    let trace = report.trace.as_ref().expect("trace recorded");
-    let _ = writeln!(out, "trace_len={}", trace.len());
-    for event in trace {
-        let _ = writeln!(out, "  {event}");
-    }
-    let occupancy = report.occupancy.as_ref().expect("occupancy recorded");
-    let _ = writeln!(out, "occupancy_len={}", occupancy.len());
-    for (at, p, retained) in occupancy {
-        let _ = writeln!(out, "  {at} {p} {retained}");
-    }
-    for session in &report.recovery_sessions {
-        let _ = writeln!(
-            out,
-            "session: faulty={:?} line={:?} rolled_back={:?} eliminated={:?} degraded={:?} incarnations={:?} li={}",
-            session.faulty,
-            session.line,
-            session.rolled_back,
-            session.eliminated,
-            session.degraded,
-            session
-                .incarnations
-                .iter()
-                .map(|v| v.value())
-                .collect::<Vec<_>>(),
-            session
-                .li
-                .as_ref()
-                .map(|li| li.to_string())
-                .unwrap_or_else(|| "-".into()),
-        );
-    }
-    out
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-fn fingerprints() -> Vec<(String, String)> {
-    scenarios()
-        .iter()
-        .map(|s| {
-            let report = run(s);
-            let dump = canonical_dump(&report);
-            (
-                s.name.to_string(),
-                format!("{:016x} len={}", fnv1a(dump.as_bytes()), dump.len()),
-            )
-        })
-        .collect()
-}
+mod common;
+use common::{canonical_dump, fingerprints, golden_fingerprints, run, scenarios, GOLDEN_PATH};
 
 #[test]
 fn reports_match_pre_refactor_goldens() {
@@ -255,16 +34,7 @@ fn reports_match_pre_refactor_goldens() {
         std::fs::write(GOLDEN_PATH, blob).expect("write golden");
         return;
     }
-    let golden = std::fs::read_to_string(GOLDEN_PATH)
-        .expect("golden file missing - run once with REPLAY_BLESS=1 to record it");
-    let expected: Vec<(String, String)> = golden
-        .lines()
-        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
-        .map(|l| {
-            let (name, fp) = l.split_once(' ').expect("name fingerprint");
-            (name.to_string(), fp.to_string())
-        })
-        .collect();
+    let expected = golden_fingerprints();
     assert_eq!(
         expected.len(),
         current.len(),

@@ -1,13 +1,19 @@
 //! A middleware whose stable store is transparently mirrored to disk.
 //!
-//! [`MirroredMiddleware`] wraps an `rdt-protocols` [`Middleware`] and a
-//! [`DurableStore`], synchronizing the files after every event that can
-//! change stable storage. The paper's stable-storage contract — persists
-//! through failures, volatile state lost — then falls out of the
-//! filesystem: drop the wrapper (the "crash") and
+//! [`MirroredMiddleware`] is a thin, error-surfacing shell around a
+//! `Middleware<DiskSink>`: the generic middleware itself offers every
+//! stable-store mutation to its [`DiskSink`](crate::DiskSink) (commit
+//! after checkpoints, receives, GC, rollback; write-ahead of the
+//! incarnation before a rollback mutates), so this type no longer owns a
+//! delivery-path of its own — it only turns the sink's buffered commit
+//! failures back into hard [`Result`]s at each call boundary, which is
+//! the contract this crate's callers were built against. The paper's
+//! stable-storage model — persists through failures, volatile state lost
+//! — then falls out of the filesystem: drop the wrapper (the "crash") and
 //! [`MirroredMiddleware::restart`] rebuilds a crashed middleware from the
 //! surviving records, ready for an ordinary recovery session.
 
+use std::io;
 use std::path::PathBuf;
 
 use rdt_base::{CheckpointIndex, Message, Payload, ProcessId};
@@ -18,13 +24,13 @@ use rdt_protocols::{
 
 use crate::backend::{StdFs, StorageBackend};
 use crate::durable::{DurableStore, RestartReport};
-use crate::error::Result;
+use crate::error::{Error, Result};
+use crate::sink::DiskSink;
 
 /// A [`Middleware`] with a write-through durable mirror.
 #[derive(Debug)]
 pub struct MirroredMiddleware {
-    inner: Middleware,
-    disk: DurableStore,
+    inner: Middleware<DiskSink>,
 }
 
 impl MirroredMiddleware {
@@ -59,10 +65,11 @@ impl MirroredMiddleware {
         gc: GcKind,
         fs: Box<dyn StorageBackend>,
     ) -> Result<Self> {
-        let inner = Middleware::new(owner, n, protocol, gc);
         let disk = DurableStore::open_with(dir, owner, fs)?;
-        let this = Self { inner, disk };
-        this.disk.sync(this.inner.store())?;
+        // `with_storage` commits s^0 through the sink before returning.
+        let inner = Middleware::with_storage(owner, n, protocol, gc, DiskSink::over(disk));
+        let mut this = Self { inner };
+        this.drained(())?;
         Ok(this)
     }
 
@@ -101,27 +108,36 @@ impl MirroredMiddleware {
         let (store, report) = disk.rebuild_reported()?;
         Ok((
             Self {
-                inner: Middleware::from_store(owner, n, protocol, gc, store),
-                disk,
+                inner: Middleware::from_store_with(
+                    owner,
+                    n,
+                    protocol,
+                    gc,
+                    store,
+                    DiskSink::over(disk),
+                ),
             },
             report,
         ))
     }
 
     /// The wrapped middleware (read access; mutating it directly would
-    /// bypass the mirror).
-    pub fn middleware(&self) -> &Middleware {
+    /// bypass the error surfacing).
+    pub fn middleware(&self) -> &Middleware<DiskSink> {
         &self.inner
     }
 
     /// The durable mirror.
     pub fn disk(&self) -> &DurableStore {
-        &self.disk
+        self.inner.sink().disk()
     }
 
-    fn synced<T>(&mut self, value: T) -> Result<T> {
-        self.disk.sync(self.inner.store())?;
-        Ok(value)
+    /// Turns the sink's buffered commit failure, if any, into a hard error.
+    fn drained<T>(&mut self, value: T) -> Result<T> {
+        match self.inner.take_sink_error() {
+            None => Ok(value),
+            Some(detail) => Err(Error::Io(io::Error::other(detail))),
+        }
     }
 
     /// Mirrored [`Middleware::basic_checkpoint`].
@@ -131,7 +147,7 @@ impl MirroredMiddleware {
     /// Middleware errors (crashed process) and mirror I/O errors.
     pub fn basic_checkpoint(&mut self) -> Result<CheckpointReport> {
         let report = self.inner.basic_checkpoint().map_err(other)?;
-        self.synced(report)
+        self.drained(report)
     }
 
     /// Mirrored [`Middleware::send`] (the CAS-family post-send checkpoint
@@ -157,7 +173,7 @@ impl MirroredMiddleware {
         payload: Payload,
     ) -> Result<(Message, Option<CheckpointReport>)> {
         let out = self.inner.send_reported(to, payload);
-        self.synced(out)
+        self.drained(out)
     }
 
     /// Passthrough of [`Middleware::piggyback`] (control-information-only;
@@ -173,7 +189,7 @@ impl MirroredMiddleware {
     /// Middleware errors (crashed process) and mirror I/O errors.
     pub fn receive(&mut self, msg: &Message) -> Result<ReceiveReport> {
         let report = self.inner.receive(msg).map_err(other)?;
-        self.synced(report)
+        self.drained(report)
     }
 
     /// Mirrored [`Middleware::receive_piggyback`].
@@ -183,15 +199,16 @@ impl MirroredMiddleware {
     /// As for [`receive`](Self::receive).
     pub fn receive_piggyback(&mut self, m: &Piggyback) -> Result<ReceiveReport> {
         let report = self.inner.receive_piggyback(m).map_err(other)?;
-        self.synced(report)
+        self.drained(report)
     }
 
     /// Mirrored [`Middleware::rollback`], with the Strom/Yemini
-    /// **write-ahead incarnation log**: the incarnation the rollback is
-    /// about to open is persisted to disk *before* the in-memory rollback
-    /// runs, so a machine crash at any point cannot restart the process
-    /// into an incarnation number the aborted execution already used and
-    /// propagated.
+    /// **write-ahead incarnation log**: the generic middleware persists
+    /// the incarnation the rollback is about to open through
+    /// [`Storage::wal_incarnation`](rdt_env::Storage::wal_incarnation)
+    /// *before* the in-memory rollback runs, so a machine crash at any
+    /// point cannot restart the process into an incarnation number the
+    /// aborted execution already used and propagated.
     ///
     /// # Errors
     ///
@@ -201,10 +218,11 @@ impl MirroredMiddleware {
         ri: CheckpointIndex,
         li: Option<&LastIntervals>,
     ) -> Result<RollbackReport> {
-        self.disk
-            .persist_incarnation_floor(self.inner.incarnation().next())?;
-        let report = self.inner.rollback(ri, li).map_err(other)?;
-        self.synced(report)
+        let report = self.inner.rollback(ri, li).map_err(|e| match e {
+            rdt_base::Error::Storage(detail) => Error::Io(io::Error::other(detail)),
+            e => other(e),
+        })?;
+        self.drained(report)
     }
 
     /// Mirrored [`Middleware::recovery_info`].
@@ -214,7 +232,7 @@ impl MirroredMiddleware {
     /// Mirror I/O errors.
     pub fn recovery_info(&mut self, li: &LastIntervals) -> Result<Vec<CheckpointIndex>> {
         let freed = self.inner.recovery_info(li);
-        self.synced(freed)
+        self.drained(freed)
     }
 
     /// Mirrored [`Middleware::control`].
@@ -224,7 +242,7 @@ impl MirroredMiddleware {
     /// Mirror I/O errors.
     pub fn control(&mut self, info: &ControlInfo) -> Result<Vec<CheckpointIndex>> {
         let freed = self.inner.control(info);
-        self.synced(freed)
+        self.drained(freed)
     }
 
     /// Crashes the process (volatile only; the mirror keeps its files).

@@ -42,7 +42,7 @@ use rdt_recovery::{FaultySet, RecoveryManager};
 use rdt_workloads::{Script, ScriptOp};
 
 use crate::backend::{FaultFs, FaultKind, FaultPlan};
-use crate::durable::DurableStore;
+use crate::durable::{DurableStore, RestartReport};
 use crate::error::{Error, Result};
 
 /// Configuration of one torture session.
@@ -84,6 +84,22 @@ impl Default for TortureOptions {
     }
 }
 
+/// The aggregated [`RestartReport`](crate::RestartReport) of one probe's
+/// all-process restart, tagged with the crash point that produced it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashPointRestart {
+    /// The backend operation count the crash plan fired after.
+    pub crash_point: u64,
+    /// Checkpoint records restored intact, summed over processes.
+    pub loaded: usize,
+    /// Checkpoint files quarantined during this restart.
+    pub quarantined: usize,
+    /// Unrecognized files skipped during this restart.
+    pub skipped_alien: usize,
+    /// Transient I/O errors absorbed by the restart's retry paths.
+    pub transient_retries: u64,
+}
+
 /// What a torture session found.
 #[derive(Debug, Clone, Default)]
 pub struct TortureReport {
@@ -97,6 +113,8 @@ pub struct TortureReport {
     pub quarantined: usize,
     /// Transient errors absorbed by the retry path across all runs.
     pub transient_retries: u64,
+    /// Per-crash-point restart counters, in probe order.
+    pub restarts: Vec<CrashPointRestart>,
     /// Human-readable descriptions of every failed check. Empty means the
     /// storage layer survived everything thrown at it.
     pub failures: Vec<String>,
@@ -349,19 +367,22 @@ fn run_until_crash(
 }
 
 /// Restarts every process from its surviving files. Returns the rebuilt
-/// (crashed) middlewares, their stores' disk handles, and the total
-/// quarantine count.
+/// (crashed) middlewares, their stores' disk handles, and the
+/// [`RestartReport`] counters summed over all processes.
 fn restart_all(
     root: &Path,
     opts: &TortureOptions,
-) -> Result<(Vec<Middleware>, Vec<DurableStore>, usize)> {
+) -> Result<(Vec<Middleware>, Vec<DurableStore>, RestartReport)> {
     let mut mws = Vec::with_capacity(opts.n);
     let mut disks = Vec::with_capacity(opts.n);
-    let mut quarantined = 0;
+    let mut total = RestartReport::default();
     for i in 0..opts.n {
         let disk = DurableStore::open(root.join(format!("p{i}")), ProcessId::new(i))?;
         let (store, report) = disk.rebuild_reported()?;
-        quarantined += report.quarantined;
+        total.loaded += report.loaded;
+        total.quarantined += report.quarantined;
+        total.skipped_alien += report.skipped_alien;
+        total.transient_retries += report.transient_retries;
         if store.is_empty() {
             // `Middleware::from_store` treats an empty store as a caller
             // bug and panics; surface the torn-disk image as a typed
@@ -379,7 +400,7 @@ fn restart_all(
         ));
         disks.push(disk);
     }
-    Ok((mws, disks, quarantined))
+    Ok((mws, disks, total))
 }
 
 /// The offline oracle line for the reference-trace prefix of `cut`
@@ -420,13 +441,21 @@ fn probe_crash_point(
             .push(format!("crash point {k}: the plan never fired"));
         return Ok(());
     }
-    let (mut mws, disks, quarantined) = restart_all(root, opts)?;
-    report.quarantined += quarantined;
-    if quarantined != 0 {
+    let (mut mws, disks, restart) = restart_all(root, opts)?;
+    report.quarantined += restart.quarantined;
+    report.restarts.push(CrashPointRestart {
+        crash_point: k,
+        loaded: restart.loaded,
+        quarantined: restart.quarantined,
+        skipped_alien: restart.skipped_alien,
+        transient_retries: restart.transient_retries,
+    });
+    if restart.quarantined != 0 {
         // A pure stop-after-K crash tears nothing; the atomic-write
         // discipline must leave only intact or invisible files.
         report.failures.push(format!(
-            "crash point {k}: {quarantined} files quarantined by a clean stop"
+            "crash point {k}: {} files quarantined by a clean stop",
+            restart.quarantined
         ));
     }
 
@@ -501,7 +530,7 @@ fn probe_fault_plan(
 
     let (_backend, retries) = run_until_crash(root, opts, script, plan)?;
     report.transient_retries += retries;
-    let (mut mws, _disks, quarantined) = match restart_all(root, opts) {
+    let (mut mws, _disks, restart) = match restart_all(root, opts) {
         Ok(v) => v,
         Err(e) => {
             report
@@ -510,7 +539,7 @@ fn probe_fault_plan(
             return Ok(());
         }
     };
-    report.quarantined += quarantined;
+    report.quarantined += restart.quarantined;
     let faulty: FaultySet = ProcessId::all(opts.n).collect();
     if let Err(e) = RecoveryManager::new().recover(&mut mws, &faulty) {
         report
@@ -605,6 +634,10 @@ mod tests {
         let report = run_torture(&opts).expect("harness runs");
         assert!(report.crash_points_tested > 0);
         assert!(report.passed(), "failures: {:#?}", report.failures);
+        // Every probe reports its restart counters, and every restart
+        // recovered at least the n initial checkpoints.
+        assert_eq!(report.restarts.len(), report.crash_points_tested);
+        assert!(report.restarts.iter().all(|r| r.loaded >= opts.n));
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub struct Arg {
     default: Option<String>,
     value_name: Option<String>,
     action: ArgAction,
+    required: bool,
 }
 
 impl Arg {
@@ -41,6 +42,7 @@ impl Arg {
             default: None,
             value_name: None,
             action: ArgAction::Set,
+            required: false,
         }
     }
 
@@ -79,6 +81,12 @@ impl Arg {
         self.action = action;
         self
     }
+
+    /// Errors when the argument is absent (and has no default).
+    pub fn required(mut self, yes: bool) -> Self {
+        self.required = yes;
+        self
+    }
 }
 
 /// A (sub)command: name, options, nested subcommands.
@@ -90,6 +98,7 @@ pub struct Command {
     subcommands: Vec<Command>,
     subcommand_required: bool,
     arg_required_else_help: bool,
+    hidden: bool,
 }
 
 /// Parse failure (or help request) from `try_get_matches_from`.
@@ -146,6 +155,12 @@ impl Command {
         self
     }
 
+    /// Hides the command from its parent's help output.
+    pub fn hide(mut self, yes: bool) -> Self {
+        self.hidden = yes;
+        self
+    }
+
     /// Adds a subcommand.
     pub fn subcommand(mut self, cmd: Command) -> Self {
         self.subcommands.push(cmd);
@@ -186,7 +201,7 @@ impl Command {
         out.push('\n');
         if !self.subcommands.is_empty() {
             out.push_str("\nCommands:\n");
-            for sub in &self.subcommands {
+            for sub in self.subcommands.iter().filter(|s| !s.hidden) {
                 out.push_str(&format!(
                     "  {:<12} {}\n",
                     sub.name,
@@ -340,6 +355,18 @@ impl Command {
                 is_help: self.arg_required_else_help,
             });
         }
+        for arg in &self.args {
+            if arg.required && !matches.values.contains_key(&arg.name) {
+                return Err(Error {
+                    message: format!(
+                        "the following required argument was not provided: --{}\n\n{}",
+                        arg.long.as_deref().unwrap_or(&arg.name),
+                        self.usage()
+                    ),
+                    is_help: false,
+                });
+            }
+        }
         Ok(matches)
     }
 }
@@ -435,5 +462,33 @@ mod tests {
     #[test]
     fn missing_required_subcommand_errors() {
         assert!(cli().try_get_matches_from(["tool"]).is_err());
+    }
+
+    #[test]
+    fn required_arguments_are_enforced() {
+        let cmd = || {
+            Command::new("tool")
+                .subcommand(Command::new("run").arg(Arg::new("rank").long("rank").required(true)))
+        };
+        assert!(cmd().try_get_matches_from(["tool", "run"]).is_err());
+        let m = cmd()
+            .try_get_matches_from(["tool", "run", "--rank", "2"])
+            .unwrap();
+        let (_, sub) = m.subcommand().unwrap();
+        assert_eq!(sub.get_one::<String>("rank").unwrap(), "2");
+    }
+
+    #[test]
+    fn hidden_subcommands_parse_but_stay_out_of_help() {
+        let cmd = || {
+            Command::new("tool")
+                .subcommand(Command::new("run"))
+                .subcommand(Command::new("__internal").hide(true))
+        };
+        let m = cmd().try_get_matches_from(["tool", "__internal"]).unwrap();
+        assert_eq!(m.subcommand().unwrap().0, "__internal");
+        let help = cmd().try_get_matches_from(["tool", "--help"]).unwrap_err();
+        assert!(!help.to_string().contains("__internal"));
+        assert!(help.to_string().contains("run"));
     }
 }
