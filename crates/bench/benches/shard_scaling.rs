@@ -1,0 +1,53 @@
+//! Sharded-engine scaling: one full simulation, sequential vs. sharded.
+//!
+//! Runs the same seeded workload through the conservative-lookahead
+//! parallel engine at shards ∈ {1, 2, 4} and through the sequential
+//! engine (`shards = 1` dispatches to it directly), at system sizes up
+//! to n = 10 000 simulated processes. The ring pattern keeps cross-shard
+//! traffic proportional to the number of shard boundaries under the
+//! contiguous partitioning, which is the favourable case for conservative
+//! synchronization; speedup on a multi-core host is bounded by the
+//! fraction of events that are shard-local.
+//!
+//! On a single-vCPU host (the pinned CI machine) the sharded runs measure
+//! pure overhead — planning pass, barrier exchanges, log merge — not
+//! speedup; BENCHMARKS.md records both readings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rdt_sim::SimulationBuilder;
+use rdt_workloads::{Pattern, WorkloadSpec};
+
+/// One full simulation; returns a value derived from the report so the
+/// run cannot be optimized away.
+fn run(n: usize, steps: usize, shards: usize) -> u64 {
+    let spec = WorkloadSpec::uniform_random(n, steps)
+        .with_pattern(Pattern::Ring)
+        .with_seed(42)
+        .with_checkpoint_prob(0.05);
+    let report = SimulationBuilder::new(spec)
+        .shards(shards)
+        .run()
+        .expect("simulation runs");
+    report.metrics.ticks + report.metrics.total_delivered()
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling");
+    for (n, steps) in [(2_500usize, 5_000usize), (10_000, 20_000)] {
+        group.throughput(Throughput::Elements(steps as u64));
+        for shards in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), shards),
+                &shards,
+                |b, &shards| {
+                    b.iter(|| run(n, steps, shards));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -17,7 +17,7 @@ use rdt_bench::{derive_seed, par_map};
 use rdt_core::GcKind;
 use rdt_protocols::ProtocolKind;
 use rdt_recovery::RecoveryMode;
-use rdt_sim::{ChannelConfig, SimConfig, SimulationBuilder};
+use rdt_sim::{ChannelConfig, ShardConfig, SimConfig, SimulationBuilder};
 use rdt_workloads::{Pattern, WorkloadSpec};
 
 #[derive(Debug)]
@@ -36,6 +36,7 @@ struct Args {
     control_every: Option<u64>,
     mode: RecoveryMode,
     runs: u64,
+    shards: usize,
 }
 
 impl Default for Args {
@@ -55,6 +56,7 @@ impl Default for Args {
             control_every: None,
             mode: RecoveryMode::Coordinated,
             runs: 1,
+            shards: 1,
         }
     }
 }
@@ -140,6 +142,13 @@ fn parse_args() -> Args {
                     .filter(|&r| r >= 1)
                     .unwrap_or_else(|| die("runs must be a positive integer"));
             }
+            "shards" => {
+                args.shards = value
+                    .parse()
+                    .ok()
+                    .filter(|&s| s >= 1)
+                    .unwrap_or_else(|| die("shards must be a positive integer"));
+            }
             "mode" => {
                 args.mode = match value {
                     "coordinated" => RecoveryMode::Coordinated,
@@ -148,7 +157,7 @@ fn parse_args() -> Args {
                 }
             }
             other => die(&format!(
-                "unknown key '{other}' (n steps seed protocol gc pattern ckpt crash correlated loss state-size control-every mode runs)"
+                "unknown key '{other}' (n steps seed protocol gc pattern ckpt crash correlated loss state-size control-every mode runs shards)"
             )),
         }
     }
@@ -169,6 +178,10 @@ fn run_one(args: &Args, seed: u64) -> rdt_sim::SimulationReport {
         control_every: args.control_every,
         correlated_crash_prob: args.correlated,
         state_size: args.state_size,
+        shard: ShardConfig {
+            shards: args.shards,
+            ..ShardConfig::default()
+        },
         ..SimConfig::default()
     };
     SimulationBuilder::new(spec)

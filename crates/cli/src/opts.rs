@@ -5,7 +5,7 @@ use clap::{Arg, ArgMatches, Command};
 
 use rdt_core::GcKind;
 use rdt_protocols::ProtocolKind;
-use rdt_sim::{ChannelConfig, SimConfig};
+use rdt_sim::{ChannelConfig, ShardConfig, SimConfig};
 use rdt_workloads::{Pattern, WorkloadSpec};
 
 /// Parses a `--pattern` value.
@@ -155,6 +155,12 @@ pub fn with_common_args(cmd: Command) -> Command {
             .help("coordinator control round period, in ticks (coordinated collectors)")
             .value_name("TICKS"),
     )
+    .arg(arg_with_default(
+        "shards",
+        'j',
+        "worker shards for the parallel engine (1 = sequential)",
+        "1",
+    ))
     .arg(
         Arg::new("json")
             .long("json")
@@ -221,6 +227,10 @@ pub fn run_opts(m: &ArgMatches) -> Result<RunOpts, String> {
     if !(0.0..=1.0).contains(&loss) {
         return Err("-l: loss must be in [0,1]".into());
     }
+    let shards: usize = get("shards").parse().map_err(|e| format!("-j: {e}"))?;
+    if shards == 0 {
+        return Err("-j: at least one shard required".into());
+    }
 
     let spec = WorkloadSpec::uniform_random(n, steps)
         .with_pattern(parse_pattern(&get("pattern"))?)
@@ -240,6 +250,10 @@ pub fn run_opts(m: &ArgMatches) -> Result<RunOpts, String> {
                     .map_err(|e| format!("--control-every: {e}"))
             })
             .transpose()?,
+        shard: ShardConfig {
+            shards,
+            ..ShardConfig::default()
+        },
         ..SimConfig::default()
     };
     Ok(RunOpts {
@@ -316,7 +330,13 @@ mod tests {
         assert_eq!(opts.gc, GcKind::TimeBased { horizon: 99 });
         assert!(opts.json);
 
+        let m = cmd.clone().get_matches_from(["t", "-j", "4"]);
+        let opts = run_opts(&m).unwrap();
+        assert_eq!(opts.config.shard.shards, 4);
+
         let m = cmd.clone().get_matches_from(["t", "-n", "1"]);
+        assert!(run_opts(&m).is_err());
+        let m = cmd.clone().get_matches_from(["t", "-j", "0"]);
         assert!(run_opts(&m).is_err());
         let m = cmd.get_matches_from(["t", "-d", "9", "-D", "2"]);
         assert!(run_opts(&m).is_err());

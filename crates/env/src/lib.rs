@@ -31,6 +31,7 @@
 pub mod clock;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod storage;
 pub mod transport;
@@ -39,6 +40,7 @@ pub mod wire;
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use queue::BucketQueue;
 pub use rng::{DetRng, Rng};
+pub use shard::ShardEnv;
 pub use sim::SimEnv;
 pub use storage::{Storage, Volatile};
 pub use transport::{ChannelTransport, Transport, UdsTransport};

@@ -116,6 +116,77 @@ impl<T> BucketQueue<T> {
         self.len += 1;
     }
 
+    /// Enqueues `item` at tick `at` with sequence number `seq`, keeping the
+    /// bucket sorted by `seq` — the out-of-order flavour of
+    /// [`push`](Self::push) for shard-local queues, whose events arrive in
+    /// per-shard (not global) order: an inserted cross-shard delivery may
+    /// carry a *smaller* global sequence number than a later local event
+    /// already queued at the same tick. Position is found by binary search,
+    /// and the global-monotonicity invariant is deliberately not asserted.
+    pub fn insert(&mut self, at: u64, seq: u64, item: T) {
+        debug_assert!(at >= self.base, "cannot schedule into the past");
+        let at = at.max(self.base);
+        let bucket = if at >= self.base + WINDOW {
+            self.overflow.entry(at).or_default()
+        } else {
+            let offset = (at - self.base) as usize;
+            self.grow_ring_to(offset);
+            &mut self.ring[offset]
+        };
+        let pos = bucket.partition_point(|&(s, _)| s < seq);
+        bucket.insert(pos, (seq, item));
+        self.len += 1;
+    }
+
+    /// Dequeues the earliest event whose `(at, seq)` key is strictly below
+    /// `bound`, or `None` — without consuming anything at or past the
+    /// bound, and without advancing the internal base past `bound.0`, so
+    /// later [`insert`](Self::insert)s at ticks `>= bound.0` (the earliest
+    /// a conservative-lookahead window barrier can deliver) stay legal.
+    pub fn pop_before(&mut self, bound: (u64, u64)) -> Option<(u64, u64, T)> {
+        loop {
+            if self.base >= bound.0 {
+                // Only same-tick events with a smaller seq still qualify.
+                if self.base == bound.0 {
+                    if let Some(front) = self.ring.front_mut() {
+                        if let Some(&(seq, _)) = front.front() {
+                            if seq < bound.1 {
+                                let (seq, item) = front.pop_front().expect("peeked");
+                                self.len -= 1;
+                                return Some((self.base, seq, item));
+                            }
+                        }
+                    }
+                }
+                return None;
+            }
+            if let Some(front) = self.ring.front_mut() {
+                if let Some((seq, item)) = front.pop_front() {
+                    self.len -= 1;
+                    return Some((self.base, seq, item));
+                }
+                let spent = self.ring.pop_front().expect("front exists");
+                self.pool.push(spent);
+                self.base += 1;
+                self.migrate_overflow();
+                continue;
+            }
+            // Ring empty: jump to the first overflow tick if it is at or
+            // inside the bound (a bucket *at* the bound may still hold
+            // same-tick events below `bound.1`), else park the base there.
+            match self.overflow.first_key_value() {
+                Some((&at, _)) if at <= bound.0 => {
+                    self.base = at;
+                    self.migrate_overflow();
+                }
+                _ => {
+                    self.base = bound.0;
+                    return None;
+                }
+            }
+        }
+    }
+
     /// Dequeues the earliest event as `(at, seq, item)`, in `(at, seq)`
     /// order.
     pub fn pop(&mut self) -> Option<(u64, u64, T)> {
@@ -313,6 +384,64 @@ mod equivalence {
                 }
             }
         }
+
+        /// The shard-queue pair `insert` + `pop_before` drains, window by
+        /// window, exactly the events below each bound in `(at, seq)`
+        /// order — matching a sorted reference under arbitrary
+        /// (non-monotonic-seq) insertions between windows.
+        #[test]
+        fn windowed_drain_matches_sorted_reference(
+            windows in prop::collection::vec(
+                (
+                    prop::collection::vec((0u64..2500, 0u64..u64::MAX), 0..20),
+                    1u64..2000,
+                    0u64..u64::MAX,
+                ),
+                1..12,
+            ),
+        ) {
+            let mut queue: BucketQueue<u64> = BucketQueue::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+            let mut bound = (0u64, 0u64);
+            let mut unique = 0u64;
+            for (inserts, bound_delay, bound_seq) in windows {
+                for (delay, seq_salt) in inserts {
+                    let at = bound.0 + delay;
+                    // Mix a counter in to keep seqs unique while leaving
+                    // their relative order arbitrary.
+                    let seq = (seq_salt / 2) ^ unique;
+                    unique += 1;
+                    if (at, seq) < bound {
+                        continue; // a barrier never delivers into the past
+                    }
+                    queue.insert(at, seq, seq);
+                    heap.push(Reverse((at, seq, seq)));
+                }
+                bound = (bound.0 + bound_delay, bound_seq);
+                loop {
+                    let expected = match heap.peek() {
+                        Some(&Reverse((at, seq, _))) if (at, seq) < bound => {
+                            heap.pop().map(|Reverse(e)| e)
+                        }
+                        _ => None,
+                    };
+                    let got = queue.pop_before(bound);
+                    prop_assert_eq!(got, expected);
+                    if got.is_none() {
+                        break;
+                    }
+                }
+            }
+            // Final drain: everything left pops in order.
+            loop {
+                let expected = heap.pop().map(|Reverse(e)| e);
+                let got = queue.pop_before((u64::MAX, u64::MAX));
+                prop_assert_eq!(got, expected);
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }
 
@@ -408,6 +537,59 @@ mod tests {
         q.retain(|&v| v != 2, |_, v| dropped.push(v));
         assert_eq!(dropped, vec![2]);
         assert_eq!(drain(&mut q), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn insert_orders_within_a_tick_by_seq() {
+        let mut q = BucketQueue::new();
+        q.insert(4, 30, "c");
+        q.insert(4, 10, "a");
+        q.insert(4, 20, "b");
+        q.insert(2, 99, "z");
+        assert_eq!(drain(&mut q), vec![(2, 99), (4, 10), (4, 20), (4, 30)]);
+    }
+
+    #[test]
+    fn pop_before_stops_at_the_bound() {
+        let mut q = BucketQueue::new();
+        q.insert(1, 5, ());
+        q.insert(3, 2, ());
+        q.insert(3, 9, ());
+        q.insert(4, 1, ());
+        // Bound (3, 7): pops (1,5) and (3,2); (3,9) and (4,1) stay.
+        assert_eq!(q.pop_before((3, 7)).map(|(a, s, _)| (a, s)), Some((1, 5)));
+        assert_eq!(q.pop_before((3, 7)).map(|(a, s, _)| (a, s)), Some((3, 2)));
+        assert_eq!(q.pop_before((3, 7)), None);
+        assert_eq!(q.len(), 2);
+        // A cross-shard delivery landing exactly at the bound is legal.
+        q.insert(3, 7, ());
+        assert_eq!(drain(&mut q), vec![(3, 7), (3, 9), (4, 1)]);
+    }
+
+    #[test]
+    fn pop_before_reaches_overflow_events_at_the_bound_tick() {
+        let mut q = BucketQueue::new();
+        let far = WINDOW * 2; // lives in the overflow, ring empty
+        q.insert(far, 3, ());
+        q.insert(far, 9, ());
+        assert_eq!(
+            q.pop_before((far, 9)).map(|(a, s, _)| (a, s)),
+            Some((far, 3))
+        );
+        assert_eq!(q.pop_before((far, 9)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_before_parks_the_base_for_later_inserts() {
+        let mut q = BucketQueue::new();
+        q.insert(2, 1, ());
+        assert_eq!(q.pop_before((10, 0)).map(|(a, s, _)| (a, s)), Some((2, 1)));
+        assert_eq!(q.pop_before((10, 0)), None);
+        // The base parked at 10, not beyond: tick-10 inserts still work.
+        q.insert(10, 2, ());
+        q.insert(12, 3, ());
+        assert_eq!(drain(&mut q), vec![(10, 2), (12, 3)]);
     }
 
     #[test]

@@ -48,4 +48,7 @@
 mod manager;
 pub mod wang;
 
-pub use manager::{FaultySet, RecoveryError, RecoveryManager, RecoveryMode, RecoverySessionReport};
+pub use manager::{
+    AppliedRecovery, FaultySet, LineSource, ProcessView, RecoveryError, RecoveryManager,
+    RecoveryMode, RecoveryPlan, RecoverySessionReport,
+};

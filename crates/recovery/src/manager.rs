@@ -5,13 +5,136 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use rdt_base::{CheckpointId, CheckpointIndex, Incarnation, ProcessId};
+use rdt_base::{CheckpointId, CheckpointIndex, DependencyVector, Incarnation, ProcessId};
 use rdt_core::{GcKind, LastIntervals};
 use rdt_env::Storage;
 use rdt_protocols::Middleware;
 
 /// The set of processes that failed, triggering the recovery session.
 pub type FaultySet = BTreeSet<ProcessId>;
+
+/// What the manager needs to know about one process to compute a recovery
+/// line: Lemma 1 reads only dependency vectors and store metadata, never
+/// application state. Implemented by [`Middleware`] itself (the in-place
+/// sequential path — no copying) and by [`ProcessView`] (an owned snapshot
+/// a shard worker can ship across threads).
+pub trait LineSource {
+    /// The process this state belongs to.
+    fn owner(&self) -> ProcessId;
+    /// The volatile dependency vector.
+    fn dv(&self) -> &DependencyVector;
+    /// Index of the last stable checkpoint.
+    fn last_stable(&self) -> CheckpointIndex;
+    /// The live incarnation.
+    fn incarnation(&self) -> Incarnation;
+    /// The collector in force (decides exhaustion vs. degradation).
+    fn gc_kind(&self) -> GcKind;
+    /// Stored checkpoints with their vectors, newest first.
+    fn stored_rev(&self) -> impl Iterator<Item = (CheckpointIndex, &DependencyVector)>;
+    /// The oldest surviving stored checkpoint (degradation target).
+    fn oldest_stored(&self) -> Option<CheckpointIndex>;
+}
+
+impl<S: Storage> LineSource for Middleware<S> {
+    fn owner(&self) -> ProcessId {
+        Middleware::owner(self)
+    }
+
+    fn dv(&self) -> &DependencyVector {
+        Middleware::dv(self)
+    }
+
+    fn last_stable(&self) -> CheckpointIndex {
+        Middleware::last_stable(self)
+    }
+
+    fn incarnation(&self) -> Incarnation {
+        Middleware::incarnation(self)
+    }
+
+    fn gc_kind(&self) -> GcKind {
+        Middleware::gc_kind(self)
+    }
+
+    fn stored_rev(&self) -> impl Iterator<Item = (CheckpointIndex, &DependencyVector)> {
+        self.store()
+            .indices()
+            .rev()
+            .map(|idx| (idx, self.store().dv(idx).expect("stored")))
+    }
+
+    fn oldest_stored(&self) -> Option<CheckpointIndex> {
+        self.store().indices().next()
+    }
+}
+
+/// An owned snapshot of one process's line-relevant state, detached from
+/// the middleware so it can cross a thread boundary (the sharded engine's
+/// workers gather these at a recovery barrier; the coordinator plans the
+/// session over them).
+#[derive(Debug, Clone)]
+pub struct ProcessView {
+    /// The process snapshotted.
+    pub owner: ProcessId,
+    /// Its volatile dependency vector.
+    pub dv: DependencyVector,
+    /// Its last stable checkpoint index.
+    pub last_stable: CheckpointIndex,
+    /// Its live incarnation.
+    pub incarnation: Incarnation,
+    /// Its collector.
+    pub gc_kind: GcKind,
+    /// Its stored checkpoints with their vectors, **oldest first**.
+    pub stored: Vec<(CheckpointIndex, DependencyVector)>,
+}
+
+impl ProcessView {
+    /// Snapshots `mw`'s line-relevant state.
+    pub fn of<S: Storage>(mw: &Middleware<S>) -> Self {
+        Self {
+            owner: Middleware::owner(mw),
+            dv: Middleware::dv(mw).clone(),
+            last_stable: Middleware::last_stable(mw),
+            incarnation: Middleware::incarnation(mw),
+            gc_kind: Middleware::gc_kind(mw),
+            stored: mw
+                .store()
+                .iter()
+                .map(|(idx, dv)| (idx, dv.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl LineSource for ProcessView {
+    fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    fn dv(&self) -> &DependencyVector {
+        &self.dv
+    }
+
+    fn last_stable(&self) -> CheckpointIndex {
+        self.last_stable
+    }
+
+    fn incarnation(&self) -> Incarnation {
+        self.incarnation
+    }
+
+    fn gc_kind(&self) -> GcKind {
+        self.gc_kind
+    }
+
+    fn stored_rev(&self) -> impl Iterator<Item = (CheckpointIndex, &DependencyVector)> {
+        self.stored.iter().rev().map(|(idx, dv)| (*idx, dv))
+    }
+
+    fn oldest_stored(&self) -> Option<CheckpointIndex> {
+        self.stored.first().map(|&(idx, _)| idx)
+    }
+}
 
 /// A recovery-session failure.
 ///
@@ -198,9 +321,9 @@ impl RecoveryManager {
     ///
     /// Panics if `faulty` references processes outside `processes`, or if
     /// process ids do not match vector positions.
-    pub fn recovery_line<S: Storage>(
+    pub fn recovery_line<V: LineSource>(
         &self,
-        processes: &[Middleware<S>],
+        processes: &[V],
         faulty: &FaultySet,
     ) -> Result<Vec<CheckpointIndex>, RecoveryError> {
         self.line_with_degradation(processes, faulty)
@@ -209,9 +332,9 @@ impl RecoveryManager {
 
     /// [`recovery_line`](Self::recovery_line), also reporting which
     /// processes degraded to the oldest survivor.
-    fn line_with_degradation<S: Storage>(
+    fn line_with_degradation<V: LineSource>(
         &self,
-        processes: &[Middleware<S>],
+        processes: &[V],
         faulty: &FaultySet,
     ) -> Result<(Vec<CheckpointIndex>, Vec<ProcessId>), RecoveryError> {
         let n = processes.len();
@@ -244,8 +367,7 @@ impl RecoveryManager {
                 }
             }
             // Stored checkpoints, newest first.
-            for idx in mw.store().indices().rev() {
-                let dv = mw.store().dv(idx).expect("stored");
+            for (idx, dv) in mw.stored_rev() {
                 let blocked = faulty.iter().any(|&f| {
                     // s_f^last → s_i^idx, except a checkpoint never precedes
                     // itself. The guard holds across incarnations: the
@@ -280,19 +402,18 @@ impl RecoveryManager {
             }
             degraded.push(i);
             line.push(
-                mw.store()
-                    .indices()
-                    .next()
+                mw.oldest_stored()
                     .expect("stable storage retains at least one checkpoint"),
             );
         }
         Ok((line, degraded))
     }
 
-    /// Runs a full recovery session: computes the line, rolls back every
-    /// process whose component is below its volatile state (each rollback
-    /// opening a fresh incarnation), and (in coordinated mode) distributes
-    /// `LI` to the others.
+    /// Computes everything a recovery session decides — the line, the
+    /// degraded set, the post-session `(component, incarnation)` pairs and
+    /// the `LI` vector — without touching any process state. The first
+    /// half of [`recover`](Self::recover), usable over [`ProcessView`]
+    /// snapshots gathered from worker threads.
     ///
     /// # Errors
     ///
@@ -301,11 +422,11 @@ impl RecoveryManager {
     /// # Panics
     ///
     /// As for [`recovery_line`](Self::recovery_line).
-    pub fn recover<S: Storage>(
+    pub fn plan<V: LineSource>(
         &self,
-        processes: &mut [Middleware<S>],
+        processes: &[V],
         faulty: &FaultySet,
-    ) -> Result<RecoverySessionReport, RecoveryError> {
+    ) -> Result<RecoveryPlan, RecoveryError> {
         let (line, degraded) = self.line_with_degradation(processes, faulty)?;
 
         // LI over the post-recovery CCP: a rolling process's last stable
@@ -328,65 +449,168 @@ impl RecoveryManager {
             })
             .collect();
         let li = LastIntervals::from_components(&components);
+
+        Ok(RecoveryPlan {
+            line,
+            degraded,
+            components,
+            li,
+        })
+    }
+
+    /// Applies one process's share of a planned session: the Algorithm-3
+    /// rollback if its line component is below its volatile state, the
+    /// `LI`-driven stale-pin release otherwise (coordinated mode).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Storage`] if the rollback's durability sink failed;
+    /// the process is left crashed and unmutated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line names a checkpoint the store no longer holds —
+    /// impossible for a plan produced by [`plan`](Self::plan) over this
+    /// process's current state (Theorem 4).
+    pub fn apply_to<S: Storage>(
+        &self,
+        mw: &mut Middleware<S>,
+        plan: &RecoveryPlan,
+    ) -> Result<AppliedRecovery, RecoveryError> {
+        let p = Middleware::owner(mw);
+        let component = plan.line[p.index()];
         let li_opt = match self.mode {
-            RecoveryMode::Coordinated => Some(&li),
+            RecoveryMode::Coordinated => Some(&plan.li),
             RecoveryMode::Uncoordinated => None,
         };
+        let volatile = Middleware::last_stable(mw).next();
+        if component < volatile {
+            let report = match mw.rollback(component, li_opt) {
+                Ok(report) => report,
+                // A sink refusing the incarnation WAL leaves the
+                // process crashed and unmutated; surface it as a
+                // retryable session failure.
+                Err(rdt_base::Error::Storage(detail)) => {
+                    return Err(RecoveryError::Storage { process: p, detail })
+                }
+                // Any other rollback failure contradicts Theorem 4
+                // (the line only names stored checkpoints): a bug.
+                Err(e) => {
+                    panic!("recovery-line component is stored (Theorem 4 safety): {e}")
+                }
+            };
+            debug_assert_eq!(
+                Middleware::incarnation(mw),
+                plan.components[p.index()].1,
+                "rollback must open the incarnation LI promised"
+            );
+            Ok(AppliedRecovery {
+                rolled_back: Some(component),
+                eliminated: report.eliminated,
+            })
+        } else if let Some(li) = li_opt {
+            Ok(AppliedRecovery {
+                rolled_back: None,
+                eliminated: mw.recovery_info(li),
+            })
+        } else {
+            Ok(AppliedRecovery {
+                rolled_back: None,
+                eliminated: Vec::new(),
+            })
+        }
+    }
+
+    /// Runs a full recovery session: computes the line, rolls back every
+    /// process whose component is below its volatile state (each rollback
+    /// opening a fresh incarnation), and (in coordinated mode) distributes
+    /// `LI` to the others.
+    ///
+    /// # Errors
+    ///
+    /// As for [`recovery_line`](Self::recovery_line).
+    ///
+    /// # Panics
+    ///
+    /// As for [`recovery_line`](Self::recovery_line).
+    pub fn recover<S: Storage>(
+        &self,
+        processes: &mut [Middleware<S>],
+        faulty: &FaultySet,
+    ) -> Result<RecoverySessionReport, RecoveryError> {
+        let plan = self.plan(processes, faulty)?;
 
         let mut rolled_back = Vec::new();
         let mut eliminated = Vec::new();
-        for (mw, &component) in processes.iter_mut().zip(&line) {
-            let p = mw.owner();
-            let volatile = mw.last_stable().next();
-            if component < volatile {
-                let report = match mw.rollback(component, li_opt) {
-                    Ok(report) => report,
-                    // A sink refusing the incarnation WAL leaves the
-                    // process crashed and unmutated; surface it as a
-                    // retryable session failure.
-                    Err(rdt_base::Error::Storage(detail)) => {
-                        return Err(RecoveryError::Storage { process: p, detail })
-                    }
-                    // Any other rollback failure contradicts Theorem 4
-                    // (the line only names stored checkpoints): a bug.
-                    Err(e) => {
-                        panic!("recovery-line component is stored (Theorem 4 safety): {e}")
-                    }
-                };
-                debug_assert_eq!(
-                    mw.incarnation(),
-                    components[p.index()].1,
-                    "rollback must open the incarnation LI promised"
-                );
+        for mw in processes.iter_mut() {
+            let p = Middleware::owner(mw);
+            let applied = self.apply_to(mw, &plan)?;
+            if let Some(component) = applied.rolled_back {
                 rolled_back.push((p, component));
-                eliminated.extend(
-                    report
-                        .eliminated
-                        .into_iter()
-                        .map(|idx| CheckpointId::new(p, idx)),
-                );
-            } else if self.mode == RecoveryMode::Coordinated {
-                eliminated.extend(
-                    mw.recovery_info(&li)
-                        .into_iter()
-                        .map(|idx| CheckpointId::new(p, idx)),
-                );
             }
+            eliminated.extend(
+                applied
+                    .eliminated
+                    .into_iter()
+                    .map(|idx| CheckpointId::new(p, idx)),
+            );
         }
 
-        Ok(RecoverySessionReport {
+        Ok(self.report(faulty, plan, rolled_back, eliminated, |p| {
+            Middleware::incarnation(&processes[p.index()])
+        }))
+    }
+
+    /// Assembles the session report from a plan plus the merged apply
+    /// outcomes — shared by [`recover`](Self::recover) and the sharded
+    /// engine's coordinator (whose apply outcomes arrive from workers).
+    pub fn report(
+        &self,
+        faulty: &FaultySet,
+        plan: RecoveryPlan,
+        rolled_back: Vec<(ProcessId, CheckpointIndex)>,
+        eliminated: Vec<CheckpointId>,
+        incarnation_of: impl Fn(ProcessId) -> Incarnation,
+    ) -> RecoverySessionReport {
+        let n = plan.line.len();
+        RecoverySessionReport {
             faulty: faulty.iter().copied().collect(),
-            line,
+            line: plan.line,
             rolled_back,
             eliminated,
             li: match self.mode {
-                RecoveryMode::Coordinated => Some(li),
+                RecoveryMode::Coordinated => Some(plan.li),
                 RecoveryMode::Uncoordinated => None,
             },
-            degraded,
-            incarnations: processes.iter().map(|mw| mw.incarnation()).collect(),
-        })
+            degraded: plan.degraded,
+            incarnations: (0..n).map(|k| incarnation_of(ProcessId::new(k))).collect(),
+        }
     }
+}
+
+/// The decisions of one recovery session, separated from their
+/// application so the two halves can run on different threads (plan on
+/// the coordinator over gathered [`ProcessView`]s, apply on the workers
+/// owning the middlewares).
+#[derive(Debug, Clone)]
+pub struct RecoveryPlan {
+    /// The recovery line (`last_stable + 1` = volatile state).
+    pub line: Vec<CheckpointIndex>,
+    /// Processes degraded to the oldest survivor (time-based GC only).
+    pub degraded: Vec<ProcessId>,
+    /// Post-session `(LI component, incarnation)` per process.
+    pub components: Vec<(CheckpointIndex, Incarnation)>,
+    /// The last-interval vector over the post-recovery CCP.
+    pub li: LastIntervals,
+}
+
+/// One process's share of an applied recovery session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedRecovery {
+    /// `Some(component)` if the process rolled back to `component`.
+    pub rolled_back: Option<CheckpointIndex>,
+    /// Checkpoints this process eliminated during the session.
+    pub eliminated: Vec<CheckpointIndex>,
 }
 
 #[cfg(test)]
@@ -510,6 +734,23 @@ mod tests {
         for (proc_, to) in &report.rolled_back {
             assert!(mws[proc_.index()].store().contains(*to));
         }
+    }
+
+    #[test]
+    fn views_plan_identically_to_live_middlewares() {
+        // The sharded engine plans over gathered snapshots; the plan must
+        // match what the sequential path computes in place.
+        let mut mws = chain();
+        mws[0].crash();
+        let faulty: FaultySet = [p(0)].into_iter().collect();
+        let views: Vec<ProcessView> = mws.iter().map(ProcessView::of).collect();
+        let mgr = RecoveryManager::new();
+        let from_views = mgr.plan(&views, &faulty).unwrap();
+        let from_live = mgr.plan(&mws, &faulty).unwrap();
+        assert_eq!(from_views.line, from_live.line);
+        assert_eq!(from_views.components, from_live.components);
+        assert_eq!(from_views.degraded, from_live.degraded);
+        assert_eq!(from_views.li, from_live.li);
     }
 
     #[test]

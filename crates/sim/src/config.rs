@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 /// Network channel behaviour: per-message delay, loss and (through variable
@@ -81,6 +83,85 @@ impl Default for ChannelConfig {
     }
 }
 
+/// How processes map onto shards of the parallel engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Partitioning {
+    /// Balanced contiguous blocks: processes `[k·n/s, (k+1)·n/s)` on
+    /// shard `k`. Keeps ring/chain neighbours together, so patterns with
+    /// local communication cross shards rarely.
+    #[default]
+    Contiguous,
+    /// Round-robin: process `p` on shard `p mod s`. Spreads hot spots at
+    /// the cost of making every neighbour link cross-shard.
+    Strided,
+}
+
+impl Partitioning {
+    /// The shard owning process `p` under this partitioning of `n`
+    /// processes into `shards` shards.
+    pub fn shard_of(self, p: usize, n: usize, shards: usize) -> usize {
+        match self {
+            Partitioning::Contiguous => p * shards / n,
+            Partitioning::Strided => p % shards,
+        }
+    }
+}
+
+impl fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partitioning::Contiguous => write!(f, "contiguous"),
+            Partitioning::Strided => write!(f, "strided"),
+        }
+    }
+}
+
+/// Parallel-engine knobs. The default (`shards = 1`) is the sequential
+/// engine; any higher count runs the conservative-lookahead sharded
+/// engine, whose output is byte-identical for a fixed seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Worker shards to partition the processes across. Clamped to the
+    /// process count; `0` is rejected by validation.
+    pub shards: usize,
+    /// Process-to-shard assignment.
+    pub partitioning: Partitioning,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            partitioning: Partitioning::default(),
+        }
+    }
+}
+
+/// Why a multi-shard run degraded to the sequential engine: the channel's
+/// `min_delay` is 0, so a cross-shard message can be delivered in the tick
+/// it was sent and the conservative lookahead window is empty. Surfaced
+/// loudly (printed to stderr and counted in
+/// [`Metrics::sequential_fallbacks`](crate::Metrics::sequential_fallbacks))
+/// rather than silently degrading to lockstep barriers every tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroLookaheadFallback {
+    /// The shard count that was requested.
+    pub shards: usize,
+}
+
+impl fmt::Display for ZeroLookaheadFallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel min_delay is 0: conservative lookahead is empty, so the requested {} shards \
+             fall back to the sequential engine (set min_delay >= 1 to run sharded)",
+            self.shards
+        )
+    }
+}
+
+impl std::error::Error for ZeroLookaheadFallback {}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -104,6 +185,11 @@ pub struct SimConfig {
     /// Application state-snapshot size in bytes recorded with each stored
     /// checkpoint (storage-space accounting).
     pub state_size: usize,
+    /// Parallel-engine knobs (defaults to the sequential engine). The
+    /// `serde(default)` keeps configs serialized before this field existed
+    /// deserializable.
+    #[serde(default)]
+    pub shard: ShardConfig,
 }
 
 impl SimConfig {
@@ -134,6 +220,11 @@ impl SimConfig {
                 self.correlated_crash_prob
             )));
         }
+        if self.shard.shards == 0 {
+            return Err(rdt_base::Error::InvalidConfig(
+                "shard count must be at least 1".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -148,6 +239,7 @@ impl Default for SimConfig {
             record_trace: false,
             record_occupancy: false,
             state_size: 0,
+            shard: ShardConfig::default(),
         }
     }
 }
@@ -216,5 +308,44 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(bad_corr.validate().is_err());
+        let no_shards = SimConfig {
+            shard: ShardConfig {
+                shards: 0,
+                ..ShardConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        assert!(no_shards.validate().is_err());
+    }
+
+    #[test]
+    fn partitionings_cover_every_process() {
+        for partitioning in [Partitioning::Contiguous, Partitioning::Strided] {
+            for n in 1..12 {
+                for shards in 1..=n {
+                    let mut sizes = vec![0usize; shards];
+                    for p in 0..n {
+                        let s = partitioning.shard_of(p, n, shards);
+                        assert!(s < shards, "{partitioning}: {p}/{n} landed on {s}");
+                        sizes[s] += 1;
+                    }
+                    let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                    assert!(
+                        max - min <= 1,
+                        "{partitioning}: unbalanced {sizes:?} for n={n} shards={shards}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_blocks_are_contiguous() {
+        let shard: Vec<usize> = (0..10)
+            .map(|p| Partitioning::Contiguous.shard_of(p, 10, 4))
+            .collect();
+        let mut sorted = shard.clone();
+        sorted.sort_unstable();
+        assert_eq!(shard, sorted, "block assignment must be monotone");
     }
 }

@@ -52,11 +52,11 @@ pub struct SimulationReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimulationBuilder {
-    spec: WorkloadSpec,
-    protocol: ProtocolKind,
-    gc: GcKind,
-    config: SimConfig,
-    recovery_mode: RecoveryMode,
+    pub(crate) spec: WorkloadSpec,
+    pub(crate) protocol: ProtocolKind,
+    pub(crate) gc: GcKind,
+    pub(crate) config: SimConfig,
+    pub(crate) recovery_mode: RecoveryMode,
 }
 
 impl SimulationBuilder {
@@ -120,6 +120,22 @@ impl SimulationBuilder {
         self
     }
 
+    /// Partitions the run across `shards` worker shards (default 1 = the
+    /// sequential engine). Output is byte-identical for a fixed seed
+    /// regardless of the count; if the channel's `min_delay` is 0 the
+    /// lookahead window is empty and the run falls back to the sequential
+    /// engine loudly ([`crate::ZeroLookaheadFallback`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shard.shards = shards;
+        self
+    }
+
+    /// Chooses the process-to-shard assignment (default contiguous).
+    pub fn partitioning(mut self, partitioning: crate::Partitioning) -> Self {
+        self.config.shard.partitioning = partitioning;
+        self
+    }
+
     /// Runs the simulation to completion.
     ///
     /// # Errors
@@ -131,6 +147,25 @@ impl SimulationBuilder {
     /// discipline, but the signature keeps the harness honest.
     pub fn run(self) -> Result<SimulationReport> {
         self.config.validate()?;
+        let shards = self.config.shard.shards.min(self.spec.n);
+        if shards > 1 {
+            if self.config.channel.min_delay == 0 {
+                // Zero cross-shard lookahead: every window would be a
+                // single tick (lockstep barriers). Degrade loudly to the
+                // sequential engine instead.
+                let warning = crate::ZeroLookaheadFallback { shards };
+                eprintln!("warning: {warning}");
+                let mut report = self.run_sequential()?;
+                report.metrics.sequential_fallbacks = 1;
+                return Ok(report);
+            }
+            return crate::parallel::run_sharded(self, shards);
+        }
+        self.run_sequential()
+    }
+
+    /// The single-threaded engine, shard dispatch already resolved.
+    pub(crate) fn run_sequential(self) -> Result<SimulationReport> {
         let ops = self.spec.generate();
         let mut sim = Simulation::new(
             self.spec.n,
@@ -147,11 +182,12 @@ impl SimulationBuilder {
 }
 
 /// Reports reused across every event of a run (cleared, never
-/// reallocated).
+/// reallocated). Shared with the shard workers of the parallel engine,
+/// whose handlers mirror the sequential ones event for event.
 #[derive(Debug, Default)]
-struct EventScratch {
-    receive: ReceiveReport,
-    checkpoint: CheckpointReport,
+pub(crate) struct EventScratch {
+    pub(crate) receive: ReceiveReport,
+    pub(crate) checkpoint: CheckpointReport,
 }
 
 #[derive(Debug)]

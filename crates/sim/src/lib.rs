@@ -11,6 +11,13 @@
 //!   loss and reordering, crash/recover failures with a centralized
 //!   recovery manager, and optional coordinator control rounds for the
 //!   coordinated baseline collectors.
+//! * The **sharded parallel engine** — reached through the same builder
+//!   via [`SimulationBuilder::shards`]: processes partitioned across
+//!   worker shards, each draining its own bucket queue inside
+//!   conservative lookahead windows derived from the channel's
+//!   `min_delay`, with cross-shard deliveries exchanged at window
+//!   barriers. Output is byte-identical to the sequential engine for a
+//!   fixed seed, at any shard count.
 //! * [`run_script`] — exact, delivery-placed execution of
 //!   [`Script`](rdt_workloads::Script)s, used to reproduce the paper's
 //!   worked figures (4 and 5).
@@ -37,10 +44,12 @@ mod config;
 mod engine;
 mod live;
 mod metrics;
+mod parallel;
 mod script;
 mod threaded;
+mod worker;
 
-pub use config::{ChannelConfig, SimConfig};
+pub use config::{ChannelConfig, Partitioning, ShardConfig, SimConfig, ZeroLookaheadFallback};
 pub use engine::{Simulation, SimulationBuilder, SimulationReport};
 pub use live::{DeliverOutcome, LiveNode};
 pub use metrics::{Metrics, ProcessMetrics};

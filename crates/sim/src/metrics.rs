@@ -63,6 +63,13 @@ pub struct Metrics {
     /// every unblocked one. Always `0` for safe collectors — they error out
     /// instead of degrading (Lemma-1 totality).
     pub degraded_lines: u64,
+    /// Times a requested multi-shard run fell back to the sequential
+    /// engine because the topology admits zero lookahead
+    /// ([`ZeroLookaheadFallback`](crate::ZeroLookaheadFallback)). `0` or
+    /// `1` per run; summable across sweeps. `serde(default)` keeps
+    /// metrics serialized before this field existed deserializable.
+    #[serde(default)]
+    pub sequential_fallbacks: u64,
 }
 
 impl Metrics {

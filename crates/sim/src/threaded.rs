@@ -198,10 +198,7 @@ pub fn run_threaded(n: usize, ops: &[AppOp], protocol: ProtocolKind, gc: GcKind)
         tx.send(Command::Stop).expect("thread alive");
     }
 
-    let processes = handles
-        .into_iter()
-        .map(|h| h.join().expect("process thread panicked"))
-        .collect();
+    let processes = crate::worker::join_outcomes(handles.into_iter().map(|h| h.join()));
     ThreadedReport { processes }
 }
 

@@ -104,6 +104,13 @@ pub fn scenarios() -> Vec<Scenario> {
 }
 
 pub fn run(s: &Scenario) -> SimulationReport {
+    run_with_shards(s, 1)
+}
+
+/// The same scenario on the sharded parallel engine — used by the
+/// equivalence suite, which asserts the output is byte-identical to the
+/// sequential run at every shard count.
+pub fn run_with_shards(s: &Scenario, shards: usize) -> SimulationReport {
     let spec = WorkloadSpec::uniform_random(s.n, s.steps)
         .with_pattern(s.pattern)
         .with_seed(s.seed)
@@ -122,6 +129,7 @@ pub fn run(s: &Scenario) -> SimulationReport {
             ..SimConfig::default()
         })
         .recovery_mode(s.mode)
+        .shards(shards)
         .run()
         .expect("simulation runs")
 }

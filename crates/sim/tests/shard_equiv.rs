@@ -1,0 +1,199 @@
+//! Sharded-engine equivalence: for a fixed seed, the conservative
+//! lookahead parallel engine must produce **byte-identical** output to
+//! the sequential engine — full canonical dump, including the event
+//! trace, occupancy timeline, per-process metrics, the order-sensitive
+//! `peak_global_retained`, and every recovery-session report — at any
+//! shard count and under either partitioning.
+//!
+//! A zero-lookahead channel (`min_delay == 0`) cannot run sharded; the
+//! engine must fall back to the sequential path *loudly* (typed warning,
+//! counted in metrics) while still producing the identical report.
+
+use proptest::prelude::*;
+
+use rdt_core::GcKind;
+use rdt_protocols::ProtocolKind;
+use rdt_recovery::RecoveryMode;
+use rdt_sim::{
+    ChannelConfig, Partitioning, ShardConfig, SimConfig, SimulationBuilder, ZeroLookaheadFallback,
+};
+use rdt_workloads::{Pattern, WorkloadSpec};
+
+mod common;
+use common::{canonical_dump, run, run_with_shards, scenarios, Scenario};
+
+/// Every golden scenario, sharded at 1, 2 and 4, dumps byte-identically
+/// to the sequential engine. This is the replay-golden equivalence the
+/// CI multi-thread smoke job runs under `RAYON_NUM_THREADS=2`.
+#[test]
+fn golden_scenarios_are_byte_identical_at_every_shard_count() {
+    for scenario in &scenarios() {
+        let sequential = canonical_dump(&run(scenario));
+        for shards in [1usize, 2, 4] {
+            let sharded = canonical_dump(&run_with_shards(scenario, shards));
+            assert_eq!(
+                sharded, sequential,
+                "{}: {} shards diverged from sequential",
+                scenario.name, shards
+            );
+        }
+    }
+}
+
+/// The strided partitioning maximizes cross-shard traffic (every
+/// neighbour link crosses); it must be just as equivalent.
+#[test]
+fn strided_partitioning_is_byte_identical() {
+    let scenario = &scenarios()[1]; // crashy_fdas_lgc: crashes + loss
+    let sequential = canonical_dump(&run(scenario));
+    let spec = WorkloadSpec::uniform_random(scenario.n, scenario.steps)
+        .with_pattern(scenario.pattern)
+        .with_seed(scenario.seed)
+        .with_checkpoint_prob(0.25)
+        .with_crash_prob(scenario.crash);
+    let report = SimulationBuilder::new(spec)
+        .protocol(scenario.protocol)
+        .garbage_collector(scenario.gc)
+        .config(SimConfig {
+            channel: ChannelConfig::lossy(scenario.loss),
+            control_every: scenario.control_every,
+            correlated_crash_prob: scenario.correlated,
+            record_trace: true,
+            record_occupancy: true,
+            state_size: 512,
+            shard: ShardConfig {
+                shards: 3,
+                partitioning: Partitioning::Strided,
+            },
+            ..SimConfig::default()
+        })
+        .recovery_mode(scenario.mode)
+        .run()
+        .expect("simulation runs");
+    assert_eq!(canonical_dump(&report), sequential);
+}
+
+/// `min_delay == 0` leaves no conservative lookahead: the run must fall
+/// back to the sequential engine, warn via the typed
+/// [`ZeroLookaheadFallback`], count the fallback in metrics — and still
+/// produce the byte-identical report.
+#[test]
+fn zero_lookahead_falls_back_loudly_to_the_sequential_engine() {
+    let spec = WorkloadSpec::uniform_random(4, 300).with_seed(77);
+    let config = SimConfig {
+        channel: ChannelConfig::instant(),
+        record_trace: true,
+        record_occupancy: true,
+        ..SimConfig::default()
+    };
+    let sequential = SimulationBuilder::new(spec.clone())
+        .config(config)
+        .run()
+        .expect("sequential runs");
+    let fallen_back = SimulationBuilder::new(spec)
+        .config(config)
+        .shards(2)
+        .run()
+        .expect("fallback runs");
+    assert_eq!(sequential.metrics.sequential_fallbacks, 0);
+    assert_eq!(fallen_back.metrics.sequential_fallbacks, 1);
+    assert_eq!(
+        canonical_dump(&fallen_back),
+        canonical_dump(&sequential),
+        "the fallback must not change any observable"
+    );
+    let warning = ZeroLookaheadFallback { shards: 2 }.to_string();
+    assert!(warning.contains("min_delay"), "{warning}");
+    assert!(warning.contains("2 shards"), "{warning}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary seeds, topologies, collectors, crash/loss mixes, shard
+    /// counts and partitionings: sharded ≡ sequential, byte for byte.
+    /// `min_delay` ranges down to 0 so the fallback path is exercised
+    /// within the same property.
+    #[test]
+    fn arbitrary_configs_shard_byte_identically(
+        n in 2usize..7,
+        steps in 50usize..300,
+        seed in 0u64..u64::MAX,
+        proto in 0usize..4,
+        gc in 0usize..4,
+        pattern in 0usize..3,
+        crash in 0.0f64..0.03,
+        loss in 0.0f64..0.15,
+        min_delay in 0u64..3,
+        shards in 1usize..=4,
+        strided in 0usize..2,
+        control in 0usize..2,
+        uncoordinated in 0usize..2,
+    ) {
+        let scenario = Scenario {
+            name: "arbitrary",
+            n,
+            steps,
+            seed,
+            protocol: [
+                ProtocolKind::Fdas,
+                ProtocolKind::Cas,
+                ProtocolKind::Fdi,
+                ProtocolKind::Mrs,
+            ][proto],
+            gc: [
+                GcKind::RdtLgc,
+                GcKind::None,
+                GcKind::WangGlobal,
+                GcKind::TimeBased { horizon: 100 },
+            ][gc],
+            pattern: [Pattern::UniformRandom, Pattern::Ring, Pattern::TokenRing][pattern],
+            crash,
+            correlated: 0.2,
+            loss,
+            control_every: (control == 1).then_some(90),
+            mode: if uncoordinated == 1 {
+                RecoveryMode::Uncoordinated
+            } else {
+                RecoveryMode::Coordinated
+            },
+        };
+        let spec = WorkloadSpec::uniform_random(scenario.n, scenario.steps)
+            .with_pattern(scenario.pattern)
+            .with_seed(scenario.seed)
+            .with_checkpoint_prob(0.25)
+            .with_crash_prob(scenario.crash);
+        let build = |shards: usize| {
+            SimulationBuilder::new(spec.clone())
+                .protocol(scenario.protocol)
+                .garbage_collector(scenario.gc)
+                .config(SimConfig {
+                    channel: ChannelConfig {
+                        min_delay,
+                        max_delay: 20,
+                        loss_rate: scenario.loss,
+                    },
+                    control_every: scenario.control_every,
+                    correlated_crash_prob: scenario.correlated,
+                    record_trace: true,
+                    record_occupancy: true,
+                    state_size: 512,
+                    shard: ShardConfig {
+                        shards,
+                        partitioning: if strided == 1 {
+                            Partitioning::Strided
+                        } else {
+                            Partitioning::Contiguous
+                        },
+                    },
+                    ..SimConfig::default()
+                })
+                .recovery_mode(scenario.mode)
+                .run()
+                .expect("simulation runs")
+        };
+        let sequential = canonical_dump(&build(1));
+        let sharded = canonical_dump(&build(shards));
+        prop_assert_eq!(sharded, sequential, "sharded run diverged from sequential");
+    }
+}

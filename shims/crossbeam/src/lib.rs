@@ -1,14 +1,15 @@
 //! Offline shim for `crossbeam` covering the surface this workspace uses:
-//! `channel::{unbounded, Sender, Receiver}` and the `select!` macro over
-//! `recv` arms.
+//! `channel::{unbounded, bounded, Sender, Receiver}` and the `select!`
+//! macro over `recv` arms.
 //!
-//! Channels are unbounded MPMC queues built on `Mutex<VecDeque>` +
-//! `Condvar`; `select!` polls its arms round-robin with a short parked
-//! sleep between sweeps. Adequate for the threaded test runtime; swap
-//! `[workspace.dependencies]` to the real crates.io `crossbeam` when a
-//! registry is reachable.
+//! Channels are MPMC queues built on `Mutex<VecDeque>` + `Condvar`;
+//! bounded senders block while the queue is at capacity. `select!` polls
+//! its arms round-robin with a short parked sleep between sweeps. Adequate
+//! for the threaded test runtime and the sharded engine's window-barrier
+//! inboxes; swap `[workspace.dependencies]` to the real crates.io
+//! `crossbeam` when a registry is reachable.
 
-/// Multi-producer multi-consumer unbounded channels.
+/// Multi-producer multi-consumer channels.
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
@@ -18,6 +19,10 @@ pub mod channel {
     struct Chan<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue makes room.
+        space: Condvar,
+        /// `None` for unbounded channels.
+        cap: Option<usize>,
         senders: AtomicUsize,
     }
 
@@ -68,27 +73,43 @@ pub mod channel {
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Creates a bounded channel: `send` blocks while `cap` messages are
+    /// queued. A capacity of 0 is rounded up to 1 (the real crossbeam's
+    /// rendezvous semantics are not needed here).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
         });
         (Sender(Arc::clone(&chan)), Receiver(chan))
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `value`; never blocks.
+        /// Enqueues `value`; blocks while a bounded channel is full.
         ///
         /// # Errors
         ///
         /// This shim cannot observe receiver disconnection, so `send`
         /// always succeeds; the `Result` mirrors the real API.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .queue
-                .lock()
-                .expect("channel poisoned")
-                .push_back(value);
+            let mut queue = self.0.queue.lock().expect("channel poisoned");
+            if let Some(cap) = self.0.cap {
+                while queue.len() >= cap {
+                    queue = self.0.space.wait(queue).expect("channel poisoned");
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
             self.0.ready.notify_one();
             Ok(())
         }
@@ -121,6 +142,7 @@ pub mod channel {
             let mut queue = self.0.queue.lock().expect("channel poisoned");
             loop {
                 if let Some(v) = queue.pop_front() {
+                    self.0.space.notify_one();
                     return Ok(v);
                 }
                 if self.0.senders.load(Ordering::SeqCst) == 0 {
@@ -140,6 +162,7 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.0.queue.lock().expect("channel poisoned");
             if let Some(v) = queue.pop_front() {
+                self.0.space.notify_one();
                 return Ok(v);
             }
             if self.0.senders.load(Ordering::SeqCst) == 0 {
@@ -223,6 +246,22 @@ mod tests {
             recv(rx_b) -> v => v.unwrap(),
         };
         assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_room() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // The third send must wait for the receiver to make room.
+        let h = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        h.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
     }
 
     #[test]

@@ -1,15 +1,22 @@
 //! Offline shim for `rayon` covering the surface this workspace uses:
-//! `into_par_iter().map(..).collect()` over vectors, preserving input
-//! order, plus `current_num_threads`.
+//! `into_par_iter().map(..).collect()` over vectors (preserving input
+//! order), `current_num_threads`, and a reusable scoped [`WorkerPool`]
+//! shared process-wide through [`global_pool`].
 //!
-//! Work is distributed dynamically over `std::thread::scope` workers
-//! pulling indices from an atomic counter — long-running items (a slow
-//! simulation seed) do not stall the other workers. Swap
-//! `[workspace.dependencies]` to the real crates.io `rayon` when a
-//! registry is reachable.
+//! The pool keeps its threads alive between scopes, so repeated parallel
+//! sections (a sweep of simulation seeds, the sharded engine's shard
+//! workers) reuse the same OS threads instead of spawning per call. Jobs
+//! are never queued behind a busy worker: when every pooled worker is
+//! occupied, a one-shot overflow thread runs the job instead. That keeps
+//! the pool deadlock-free for *cooperating* jobs — shard workers that
+//! block on messages from their sibling shards — which a shared-injector
+//! design would deadlock. Swap `[workspace.dependencies]` to the real
+//! crates.io `rayon` when a registry is reachable.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::{channel, SendError, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// The number of worker threads parallel operations use.
 pub fn current_num_threads() -> usize {
@@ -22,6 +29,174 @@ pub fn current_num_threads() -> usize {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         })
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between a pool handle and its worker threads.
+struct PoolShared {
+    /// Job senders of workers currently parked waiting for work; a worker
+    /// re-registers itself here after finishing each job.
+    idle: Mutex<Vec<Sender<Job>>>,
+    /// Pooled workers spawned so far.
+    spawned: AtomicUsize,
+}
+
+/// A reusable pool of worker threads executing scoped jobs.
+///
+/// Threads are spawned lazily up to the pool's size and then kept parked
+/// on their own job channel; [`scope`](Self::scope) hands out borrows of
+/// the enclosing stack frame exactly like `std::thread::scope` does.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    size: usize,
+}
+
+/// Per-scope completion state: a latch counting outstanding jobs plus the
+/// panic payloads they produced.
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panics: Mutex<Vec<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+/// Spawn handle passed to closures given to [`WorkerPool::scope`].
+pub struct PoolScope<'scope, 'env: 'scope> {
+    pool: &'scope WorkerPool,
+    state: Arc<ScopeState>,
+    /// Invariance over `'scope`, as in `std::thread::Scope`.
+    _scope: std::marker::PhantomData<&'scope mut &'scope ()>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+fn spawn_worker(shared: Arc<PoolShared>, first: Job) {
+    let (tx, rx) = channel::<Job>();
+    std::thread::spawn(move || {
+        let mut job = first;
+        loop {
+            job();
+            shared.idle.lock().expect("pool lock").push(tx.clone());
+            match rx.recv() {
+                Ok(next) => job = next,
+                // The pool was dropped (process teardown): retire.
+                Err(_) => return,
+            }
+        }
+    });
+}
+
+impl WorkerPool {
+    /// A pool of at most `size` persistent workers.
+    pub fn new(size: usize) -> Self {
+        Self {
+            shared: Arc::new(PoolShared {
+                idle: Mutex::new(Vec::new()),
+                spawned: AtomicUsize::new(0),
+            }),
+            size: size.max(1),
+        }
+    }
+
+    /// Maximum number of pooled worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `job`: on an idle pooled worker if one exists, on a freshly
+    /// spawned pooled worker while the pool is under size, or on a
+    /// one-shot overflow thread otherwise. Never queued — a job must not
+    /// wait behind another job, or cooperating jobs would deadlock.
+    fn execute(&self, mut job: Job) {
+        loop {
+            let Some(worker) = self.shared.idle.lock().expect("pool lock").pop() else {
+                break;
+            };
+            match worker.send(job) {
+                Ok(()) => return,
+                // Worker retired between registering and now (only at
+                // teardown); take the job back and try another.
+                Err(SendError(j)) => job = j,
+            }
+        }
+        if self.shared.spawned.fetch_add(1, Ordering::Relaxed) < self.size {
+            spawn_worker(Arc::clone(&self.shared), job);
+        } else {
+            self.shared.spawned.fetch_sub(1, Ordering::Relaxed);
+            std::thread::spawn(job);
+        }
+    }
+
+    /// Creates a scope in which jobs borrowing the enclosing frame can be
+    /// spawned onto the pool; returns once the closure *and every spawned
+    /// job* have finished. A panic from any job (or the closure) is
+    /// resumed here, after all jobs completed — the same containment
+    /// `std::thread::scope` provides.
+    pub fn scope<'env, F, T>(&self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope PoolScope<'scope, 'env>) -> T,
+    {
+        let state = Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panics: Mutex::new(Vec::new()),
+        });
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::clone(&state),
+            _scope: std::marker::PhantomData,
+            _env: std::marker::PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Wait out every spawned job whether or not the closure panicked:
+        // jobs may borrow the enclosing frame and must not outlive it.
+        let mut pending = state.pending.lock().expect("scope lock");
+        while *pending > 0 {
+            pending = state.done.wait(pending).expect("scope lock");
+        }
+        drop(pending);
+        let job_panic = state.panics.lock().expect("scope lock").pop();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(_) if job_panic.is_some() => resume_unwind(job_panic.expect("checked")),
+            Ok(value) => value,
+        }
+    }
+}
+
+impl<'scope, 'env> PoolScope<'scope, 'env> {
+    /// Spawns `f` onto the pool; the scope will not close before it runs
+    /// to completion.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        *self.state.pending.lock().expect("scope lock") += 1;
+        let state = Arc::clone(&self.state);
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: the job's borrows live for 'scope, and `scope` blocks on
+        // the pending latch until this job (which decrements it last, after
+        // the payload ran or panicked) completes — the borrowed frame
+        // cannot be left while the job is live. This is the standard
+        // lifetime erasure behind every scoped thread pool.
+        let boxed: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(boxed) };
+        let wrapped: Job = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(boxed)) {
+                state.panics.lock().expect("scope lock").push(payload);
+            }
+            let mut pending = state.pending.lock().expect("scope lock");
+            *pending -= 1;
+            state.done.notify_all();
+        });
+        self.pool.execute(wrapped);
+    }
+}
+
+/// The process-wide pool, sized by [`current_num_threads`] on first use
+/// (so `RAYON_NUM_THREADS` set at startup takes effect).
+pub fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(current_num_threads()))
 }
 
 /// Conversion into a parallel iterator, mirroring
@@ -67,7 +242,10 @@ pub struct ParMap<T, F> {
 }
 
 impl<T: Send, F> ParMap<T, F> {
-    /// Runs the pipeline and collects results **in input order**.
+    /// Runs the pipeline on the [`global_pool`] and collects results **in
+    /// input order**. Work is distributed dynamically — workers pull
+    /// indices from an atomic cursor, so a slow item does not stall the
+    /// others.
     pub fn collect<R, C>(self) -> C
     where
         R: Send,
@@ -76,7 +254,8 @@ impl<T: Send, F> ParMap<T, F> {
     {
         let ParMap { items, f } = self;
         let n = items.len();
-        let workers = current_num_threads().min(n.max(1));
+        let pool = global_pool();
+        let workers = pool.size().min(n.max(1));
         if workers <= 1 {
             return items.into_iter().map(f).collect();
         }
@@ -86,7 +265,7 @@ impl<T: Send, F> ParMap<T, F> {
             .collect();
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
+        pool.scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
@@ -122,6 +301,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -136,5 +316,77 @@ mod tests {
         assert!(out.is_empty());
         let out: Vec<u8> = vec![7].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn scope_runs_every_job_and_borrows_the_frame() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_scopes() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..20 {
+            pool.scope(|scope| {
+                scope.spawn(|| {});
+                scope.spawn(|| {});
+            });
+        }
+        // At most `size` pooled threads were ever spawned, plus overflow
+        // threads only if both were busy at a spawn instant.
+        assert!(pool.shared.spawned.load(Ordering::Relaxed) <= 2);
+    }
+
+    #[test]
+    fn cooperating_jobs_do_not_deadlock_a_small_pool() {
+        // Four jobs exchanging through channels on a single-thread pool:
+        // overflow threads must carry the surplus instead of queueing.
+        let pool = WorkerPool::new(1);
+        let (txs, rxs): (Vec<_>, Vec<_>) =
+            (0..4).map(|_| std::sync::mpsc::channel::<usize>()).unzip();
+        let rxs: Vec<_> = rxs.into_iter().map(Mutex::new).collect();
+        let total = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for (i, rx) in rxs.iter().enumerate() {
+                let next = txs[(i + 1) % 4].clone();
+                let total = &total;
+                scope.spawn(move || {
+                    if i == 0 {
+                        next.send(1).expect("ring open");
+                    }
+                    let got = rx.lock().expect("unpoisoned").recv().expect("ring");
+                    total.fetch_add(got, Ordering::Relaxed);
+                    if i != 0 {
+                        next.send(got + 1).expect("ring open");
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn job_panics_propagate_after_all_jobs_finish() {
+        let pool = WorkerPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("job failure"));
+                scope.spawn(|| {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::Relaxed), 1);
     }
 }
