@@ -126,13 +126,23 @@ fn guard(
         };
         let ratio = now / then;
         println!("{name:<44} {then:>12.1} -> {now:>12.1} ns  x{ratio:.3}");
+        rdt_obs::debug("bench_guard", "compare")
+            .str("bench", name)
+            .f64("committed_ns", then)
+            .f64("current_ns", now)
+            .f64("ratio", ratio)
+            .emit();
         let slot = suites.entry(suite_of(name)).or_insert((0.0, 0));
         slot.0 += ratio.ln();
         slot.1 += 1;
     }
     for (suite, count) in &fresh_suites {
         if !suites.contains_key(suite) {
-            println!("skip: suite {suite} ({count} benches) is absent from the baseline — not gated until it is recorded");
+            rdt_obs::info("bench_guard", "ungated_suite")
+                .message("suite is absent from the baseline — not gated until it is recorded")
+                .str("suite", *suite)
+                .u64("benches", u64::from(*count))
+                .emit();
         }
     }
     if suites.is_empty() {
@@ -145,19 +155,28 @@ fn guard(
     // silently shrink what it measures.
     for name in committed.keys() {
         if !current.contains_key(name) {
-            println!("missing: {name} is in the committed record but was not captured");
+            rdt_obs::warn("bench_guard", "missing_benchmark")
+                .message("in the committed record but not captured")
+                .str("bench", name)
+                .emit();
             failed = true;
         }
     }
     for (suite, (log_sum, count)) in &suites {
         let geomean = (log_sum / f64::from(*count)).exp();
-        let verdict = if geomean > max_ratio {
+        let (level, verdict) = if geomean > max_ratio {
             failed = true;
-            "REGRESSION"
+            (rdt_obs::Level::Warn, "REGRESSION")
         } else {
-            "ok"
+            (rdt_obs::Level::Info, "ok")
         };
-        println!("suite {suite:<30} geomean x{geomean:.3} ({count} benches) {verdict}");
+        rdt_obs::event(level, "bench_guard", "suite_gate")
+            .message(verdict)
+            .str("suite", *suite)
+            .f64("geomean", geomean)
+            .u64("benches", u64::from(*count))
+            .f64("max_ratio", max_ratio)
+            .emit();
     }
     if failed {
         Outcome::Fail
@@ -167,6 +186,9 @@ fn guard(
 }
 
 fn main() -> ExitCode {
+    // Gate decisions are part of the CI record: raise the threshold so
+    // the info-level verdicts reach the sink (stderr, or RDT_LOG_JSONL).
+    rdt_obs::set_level(Some(rdt_obs::Level::Info));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (current_path, committed_path) = match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => (a, b),
@@ -198,12 +220,22 @@ fn main() -> ExitCode {
     };
     match outcome {
         Outcome::Skip(why) => {
-            println!("bench_guard: SKIPPED — {why}; nothing was gated");
+            rdt_obs::warn("bench_guard", "skipped")
+                .message(format!("{why}; nothing was gated"))
+                .emit();
             ExitCode::SUCCESS
         }
-        Outcome::Pass => ExitCode::SUCCESS,
+        Outcome::Pass => {
+            rdt_obs::info("bench_guard", "passed")
+                .f64("max_ratio", max_ratio)
+                .emit();
+            ExitCode::SUCCESS
+        }
         Outcome::Fail => {
-            eprintln!("bench_guard: geomean regression beyond x{max_ratio} — failing");
+            rdt_obs::error("bench_guard", "gate_failed")
+                .message("geomean regression beyond the allowed ratio")
+                .f64("max_ratio", max_ratio)
+                .emit();
             ExitCode::FAILURE
         }
     }

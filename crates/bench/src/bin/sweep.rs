@@ -15,6 +15,7 @@
 
 use rdt_bench::{derive_seed, par_map};
 use rdt_core::GcKind;
+use rdt_obs::json::JsonValue;
 use rdt_protocols::ProtocolKind;
 use rdt_recovery::RecoveryMode;
 use rdt_sim::{ChannelConfig, ShardConfig, SimConfig, SimulationBuilder};
@@ -37,6 +38,8 @@ struct Args {
     mode: RecoveryMode,
     runs: u64,
     shards: usize,
+    profile: bool,
+    metrics_out: Option<String>,
 }
 
 impl Default for Args {
@@ -57,6 +60,8 @@ impl Default for Args {
             mode: RecoveryMode::Coordinated,
             runs: 1,
             shards: 1,
+            profile: false,
+            metrics_out: None,
         }
     }
 }
@@ -156,8 +161,16 @@ fn parse_args() -> Args {
                     other => die(&format!("unknown mode '{other}'")),
                 }
             }
+            "profile" => {
+                args.profile = match value {
+                    "1" | "true" | "on" => true,
+                    "0" | "false" | "off" => false,
+                    other => die(&format!("profile must be on/off, got '{other}'")),
+                }
+            }
+            "metrics-out" => args.metrics_out = Some(value.to_string()),
             other => die(&format!(
-                "unknown key '{other}' (n steps seed protocol gc pattern ckpt crash correlated loss state-size control-every mode runs shards)"
+                "unknown key '{other}' (n steps seed protocol gc pattern ckpt crash correlated loss state-size control-every mode runs shards profile metrics-out)"
             )),
         }
     }
@@ -182,6 +195,7 @@ fn run_one(args: &Args, seed: u64) -> rdt_sim::SimulationReport {
             shards: args.shards,
             ..ShardConfig::default()
         },
+        profile: args.profile,
         ..SimConfig::default()
     };
     SimulationBuilder::new(spec)
@@ -193,6 +207,52 @@ fn run_one(args: &Args, seed: u64) -> rdt_sim::SimulationReport {
         .expect("simulation runs")
 }
 
+/// The full metrics (and the phase profile, when recorded) as one JSON
+/// document — the `metrics-out=` payload, mirroring `rdt run
+/// --metrics-out`.
+fn metrics_doc(report: &rdt_sim::SimulationReport) -> JsonValue {
+    let m = &report.metrics;
+    let u = |v: u64| JsonValue::UInt(v);
+    let per_process = JsonValue::Arr(
+        m.per_process
+            .iter()
+            .map(|p| {
+                JsonValue::Obj(vec![
+                    ("retained".into(), u(p.retained as u64)),
+                    ("peak_retained".into(), u(p.peak_retained as u64)),
+                    ("total_stored".into(), u(p.total_stored as u64)),
+                    ("total_collected".into(), u(p.total_collected as u64)),
+                    ("basic".into(), u(p.basic)),
+                    ("forced".into(), u(p.forced)),
+                    ("sent".into(), u(p.sent)),
+                    ("delivered".into(), u(p.delivered)),
+                    ("lost".into(), u(p.lost)),
+                    ("retained_sum".into(), u(p.retained_sum)),
+                    ("samples".into(), u(p.samples)),
+                ])
+            })
+            .collect(),
+    );
+    let metrics = JsonValue::Obj(vec![
+        ("ticks".into(), u(m.ticks)),
+        ("control_rounds".into(), u(m.control_rounds)),
+        ("recovery_sessions".into(), u(m.recovery_sessions)),
+        ("total_rolled_back".into(), u(m.total_rolled_back)),
+        ("degraded_lines".into(), u(m.degraded_lines)),
+        ("sequential_fallbacks".into(), u(m.sequential_fallbacks)),
+        (
+            "peak_global_retained".into(),
+            u(m.peak_global_retained as u64),
+        ),
+        ("per_process".into(), per_process),
+    ]);
+    let mut doc = vec![("metrics".into(), metrics)];
+    if let Some(profile) = &report.profile {
+        doc.push(("profile".into(), profile.to_json()));
+    }
+    JsonValue::Obj(doc)
+}
+
 fn main() {
     let args = parse_args();
     println!("{args:#?}");
@@ -201,6 +261,12 @@ fn main() {
         // Fan the derived-seed runs out across every core; aggregate.
         let seeds: Vec<u64> = (0..args.runs).map(|k| derive_seed(args.seed, k)).collect();
         let reports = par_map(seeds, |seed| run_one(&args, seed));
+        if let Some(path) = &args.metrics_out {
+            let doc = JsonValue::Arr(reports.iter().map(metrics_doc).collect());
+            if let Err(e) = std::fs::write(path, doc.to_string() + "\n") {
+                die(&format!("writing {path}: {e}"));
+            }
+        }
         let k = reports.len() as f64;
         println!();
         println!(
@@ -254,6 +320,11 @@ fn main() {
     }
 
     let report = run_one(&args, args.seed);
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, metrics_doc(&report).to_string() + "\n") {
+            die(&format!("writing {path}: {e}"));
+        }
+    }
 
     println!();
     println!("ticks: {}", report.metrics.ticks);

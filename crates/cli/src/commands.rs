@@ -1,9 +1,10 @@
-//! The `simulate`, `analyze` and `audit` subcommands.
+//! The `simulate`, `analyze`, `audit`, `line`, `trace` and `torture`
+//! subcommands.
 
 use rdt_analysis::{worst_single_failure, CcpStats, OccupancyTimeline};
-use rdt_base::ProcessId;
+use rdt_base::{ProcessId, TraceEvent};
 use rdt_ccp::{collection_safety_violations, CcpBuilder};
-use rdt_sim::{SimulationBuilder, SimulationReport};
+use rdt_sim::{Metrics, SimulationBuilder, SimulationReport};
 
 use crate::json::Json;
 use crate::opts::RunOpts;
@@ -31,6 +32,62 @@ fn run_with(
     builder.run().map_err(|e| format!("simulation failed: {e}"))
 }
 
+/// The full [`Metrics`] struct as JSON — every field, not the curated
+/// `simulate` summary. Shared by `--metrics-out` and the bench sweep.
+fn metrics_json(m: &Metrics) -> Json {
+    Json::obj()
+        .field("ticks", Json::UInt(m.ticks))
+        .field("control_rounds", Json::UInt(m.control_rounds))
+        .field("recovery_sessions", Json::UInt(m.recovery_sessions))
+        .field("total_rolled_back", Json::UInt(m.total_rolled_back))
+        .field("degraded_lines", Json::UInt(m.degraded_lines))
+        .field("sequential_fallbacks", Json::UInt(m.sequential_fallbacks))
+        .field(
+            "peak_global_retained",
+            Json::UInt(m.peak_global_retained as u64),
+        )
+        .field(
+            "per_process",
+            Json::Arr(
+                m.per_process
+                    .iter()
+                    .map(|p| {
+                        Json::obj()
+                            .field("retained", Json::UInt(p.retained as u64))
+                            .field("peak_retained", Json::UInt(p.peak_retained as u64))
+                            .field("total_stored", Json::UInt(p.total_stored as u64))
+                            .field("total_collected", Json::UInt(p.total_collected as u64))
+                            .field("basic", Json::UInt(p.basic))
+                            .field("forced", Json::UInt(p.forced))
+                            .field("sent", Json::UInt(p.sent))
+                            .field("delivered", Json::UInt(p.delivered))
+                            .field("lost", Json::UInt(p.lost))
+                            .field("retained_sum", Json::UInt(p.retained_sum))
+                            .field("samples", Json::UInt(p.samples))
+                            .build()
+                    })
+                    .collect(),
+            ),
+        )
+        .build()
+}
+
+/// Writes the full metrics + profile document for `--metrics-out`.
+fn write_metrics_out(path: &std::path::Path, report: &SimulationReport) -> Result<(), String> {
+    let doc = Json::obj()
+        .field("metrics", metrics_json(&report.metrics))
+        .maybe(
+            "profile",
+            report
+                .profile
+                .as_ref()
+                .map(|p| Json::Raw(p.to_json().to_string())),
+        )
+        .build();
+    std::fs::write(path, doc.pretty() + "\n")
+        .map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
 #[derive(Debug)]
 struct SimulateSummary {
     n: usize,
@@ -50,6 +107,7 @@ struct SimulateSummary {
     avg_retained: f64,
     per_process_retained: Vec<usize>,
     occupancy: Option<OccupancySummary>,
+    profile: Option<rdt_obs::ProfileReport>,
 }
 
 impl SimulateSummary {
@@ -80,6 +138,12 @@ impl SimulateSummary {
             .maybe(
                 "occupancy",
                 self.occupancy.as_ref().map(OccupancySummary::to_json),
+            )
+            .maybe(
+                "profile",
+                self.profile
+                    .as_ref()
+                    .map(|p| Json::Raw(p.to_json().to_string())),
             )
             .build()
     }
@@ -115,6 +179,9 @@ impl OccupancySummary {
 /// `rdt simulate` — run a workload and report the storage metrics.
 pub fn simulate(opts: &RunOpts, occupancy: bool) -> Result<(), String> {
     let report = run_with(opts, false, occupancy)?;
+    if let Some(path) = &opts.metrics_out {
+        write_metrics_out(path, &report)?;
+    }
     let m = &report.metrics;
     let occupancy = report.occupancy.as_ref().map(|samples| {
         let tl = OccupancyTimeline::from_raw(opts.spec.n, samples.iter().copied());
@@ -147,6 +214,7 @@ pub fn simulate(opts: &RunOpts, occupancy: bool) -> Result<(), String> {
         avg_retained: m.avg_retained(),
         per_process_retained: m.per_process.iter().map(|p| p.retained).collect(),
         occupancy,
+        profile: report.profile.clone(),
     };
     if opts.json {
         println!("{}", summary.to_json().pretty());
@@ -186,7 +254,118 @@ pub fn simulate(opts: &RunOpts, occupancy: bool) -> Result<(), String> {
         );
         println!("per-process peaks: {:?}", occ.per_process_peak);
     }
+    if let Some(profile) = &summary.profile {
+        println!("phases (by total time):");
+        let mut phases: Vec<_> = profile.phases.iter().collect();
+        phases.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        for (name, stats) in phases {
+            println!(
+                "  {name:<24} {:>9} calls  {:>12} ns total  {:>9} ns mean",
+                stats.count,
+                stats.total_ns,
+                stats.mean_ns()
+            );
+        }
+        for (name, value) in &profile.counters {
+            println!("  {name:<24} {value:>9}");
+        }
+    }
     Ok(())
+}
+
+/// `rdt trace` — replay a run and emit its global event sequence as JSONL
+/// (one `{"type":"run"}` header, one `{"type":"event"}` line per trace
+/// event, and — with `--profile` — `span`/`counter` lines from the phase
+/// profile). The stream is what `obs_check` validates in CI.
+pub fn trace(opts: &RunOpts, out: Option<&str>) -> Result<(), String> {
+    let report = run(opts, true)?;
+    if let Some(path) = &opts.metrics_out {
+        write_metrics_out(path, &report)?;
+    }
+    let trace = report.trace.as_ref().expect("trace recording requested");
+    let mut lines = String::new();
+    lines.push_str(
+        &Json::obj()
+            .field("type", Json::Str("run".into()))
+            .field("n", Json::UInt(opts.spec.n as u64))
+            .field("steps", Json::UInt(opts.spec.steps as u64))
+            .field("seed", Json::UInt(opts.spec.seed))
+            .field("shards", Json::UInt(opts.config.shard.shards as u64))
+            .field("protocol", Json::Str(opts.protocol.to_string()))
+            .field("gc", Json::Str(opts.gc.to_string()))
+            .build()
+            .compact(),
+    );
+    lines.push('\n');
+    for (i, event) in trace.iter().enumerate() {
+        let base = Json::obj()
+            .field("type", Json::Str("event".into()))
+            .field("i", Json::UInt(i as u64));
+        let doc = match event {
+            TraceEvent::Checkpoint { process, forced } => base
+                .field("kind", Json::Str("ckpt".into()))
+                .field("process", Json::UInt(process.index() as u64))
+                .field("forced", Json::Bool(*forced)),
+            TraceEvent::Send { id, to } => base
+                .field("kind", Json::Str("send".into()))
+                .field("from", Json::UInt(id.sender.index() as u64))
+                .field("seq", Json::UInt(id.seq))
+                .field("to", Json::UInt(to.index() as u64)),
+            TraceEvent::Deliver { id } => base
+                .field("kind", Json::Str("deliver".into()))
+                .field("from", Json::UInt(id.sender.index() as u64))
+                .field("seq", Json::UInt(id.seq)),
+            TraceEvent::Drop { id } => base
+                .field("kind", Json::Str("drop".into()))
+                .field("from", Json::UInt(id.sender.index() as u64))
+                .field("seq", Json::UInt(id.seq)),
+            TraceEvent::Collect { process, index } => base
+                .field("kind", Json::Str("collect".into()))
+                .field("process", Json::UInt(process.index() as u64))
+                .field("index", Json::UInt(index.value() as u64)),
+            TraceEvent::Crash { process } => base
+                .field("kind", Json::Str("crash".into()))
+                .field("process", Json::UInt(process.index() as u64)),
+            TraceEvent::Restore { process, to } => base
+                .field("kind", Json::Str("restore".into()))
+                .field("process", Json::UInt(process.index() as u64))
+                .field("to", Json::UInt(to.value() as u64)),
+        };
+        lines.push_str(&doc.build().compact());
+        lines.push('\n');
+    }
+    if let Some(profile) = &report.profile {
+        for (phase, stats) in &profile.phases {
+            lines.push_str(
+                &Json::obj()
+                    .field("type", Json::Str("span".into()))
+                    .field("phase", Json::Str(phase.clone()))
+                    .field("count", Json::UInt(stats.count))
+                    .field("total_ns", Json::UInt(stats.total_ns))
+                    .build()
+                    .compact(),
+            );
+            lines.push('\n');
+        }
+        for (name, value) in &profile.counters {
+            lines.push_str(
+                &Json::obj()
+                    .field("type", Json::Str("counter".into()))
+                    .field("name", Json::Str(name.clone()))
+                    .field("value", Json::UInt(*value))
+                    .build()
+                    .compact(),
+            );
+            lines.push('\n');
+        }
+    }
+    match out {
+        Some(path) => std::fs::write(path, lines).map_err(|e| format!("writing {path}: {e}")),
+        None => {
+            print!("{lines}");
+            Ok(())
+        }
+    }
 }
 
 #[derive(Debug)]

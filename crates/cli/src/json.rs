@@ -22,6 +22,11 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object with insertion-ordered keys.
     Obj(Vec<(&'static str, Json)>),
+    /// A pre-rendered JSON document spliced in verbatim (compact, no
+    /// re-indentation) — used to embed `rdt_obs` documents, whose keys
+    /// are dynamic phase names the `'static`-keyed [`Json::Obj`] cannot
+    /// hold.
+    Raw(String),
 }
 
 impl Json {
@@ -43,6 +48,56 @@ impl Json {
         out
     }
 
+    /// Renders on one line — no indentation or newlines — for JSONL
+    /// streams where one value is one line.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.3}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Raw(doc) => out.push_str(doc),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Bool(b) => {
@@ -59,6 +114,7 @@ impl Json {
                 }
             }
             Json::Str(s) => write_escaped(out, s),
+            Json::Raw(doc) => out.push_str(doc),
             Json::Arr(items) => {
                 if items.is_empty() {
                     out.push_str("[]");
@@ -174,5 +230,15 @@ mod tests {
     fn empty_containers_render_compact() {
         assert_eq!(Json::Arr(vec![]).pretty(), "[]");
         assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+
+    #[test]
+    fn compact_renders_one_line() {
+        let doc = Json::obj()
+            .field("a", Json::UInt(1))
+            .field("xs", Json::uints([2, 3]))
+            .field("raw", Json::Raw("{\"k\":0}".into()))
+            .build();
+        assert_eq!(doc.compact(), "{\"a\":1,\"xs\":[2,3],\"raw\":{\"k\":0}}");
     }
 }

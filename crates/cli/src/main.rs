@@ -50,6 +50,17 @@ fn cli() -> Command {
         .subcommand(with_common_args(
             Command::new("line").about("recovery lines for every single-process failure"),
         ))
+        .subcommand(with_common_args(
+            Command::new("trace")
+                .about("replay a run and emit its global event sequence as JSONL (spans with --profile)")
+                .arg(
+                    clap::Arg::new("out")
+                        .long("out")
+                        .short('o')
+                        .help("write the JSONL stream to this file instead of stdout")
+                        .value_name("path"),
+                ),
+        ))
         .subcommand(torture_args(Command::new("torture").about(
             "crash-point sweep + corruption fault plans over the durable storage layer",
         )))
@@ -123,6 +134,7 @@ fn main() {
             "analyze" => commands::analyze(&opts, sub.get_one::<String>("dot").map(String::as_str)),
             "audit" => commands::audit(&opts),
             "line" => commands::line(&opts),
+            "trace" => commands::trace(&opts, sub.get_one::<String>("out").map(String::as_str)),
             _ => unreachable!("clap rejects unknown subcommands"),
         })
     };
@@ -143,7 +155,7 @@ mod tests {
 
     #[test]
     fn subcommands_share_common_args() {
-        for sub in ["simulate", "analyze", "audit", "line"] {
+        for sub in ["simulate", "analyze", "audit", "line", "trace"] {
             let m = cli()
                 .try_get_matches_from(["rdt", sub, "-n", "3", "--json"])
                 .expect("parses");

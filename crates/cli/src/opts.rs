@@ -162,6 +162,18 @@ pub fn with_common_args(cmd: Command) -> Command {
         "1",
     ))
     .arg(
+        Arg::new("profile")
+            .long("profile")
+            .help("record phase timings (drain, control rounds, per-shard barriers); simulation output stays byte-identical")
+            .action(clap::ArgAction::SetTrue),
+    )
+    .arg(
+        Arg::new("metrics-out")
+            .long("metrics-out")
+            .help("write the full metrics (and the phase profile, with --profile) as JSON to this file")
+            .value_name("path"),
+    )
+    .arg(
         Arg::new("json")
             .long("json")
             .help("emit machine-readable JSON instead of tables")
@@ -196,6 +208,8 @@ pub struct RunOpts {
     pub config: SimConfig,
     /// JSON output requested.
     pub json: bool,
+    /// Where to write the full metrics + profile document, if anywhere.
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 /// Extracts [`RunOpts`] from parsed matches.
@@ -254,6 +268,7 @@ pub fn run_opts(m: &ArgMatches) -> Result<RunOpts, String> {
             shards,
             ..ShardConfig::default()
         },
+        profile: m.get_flag("profile"),
         ..SimConfig::default()
     };
     Ok(RunOpts {
@@ -262,6 +277,7 @@ pub fn run_opts(m: &ArgMatches) -> Result<RunOpts, String> {
         gc: parse_gc(&get("gc"))?,
         config,
         json: m.get_flag("json"),
+        metrics_out: m.get_one::<String>("metrics-out").map(Into::into),
     })
 }
 
@@ -333,6 +349,18 @@ mod tests {
         let m = cmd.clone().get_matches_from(["t", "-j", "4"]);
         let opts = run_opts(&m).unwrap();
         assert_eq!(opts.config.shard.shards, 4);
+        assert!(!opts.config.profile);
+        assert!(opts.metrics_out.is_none());
+
+        let m = cmd
+            .clone()
+            .get_matches_from(["t", "--profile", "--metrics-out", "m.json"]);
+        let opts = run_opts(&m).unwrap();
+        assert!(opts.config.profile);
+        assert_eq!(
+            opts.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
 
         let m = cmd.clone().get_matches_from(["t", "-n", "1"]);
         assert!(run_opts(&m).is_err());

@@ -111,6 +111,10 @@ fn store_dir(dir: &Path, rank: usize) -> PathBuf {
     dir.join(format!("p{rank}"))
 }
 
+fn prom_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("metrics_p{rank}.prom"))
+}
+
 // ---------------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------------
@@ -131,9 +135,13 @@ fn pump(
     log: &mut std::fs::File,
     buf: &mut [u8],
     stats: &mut WorkerStats,
+    prof: &mut rdt_obs::Profiler,
 ) -> Result<(), String> {
     loop {
-        match transport.recv(buf) {
+        let t = prof.start();
+        let received = transport.recv(buf);
+        prof.stop("live/recv", t);
+        match received {
             Ok(Some(len)) => {
                 let outcome = node
                     .deliver_frame(&buf[..len])
@@ -157,6 +165,37 @@ fn pump(
             Err(e) => return Err(format!("recv failed: {e}")),
         }
     }
+}
+
+/// Writes one worker's Prometheus-style textfile dump
+/// (`metrics_p<rank>.prom`): phase latencies — frame encode/decode,
+/// socket send/recv, `store/*` I/O — when `RDT_PROFILE` is on, plus the
+/// always-present traffic counters. The closest a socket-driven worker
+/// gets to a `/metrics` endpoint without a server thread.
+fn write_prom(
+    dir: &Path,
+    rank: usize,
+    node: &LiveNode<DiskSink>,
+    prof: &rdt_obs::Profiler,
+    stats: &WorkerStats,
+) -> Result<(), String> {
+    let mut report = rdt_obs::ProfileReport::new();
+    if let Some(p) = prof.report() {
+        report.merge(p);
+    }
+    if let Some(p) = node.profile() {
+        report.merge(p);
+    }
+    if let Some(p) = node.middleware().sink().disk().profile() {
+        report.merge(&p);
+    }
+    report.add("frames_sent", stats.sent);
+    report.add("frames_delivered", stats.delivered);
+    report.add("checkpoints_basic", stats.basic);
+    report.add("checkpoints_forced", stats.forced);
+    report.add("checkpoints_eliminated", stats.eliminated);
+    std::fs::write(prom_path(dir, rank), report.to_prometheus())
+        .map_err(|e| format!("metrics dump failed: {e}"))
 }
 
 /// The hidden `__serve-worker` subcommand: one real process of the system.
@@ -222,18 +261,27 @@ pub fn worker(m: &ArgMatches) -> Result<(), String> {
     );
     let mut buf = vec![0u8; MAX_FRAME];
     let mut stats = WorkerStats::default();
+    // Frame-path and socket-path profiling, plus periodic .prom dumps,
+    // keyed off the same env switch as everywhere else.
+    let profiling = rdt_obs::profile::env_enabled();
+    node.set_profiling(profiling);
+    let mut prof = rdt_obs::Profiler::new(profiling);
     let mut step = 0usize;
     loop {
         if cfg.ops > 0 && step >= cfg.ops {
             break;
         }
         step += 1;
+        if step.is_multiple_of(64) {
+            write_prom(&cfg.dir, rank, &node, &prof, &stats)?;
+        }
         pump(
             &mut env.transport,
             &mut node,
             &mut log,
             &mut buf,
             &mut stats,
+            &mut prof,
         )?;
         let roll = env.rng.between(0, 99);
         if roll < 35 {
@@ -258,9 +306,10 @@ pub fn worker(m: &ArgMatches) -> Result<(), String> {
                 .map_err(|e| format!("trace log write failed: {e}"))?;
             // Transmit strictly after the send is in the log: a peer can
             // only deliver a message whose Send the oracle will find.
-            env.transport
-                .send(peer, &frame.encode())
-                .map_err(|e| format!("send failed: {e}"))?;
+            let t = prof.start();
+            let sent = env.transport.send(peer, &frame.encode());
+            prof.stop("live/send", t);
+            sent.map_err(|e| format!("send failed: {e}"))?;
             stats.sent += 1;
         }
         if let Some(e) = node.middleware_mut().take_sink_error() {
@@ -278,12 +327,14 @@ pub fn worker(m: &ArgMatches) -> Result<(), String> {
             &mut log,
             &mut buf,
             &mut stats,
+            &mut prof,
         )?;
         std::thread::sleep(Duration::from_millis(5));
     }
     if let Some(e) = node.middleware_mut().take_sink_error() {
         return Err(format!("durable commit failed: {e}"));
     }
+    write_prom(&cfg.dir, rank, &node, &prof, &stats)?;
     let retained = node.middleware().store().len();
     std::fs::write(
         summary_path(&cfg.dir, rank),

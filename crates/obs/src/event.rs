@@ -1,0 +1,281 @@
+//! Structured, leveled events.
+//!
+//! An [`Event`] is a named occurrence with typed fields — `name` identifies
+//! *what* happened (machine-matchable), `message` says it for humans, and
+//! `fields` carry the data that used to be interpolated into ad-hoc
+//! `eprintln!` strings. Events are built with the fluent [`EventBuilder`]
+//! returned by [`event`](crate::event) (or the [`warn`](crate::warn) /
+//! [`info`](crate::info) / … shorthands) and dispatched to the process-wide
+//! [`Sink`](crate::Sink).
+
+use std::fmt;
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// High-volume diagnostics.
+    Debug,
+    /// Routine notices (absorbed retries, lifecycle steps).
+    Info,
+    /// Anomalies the run survives (fallbacks, degradations).
+    Warn,
+    /// Failures surfaced to the caller.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name used in JSONL output and `RDT_LOG` values.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses an `RDT_LOG`-style level name (`error`, `warn`, `info`,
+    /// `debug`). `None` for anything else — callers treat that as "off".
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed field value. `Str` owns its payload so captured events outlive
+/// the emitting scope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl Value {
+    /// The value as JSON.
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        match self {
+            Value::U64(v) => JsonValue::UInt(*v),
+            Value::I64(v) => JsonValue::Int(*v),
+            Value::F64(v) => JsonValue::Num(*v),
+            Value::Bool(v) => JsonValue::Bool(*v),
+            Value::Str(v) => JsonValue::Str(v.clone()),
+        }
+    }
+}
+
+/// One structured event, fully owned (sinks may retain it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Emitting subsystem, module-path style (e.g. `rdt_sim::engine`).
+    pub target: &'static str,
+    /// Machine-matchable event name (e.g. `zero_lookahead_fallback`).
+    pub name: &'static str,
+    /// Human-readable message; may be empty when the fields say it all.
+    pub message: String,
+    /// Typed payload, in emission order. Field names must not collide with
+    /// the JSONL envelope keys (`level`, `target`, `event`, `msg`).
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// The event as one flat JSON object — the JSONL sink's line format:
+    /// `{"level":…,"target":…,"event":…,"msg":…,<fields>…}`.
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        let mut obj = vec![
+            (
+                "level".to_string(),
+                JsonValue::Str(self.level.as_str().into()),
+            ),
+            ("target".to_string(), JsonValue::Str(self.target.into())),
+            ("event".to_string(), JsonValue::Str(self.name.into())),
+            ("msg".to_string(), JsonValue::Str(self.message.clone())),
+        ];
+        for (k, v) in &self.fields {
+            obj.push((k.to_string(), v.to_json()));
+        }
+        JsonValue::Obj(obj)
+    }
+}
+
+impl fmt::Display for Event {
+    /// The human (stderr) format:
+    /// `[warn rdt_sim::engine] zero_lookahead_fallback: message (k=v, …)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.level, self.target, self.name)?;
+        if !self.message.is_empty() {
+            write!(f, ": {}", self.message)?;
+        }
+        if !self.fields.is_empty() {
+            f.write_str(" (")?;
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent event construction; see [`event`](crate::event).
+///
+/// When the event's level is below the process threshold the builder is
+/// inert: field accessors do nothing (no allocation beyond the builder
+/// itself) and [`emit`](Self::emit) is a no-op.
+#[must_use = "an EventBuilder does nothing until .emit()"]
+pub struct EventBuilder {
+    event: Option<Event>,
+}
+
+impl EventBuilder {
+    pub(crate) fn new(level: Level, target: &'static str, name: &'static str) -> Self {
+        let event = crate::sink::enabled(level).then(|| Event {
+            level,
+            target,
+            name,
+            message: String::new(),
+            fields: Vec::new(),
+        });
+        EventBuilder { event }
+    }
+
+    /// Sets the human-readable message.
+    pub fn message(mut self, message: impl fmt::Display) -> Self {
+        if let Some(event) = &mut self.event {
+            event.message = message.to_string();
+        }
+        self
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn u64(mut self, key: &'static str, value: u64) -> Self {
+        if let Some(event) = &mut self.event {
+            event.fields.push((key, Value::U64(value)));
+        }
+        self
+    }
+
+    /// Adds a signed-integer field.
+    pub fn i64(mut self, key: &'static str, value: i64) -> Self {
+        if let Some(event) = &mut self.event {
+            event.fields.push((key, Value::I64(value)));
+        }
+        self
+    }
+
+    /// Adds a float field.
+    pub fn f64(mut self, key: &'static str, value: f64) -> Self {
+        if let Some(event) = &mut self.event {
+            event.fields.push((key, Value::F64(value)));
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &'static str, value: bool) -> Self {
+        if let Some(event) = &mut self.event {
+            event.fields.push((key, Value::Bool(value)));
+        }
+        self
+    }
+
+    /// Adds a string field. The value is only materialized when the event
+    /// passes the level filter.
+    pub fn str(mut self, key: &'static str, value: impl fmt::Display) -> Self {
+        if let Some(event) = &mut self.event {
+            event.fields.push((key, Value::Str(value.to_string())));
+        }
+        self
+    }
+
+    /// Dispatches the event to the process-wide sink (no-op if filtered).
+    pub fn emit(self) {
+        if let Some(event) = self.event {
+            crate::sink::dispatch(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_order_and_names() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        for l in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn human_format() {
+        let e = Event {
+            level: Level::Warn,
+            target: "rdt_sim::engine",
+            name: "zero_lookahead_fallback",
+            message: "falling back".into(),
+            fields: vec![("shards", Value::U64(4)), ("strided", Value::Bool(false))],
+        };
+        assert_eq!(
+            e.to_string(),
+            "[warn rdt_sim::engine] zero_lookahead_fallback: falling back (shards=4, strided=false)"
+        );
+    }
+
+    #[test]
+    fn json_format_is_flat_and_parseable() {
+        let e = Event {
+            level: Level::Error,
+            target: "t",
+            name: "n",
+            message: "m \"quoted\"".into(),
+            fields: vec![("attempts", Value::U64(5))],
+        };
+        let line = e.to_json().to_string();
+        let parsed = crate::json::parse(&line).unwrap();
+        assert_eq!(parsed.get("level").unwrap().as_str(), Some("error"));
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("n"));
+        assert_eq!(parsed.get("attempts").unwrap().as_u64(), Some(5));
+    }
+}

@@ -140,7 +140,8 @@ impl Default for ShardConfig {
 /// Why a multi-shard run degraded to the sequential engine: the channel's
 /// `min_delay` is 0, so a cross-shard message can be delivered in the tick
 /// it was sent and the conservative lookahead window is empty. Surfaced
-/// loudly (printed to stderr and counted in
+/// loudly (a structured `zero_lookahead_fallback` warning through the
+/// `rdt_obs` sink and counted in
 /// [`Metrics::sequential_fallbacks`](crate::Metrics::sequential_fallbacks))
 /// rather than silently degrading to lockstep barriers every tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,6 +191,15 @@ pub struct SimConfig {
     /// deserializable.
     #[serde(default)]
     pub shard: ShardConfig,
+    /// Collect a phase-timing [`ProfileReport`](rdt_obs::ProfileReport)
+    /// into the run's report. Profiling observes wall-clock time around the
+    /// deterministic core — it draws no randomness and reorders no events,
+    /// so enabling it leaves the simulation output byte-identical (asserted
+    /// by `tests/obs_equiv.rs`). The `RDT_PROFILE` environment variable
+    /// also enables it without touching the config. `serde(default)` keeps
+    /// earlier serialized configs deserializable.
+    #[serde(default)]
+    pub profile: bool,
 }
 
 impl SimConfig {
@@ -240,6 +250,7 @@ impl Default for SimConfig {
             record_occupancy: false,
             state_size: 0,
             shard: ShardConfig::default(),
+            profile: false,
         }
     }
 }

@@ -33,6 +33,11 @@ pub struct SimulationReport {
     pub final_retained: Vec<Vec<usize>>,
     /// Final incarnation number per process (number of rollbacks survived).
     pub final_incarnations: Vec<Incarnation>,
+    /// Phase timings and counters, if [`SimConfig::profile`] (or
+    /// `RDT_PROFILE`) was set. Deliberately excluded from the canonical
+    /// replay-golden dump: wall-clock observations are not part of the
+    /// deterministic output.
+    pub profile: Option<rdt_obs::ProfileReport>,
 }
 
 /// Builder for a simulation run.
@@ -114,6 +119,12 @@ impl SimulationBuilder {
         self
     }
 
+    /// Collects phase timings into the report (see [`SimConfig::profile`]).
+    pub fn profile(mut self) -> Self {
+        self.config.profile = true;
+        self
+    }
+
     /// Sets the recovery mode (default coordinated).
     pub fn recovery_mode(mut self, mode: RecoveryMode) -> Self {
         self.recovery_mode = mode;
@@ -154,7 +165,11 @@ impl SimulationBuilder {
                 // single tick (lockstep barriers). Degrade loudly to the
                 // sequential engine instead.
                 let warning = crate::ZeroLookaheadFallback { shards };
-                eprintln!("warning: {warning}");
+                rdt_obs::warn("rdt_sim::engine", "zero_lookahead_fallback")
+                    .message(warning)
+                    .u64("shards", shards as u64)
+                    .u64("min_delay", self.config.channel.min_delay)
+                    .emit();
                 let mut report = self.run_sequential()?;
                 report.metrics.sequential_fallbacks = 1;
                 return Ok(report);
@@ -223,6 +238,9 @@ pub struct Simulation {
     /// Time of the last scheduled application op; control rounds stop
     /// rescheduling past it so the event queue drains.
     horizon: u64,
+    /// Phase timings ([`SimConfig::profile`]); a disabled profiler never
+    /// reads the clock, so the default run pays one branch per event.
+    profiler: rdt_obs::Profiler,
 }
 
 impl Simulation {
@@ -264,6 +282,7 @@ impl Simulation {
             occupancy: Vec::new(),
             recovery_sessions: Vec::new(),
             horizon: 0,
+            profiler: rdt_obs::Profiler::new(config.profile || rdt_obs::profile::env_enabled()),
         };
         if let Some(every) = config.control_every {
             sim.push_at(every, EventKind::ControlRound);
@@ -305,15 +324,34 @@ impl Simulation {
         // `_into` entry points clear and refill them, so the per-event loop
         // performs no report allocation.
         let mut scratch = EventScratch::default();
+        let wall = self.profiler.start();
         while let Some((_at, _seq, kind)) = self.env.pop() {
             match kind {
-                EventKind::App(op) => self.handle_app(op, &mut scratch)?,
-                EventKind::Deliver { to, id, pb } => {
-                    self.handle_deliver(to, id, pb, &mut scratch)?
+                EventKind::App(op) => {
+                    // A crash op runs a whole recovery session; everything
+                    // else is ordinary queue drain.
+                    let phase = if matches!(op, AppOp::Crash(_)) {
+                        "engine/recovery"
+                    } else {
+                        "engine/drain"
+                    };
+                    let t = self.profiler.start();
+                    self.handle_app(op, &mut scratch)?;
+                    self.profiler.stop(phase, t);
                 }
-                EventKind::ControlRound => self.handle_control_round()?,
+                EventKind::Deliver { to, id, pb } => {
+                    let t = self.profiler.start();
+                    self.handle_deliver(to, id, pb, &mut scratch)?;
+                    self.profiler.stop("engine/drain", t);
+                }
+                EventKind::ControlRound => {
+                    let t = self.profiler.start();
+                    self.handle_control_round()?;
+                    self.profiler.stop("engine/control_round", t);
+                }
             }
         }
+        self.profiler.stop("engine/run", wall);
         Ok(())
     }
 
@@ -600,6 +638,7 @@ impl Simulation {
                 None
             },
             recovery_sessions: self.recovery_sessions,
+            profile: self.profiler.into_report(),
         }
     }
 

@@ -55,3 +55,7 @@ pub use live::{DeliverOutcome, LiveNode};
 pub use metrics::{Metrics, ProcessMetrics};
 pub use script::{run_script, ScriptRun};
 pub use threaded::{run_threaded, ProcessOutcome, ThreadedReport};
+
+// Re-exported so report consumers can name the profile types without
+// depending on `rdt-obs` directly.
+pub use rdt_obs::{PhaseStats, ProfileReport};

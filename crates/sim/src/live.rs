@@ -38,6 +38,9 @@ pub struct LiveNode<S: Storage = Volatile> {
     /// Sender-local sequence of the next outgoing message — the wire
     /// identity peers see; volatile, like the middleware's own counter.
     next_seq: u64,
+    /// Frame encode/decode timings (`live/encode`, `live/decode`);
+    /// disabled by default — see [`set_profiling`](Self::set_profiling).
+    prof: rdt_obs::Profiler,
 }
 
 impl LiveNode {
@@ -55,7 +58,29 @@ impl<S: Storage> LiveNode<S> {
             mw,
             scratch: ReceiveReport::default(),
             next_seq: 0,
+            prof: rdt_obs::Profiler::disabled(),
         }
+    }
+
+    /// Enables (or disables) frame-path profiling: [`send_frame`]
+    /// (`live/encode`) and [`deliver_frame`](Self::deliver_frame)
+    /// (`live/decode`) record per-call latencies. Replaces any
+    /// previously accumulated timings.
+    ///
+    /// [`send_frame`]: Self::send_frame
+    pub fn set_profiling(&mut self, on: bool) {
+        self.prof = rdt_obs::Profiler::new(on);
+    }
+
+    /// The accumulated frame-path timings (`Some` iff profiling is on).
+    pub fn profile(&self) -> Option<&rdt_obs::ProfileReport> {
+        self.prof.report()
+    }
+
+    /// Removes and returns the accumulated timings, leaving profiling on.
+    pub fn take_profile(&mut self) -> Option<rdt_obs::ProfileReport> {
+        let on = self.prof.enabled();
+        std::mem::replace(&mut self.prof, rdt_obs::Profiler::new(on)).into_report()
     }
 
     /// The wrapped middleware.
@@ -91,6 +116,7 @@ impl<S: Storage> LiveNode<S> {
     /// Panics while crashed, like [`Middleware::send`].
     pub fn send_frame(&mut self, to: ProcessId) -> (WireFrame, Option<CheckpointIndex>) {
         let _ = to; // routing is the transport's business; kept for symmetry
+        let t = self.prof.start();
         let seq = self.next_seq;
         self.next_seq += 1;
         let (pb, forced) = self.mw.send_sync();
@@ -100,6 +126,7 @@ impl<S: Storage> LiveNode<S> {
             index: pb.index,
             lineages: pb.dv.to_raw_lineages(),
         };
+        self.prof.stop("live/encode", t);
         (frame, forced.map(|report| report.stored))
     }
 
@@ -112,6 +139,13 @@ impl<S: Storage> LiveNode<S> {
     ///
     /// [`rdt_base::Error::ProcessCrashed`] while crashed.
     pub fn deliver_frame(&mut self, bytes: &[u8]) -> Result<Option<DeliverOutcome>> {
+        let t = self.prof.start();
+        let outcome = self.deliver_frame_inner(bytes);
+        self.prof.stop("live/decode", t);
+        outcome
+    }
+
+    fn deliver_frame_inner(&mut self, bytes: &[u8]) -> Result<Option<DeliverOutcome>> {
         let Some(frame) = WireFrame::decode(bytes) else {
             return Ok(None);
         };

@@ -281,8 +281,14 @@ fn build_plan(builder: &SimulationBuilder, ops: &[AppOp], shards: usize) -> RunP
 /// `shards > 1` and `min_delay > 0`; [`SimulationBuilder::run`] dispatches
 /// accordingly).
 pub(crate) fn run_sharded(builder: SimulationBuilder, shards: usize) -> Result<SimulationReport> {
+    let profiling = builder.config.profile || rdt_obs::profile::env_enabled();
+    let mut prof = rdt_obs::Profiler::new(profiling);
+    let wall = prof.start();
+
     let ops = builder.spec.generate();
+    let t_plan = prof.start();
     let mut plan = build_plan(&builder, &ops, shards);
+    prof.stop("shard/plan", t_plan);
     let n = builder.spec.n;
 
     let shard_of = Arc::new(std::mem::take(&mut plan.shard_of));
@@ -339,6 +345,7 @@ pub(crate) fn run_sharded(builder: SimulationBuilder, shards: usize) -> Result<S
                 state_size: builder.config.state_size,
                 record_trace: builder.config.record_trace,
                 record_occupancy: builder.config.record_occupancy,
+                profile: profiling,
                 recovery_mode: builder.recovery_mode,
                 cmd_rx: cmd_rxs.next().expect("one cmd channel per shard"),
                 reply_tx: reply_txs.next().expect("one reply channel per shard"),
@@ -353,15 +360,18 @@ pub(crate) fn run_sharded(builder: SimulationBuilder, shards: usize) -> Result<S
     // behind another (it overflows to a fresh thread instead), which is
     // what lets all shards rendezvous at exchange barriers even when the
     // pool is smaller than the shard count.
-    rayon::global_pool().scope(|scope| {
+    let mut report = rayon::global_pool().scope(|scope| {
         for setup in setups {
             scope.spawn(move || run_worker(setup));
         }
-        let outcome = coordinate(&builder, plan, cmd_txs, &reply_rxs, n);
+        let outcome = coordinate(&builder, plan, cmd_txs, &reply_rxs, n, &mut prof);
         // On error the command senders are already dropped, so every
         // worker sees a disconnect and exits before the scope joins.
         outcome
-    })
+    })?;
+    prof.stop("shard/run_wall", wall);
+    report.profile = prof.into_report();
+    Ok(report)
 }
 
 /// Drives the run: advances all shards cut by cut, executes global
@@ -372,6 +382,7 @@ fn coordinate(
     cmd_txs: Vec<Sender<Cmd>>,
     reply_rxs: &[Receiver<Reply>],
     n: usize,
+    prof: &mut rdt_obs::Profiler,
 ) -> Result<SimulationReport> {
     let manager = RecoveryManager::with_mode(builder.recovery_mode);
     let record_trace = builder.config.record_trace;
@@ -387,6 +398,7 @@ fn coordinate(
         // Every global event's key is a cut, so at most one fires here.
         while globals.peek().is_some_and(|&(at, seq, _)| (at, seq) == cut) {
             let (at, seq, global) = globals.next().expect("peeked");
+            let t = prof.start();
             match global {
                 GlobalPlan::Control => control_round(
                     builder, &manager, at, seq, &cmd_txs, reply_rxs, &mut logs, n,
@@ -405,6 +417,7 @@ fn coordinate(
                     &mut recovery_sessions,
                 )?,
             }
+            prof.stop("shard/coordinate_global", t);
         }
     }
 
@@ -412,7 +425,10 @@ fn coordinate(
         tx.send(Cmd::Finish).expect("shard worker gone");
     }
     let mut finals: Vec<Option<FinalProcess>> = (0..n).map(|_| None).collect();
-    for reply in join_outcomes(reply_rxs.iter().map(|rx| rx.recv())) {
+    for (shard, reply) in join_outcomes(reply_rxs.iter().map(|rx| rx.recv()))
+        .into_iter()
+        .enumerate()
+    {
         let Reply::Done(data) = reply else {
             panic!("worker sent a non-final reply to Finish");
         };
@@ -424,6 +440,11 @@ fn coordinate(
             let k = f.p.index();
             finals[k] = Some(f);
         }
+        // Namespace each worker's phases under its shard index: the
+        // `reply_rxs` slice is in shard order, so `shard` is the sender.
+        if let (Some(merged), Some(worker)) = (prof.report_mut(), &data.profile) {
+            merged.merge_suffixed(worker, &shard.to_string());
+        }
     }
     let finals: Vec<FinalProcess> = finals
         .into_iter()
@@ -433,6 +454,7 @@ fn coordinate(
     // Replay the merged logs in global key order: this reproduces the
     // sequential engine's trace, occupancy and metric mutation order —
     // including the order-sensitive `peak_global_retained` — exactly.
+    let t_merge = prof.start();
     let EventLogs {
         mut trace,
         mut occupancy,
@@ -470,6 +492,7 @@ fn coordinate(
         m.basic = f.basic;
         m.forced = f.forced;
     }
+    prof.stop("shard/merge", t_merge);
 
     Ok(SimulationReport {
         n,
@@ -487,6 +510,9 @@ fn coordinate(
             .record_occupancy
             .then(|| occupancy.into_iter().map(|(_, s)| s).collect()),
         recovery_sessions,
+        // Filled by `run_sharded` from the merged coordinator+worker
+        // profilers after the scope joins.
+        profile: None,
     })
 }
 

@@ -171,6 +171,9 @@ pub(crate) type AppliedBatch =
 pub(crate) struct FinishData {
     pub finals: Vec<FinalProcess>,
     pub logs: EventLogs,
+    /// This shard's phase timings (`Some` iff profiling was on); the
+    /// coordinator merges them under `…/<shard>` keys.
+    pub profile: Option<rdt_obs::ProfileReport>,
 }
 
 /// Final state of one process, mirroring what
@@ -203,6 +206,7 @@ pub(crate) struct WorkerSetup {
     pub state_size: usize,
     pub record_trace: bool,
     pub record_occupancy: bool,
+    pub profile: bool,
     pub recovery_mode: RecoveryMode,
     pub cmd_rx: Receiver<Cmd>,
     pub reply_tx: Sender<Reply>,
@@ -216,6 +220,13 @@ pub(crate) struct WorkerSetup {
 /// Runs one shard worker to completion. Exits when the coordinator drops
 /// the command channel (error paths included), so a failed run never
 /// leaves a worker blocked.
+///
+/// When profiling, every interval between entry and the `Finish` reply is
+/// attributed to a named phase (`shard/setup`, `shard/cmd_wait`,
+/// `shard/drain`, `shard/exchange`, `shard/barrier_wait`, `shard/global`,
+/// `shard/finish`), and `shard/wall` records the whole span — so the
+/// per-shard phases sum to the shard's measured wall-clock (asserted to
+/// ±5% by `tests/obs_equiv.rs`).
 pub(crate) fn run_worker(setup: WorkerSetup) {
     let WorkerSetup {
         shard,
@@ -229,12 +240,17 @@ pub(crate) fn run_worker(setup: WorkerSetup) {
         state_size,
         record_trace,
         record_occupancy,
+        profile,
         recovery_mode,
         cmd_rx,
         reply_tx,
         out_txs,
         in_rxs,
     } = setup;
+
+    let prof = rdt_obs::Profiler::new(profile);
+    let wall = prof.start();
+    let t_setup = prof.start();
 
     // Middlewares are minted here, on the worker thread (they are !Send).
     let mut local_idx = vec![u32::MAX; n];
@@ -286,13 +302,21 @@ pub(crate) fn run_worker(setup: WorkerSetup) {
         manager: RecoveryManager::with_mode(recovery_mode),
         key: (0, 0),
         sub: 0,
+        prof,
     };
+    w.prof.stop("shard/setup", t_setup);
 
     let mut scratch = EventScratch::default();
-    while let Ok(cmd) = cmd_rx.recv() {
+    loop {
+        // Time blocked on the coordinator (between windows this is the
+        // complement of the peers' barrier waits).
+        let t_wait = w.prof.start();
+        let Ok(cmd) = cmd_rx.recv() else { break };
+        w.prof.stop("shard/cmd_wait", t_wait);
         match cmd {
             Cmd::Advance { upto } => w.advance(upto, &mut scratch),
             Cmd::GatherLasts => {
+                let t = w.prof.start();
                 let lasts = w
                     .owned
                     .iter()
@@ -302,13 +326,21 @@ pub(crate) fn run_worker(setup: WorkerSetup) {
                     })
                     .collect();
                 w.reply(&reply_tx, Reply::Lasts(lasts));
+                w.prof.stop("shard/global", t);
             }
             Cmd::GatherViews => {
+                let t = w.prof.start();
                 let views = w.views();
                 w.reply(&reply_tx, Reply::Views(views));
+                w.prof.stop("shard/global", t);
             }
-            Cmd::Control { at, seq, info } => w.control(at, seq, info.as_deref()),
+            Cmd::Control { at, seq, info } => {
+                let t = w.prof.start();
+                w.control(at, seq, info.as_deref());
+                w.prof.stop("shard/global", t);
+            }
             Cmd::CrashGather { faulty } => {
+                let t = w.prof.start();
                 for k in 0..w.owned.len() {
                     if faulty.contains(&w.owned[k]) {
                         w.mws[k].crash();
@@ -316,13 +348,25 @@ pub(crate) fn run_worker(setup: WorkerSetup) {
                 }
                 let views = w.views();
                 w.reply(&reply_tx, Reply::Views(views));
+                w.prof.stop("shard/global", t);
             }
             Cmd::ApplyRecovery { at, seq, plan } => {
+                let t = w.prof.start();
                 let applied = w.apply_recovery(at, seq, &plan);
                 w.reply(&reply_tx, Reply::Applied(applied));
+                w.prof.stop("shard/global", t);
             }
             Cmd::Finish => {
-                let done = w.finish();
+                let t = w.prof.start();
+                let (finals, logs) = w.finish();
+                w.prof.stop("shard/finish", t);
+                w.prof.stop("shard/wall", wall);
+                let profile = std::mem::take(&mut w.prof).into_report();
+                let done = FinishData {
+                    finals,
+                    logs,
+                    profile,
+                };
                 w.reply(&reply_tx, Reply::Done(Box::new(done)));
                 return;
             }
@@ -348,6 +392,8 @@ struct Worker {
     key: (u64, u64),
     /// Next intra-event sub-key.
     sub: u64,
+    /// Phase timings for this shard (disabled unless the run profiles).
+    prof: rdt_obs::Profiler,
 }
 
 impl Worker {
@@ -418,20 +464,27 @@ impl Worker {
     }
 
     fn advance(&mut self, upto: (u64, u64), scratch: &mut EventScratch) {
+        let t_drain = self.prof.start();
         while let Some((at, seq, ev)) = self.env.pop_before(upto) {
             self.key = (at, seq);
             self.sub = 0;
             self.handle(ev, scratch);
         }
+        self.prof.stop("shard/drain", t_drain);
         // Window barrier: ship this window's cross-shard sends, then take
         // delivery of every peer's. Batches pair up exactly because all
         // workers execute the identical Advance sequence.
+        let t_send = self.prof.start();
         for j in 0..self.out_txs.len() {
             if j != self.shard {
                 let batch = std::mem::take(&mut self.outboxes[j]);
                 self.out_txs[j].send(batch).expect("peer shard gone");
             }
         }
+        self.prof.stop("shard/exchange", t_send);
+        // The receive half blocks until every peer reaches the same
+        // barrier: this is where a load-imbalanced shard waits.
+        let t_wait = self.prof.start();
         for j in 0..self.in_rxs.len() {
             if j != self.shard {
                 let batch = self.in_rxs[j].recv().expect("peer shard gone");
@@ -441,6 +494,7 @@ impl Worker {
                 }
             }
         }
+        self.prof.stop("shard/barrier_wait", t_wait);
     }
 
     /// Handles one owned event — a byte-exact mirror of the sequential
@@ -575,7 +629,7 @@ impl Worker {
         Ok(out)
     }
 
-    fn finish(&mut self) -> FinishData {
+    fn finish(&mut self) -> (Vec<FinalProcess>, EventLogs) {
         let finals = self
             .mws
             .iter()
@@ -593,10 +647,7 @@ impl Worker {
                 forced: mw.forced_count(),
             })
             .collect();
-        FinishData {
-            finals,
-            logs: std::mem::take(&mut self.logs),
-        }
+        (finals, std::mem::take(&mut self.logs))
     }
 }
 

@@ -134,6 +134,35 @@ pub fn run_with_shards(s: &Scenario, shards: usize) -> SimulationReport {
         .expect("simulation runs")
 }
 
+/// The same scenario with phase profiling switched on. The profile lives
+/// outside the canonical dump, so the report must stay byte-identical to
+/// the unprofiled run — `obs_equiv` asserts exactly that against the
+/// committed goldens.
+pub fn run_profiled_with_shards(s: &Scenario, shards: usize) -> SimulationReport {
+    let spec = WorkloadSpec::uniform_random(s.n, s.steps)
+        .with_pattern(s.pattern)
+        .with_seed(s.seed)
+        .with_checkpoint_prob(0.25)
+        .with_crash_prob(s.crash);
+    SimulationBuilder::new(spec)
+        .protocol(s.protocol)
+        .garbage_collector(s.gc)
+        .config(SimConfig {
+            channel: ChannelConfig::lossy(s.loss),
+            control_every: s.control_every,
+            correlated_crash_prob: s.correlated,
+            record_trace: true,
+            record_occupancy: true,
+            state_size: 512,
+            ..SimConfig::default()
+        })
+        .recovery_mode(s.mode)
+        .shards(shards)
+        .profile()
+        .run()
+        .expect("simulation runs")
+}
+
 /// Canonical textual dump of every semantic field of a report, independent
 /// of the in-memory representation of vectors, sets and queues.
 pub fn canonical_dump(report: &SimulationReport) -> String {

@@ -30,11 +30,15 @@
 //! the remaining intact records, and unrecognized alien files are skipped
 //! and counted instead of failing the restart. Transient `EIO`/`ENOSPC`
 //! style failures are absorbed by a bounded retry-with-backoff path;
-//! exhaustion surfaces as [`Error::Transient`].
+//! exhaustion surfaces as [`Error::Transient`]. Every absorbed retry is
+//! reported as a structured `transient_retry` info event through the
+//! [`rdt_obs`] sink (exhaustion as a `transient_exhausted` warning), and
+//! when profiling is on (see [`DurableStore::set_profiling`]) each
+//! backend operation's latency lands in a `store/*` phase.
 //!
 //! [`codec`]: crate::codec
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -91,6 +95,11 @@ pub struct DurableStore {
     floor: Cell<Option<Incarnation>>,
     /// Transient errors absorbed by the retry path (for reports).
     retries: Cell<u64>,
+    /// Per-operation latency phases (`store/write`, `store/fsync`, …);
+    /// off unless `RDT_PROFILE` is set or [`set_profiling`] turned it on.
+    ///
+    /// [`set_profiling`]: Self::set_profiling
+    prof: RefCell<rdt_obs::Profiler>,
 }
 
 impl DurableStore {
@@ -122,9 +131,35 @@ impl DurableStore {
             fs,
             floor: Cell::new(None),
             retries: Cell::new(0),
+            prof: RefCell::new(rdt_obs::Profiler::new(rdt_obs::profile::env_enabled())),
         };
-        store.with_retry(|| store.fs.create_dir_all(&store.dir))?;
+        store.with_retry("store/create_dir", || store.fs.create_dir_all(&store.dir))?;
         Ok(store)
+    }
+
+    /// Enables (or disables) per-operation latency profiling: every
+    /// backend call records into a `store/*` phase (`store/write`,
+    /// `store/fsync`, `store/fsync_dir`, `store/rename`, `store/read`,
+    /// `store/list`, `store/remove`, `store/create_dir`), and absorbed
+    /// transient retries count under the `store/transient_retries`
+    /// counter. Replaces any previously accumulated timings. Latencies
+    /// include time spent inside the bounded retry loop, backoff sleeps
+    /// included — a retried fsync *is* that slow from the caller's seat.
+    pub fn set_profiling(&self, on: bool) {
+        *self.prof.borrow_mut() = rdt_obs::Profiler::new(on);
+    }
+
+    /// A snapshot of the accumulated I/O timings (`Some` iff profiling
+    /// is on).
+    pub fn profile(&self) -> Option<rdt_obs::ProfileReport> {
+        self.prof.borrow().report().cloned()
+    }
+
+    /// Removes and returns the accumulated I/O timings, leaving
+    /// profiling in its current on/off state.
+    pub fn take_profile(&self) -> Option<rdt_obs::ProfileReport> {
+        let on = self.prof.borrow().enabled();
+        self.prof.replace(rdt_obs::Profiler::new(on)).into_report()
     }
 
     /// The owning process.
@@ -149,8 +184,25 @@ impl DurableStore {
     /// Runs one backend operation under the bounded retry-with-backoff
     /// policy: transient errors (see [`is_transient`]) are retried up to
     /// [`RETRY_ATTEMPTS`] times with escalating micro-sleeps; anything
-    /// else is permanent and returned immediately.
-    fn with_retry<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> Result<T> {
+    /// else is permanent and returned immediately. `phase` names the
+    /// operation for the latency profile and the structured retry events
+    /// (info per absorbed retry, warn on exhaustion).
+    fn with_retry<T>(
+        &self,
+        phase: &'static str,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> Result<T> {
+        let t = self.prof.borrow().start();
+        let out = self.retry_loop(phase, &mut op);
+        self.prof.borrow_mut().stop(phase, t);
+        out
+    }
+
+    fn retry_loop<T>(
+        &self,
+        phase: &'static str,
+        op: &mut impl FnMut() -> io::Result<T>,
+    ) -> Result<T> {
         let mut delay = Duration::from_micros(100);
         let mut last = None;
         for attempt in 0..RETRY_ATTEMPTS {
@@ -158,6 +210,13 @@ impl DurableStore {
                 Ok(v) => return Ok(v),
                 Err(e) if is_transient(&e) => {
                     self.retries.set(self.retries.get() + 1);
+                    self.prof.borrow_mut().add("store/transient_retries", 1);
+                    rdt_obs::info("rdt_storage::durable", "transient_retry")
+                        .message(&e)
+                        .str("op", phase)
+                        .str("process", self.owner)
+                        .u64("attempt", u64::from(attempt + 1))
+                        .emit();
                     last = Some(e);
                     if attempt + 1 < RETRY_ATTEMPTS {
                         std::thread::sleep(delay);
@@ -167,15 +226,22 @@ impl DurableStore {
                 Err(e) => return Err(Error::Io(e)),
             }
         }
+        let source = last.expect("loop exits early unless a transient error occurred");
+        rdt_obs::warn("rdt_storage::durable", "transient_exhausted")
+            .message(&source)
+            .str("op", phase)
+            .str("process", self.owner)
+            .u64("attempts", u64::from(RETRY_ATTEMPTS))
+            .emit();
         Err(Error::Transient {
-            source: last.expect("loop exits early unless a transient error occurred"),
+            source,
             attempts: RETRY_ATTEMPTS,
         })
     }
 
     /// Reads a whole file, treating "not found" as `None`.
     fn read_opt(&self, path: &Path) -> Result<Option<Vec<u8>>> {
-        match self.with_retry(|| self.fs.read(path)) {
+        match self.with_retry("store/read", || self.fs.read(path)) {
             Ok(bytes) => Ok(Some(bytes)),
             Err(Error::Io(e)) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e),
@@ -189,10 +255,10 @@ impl DurableStore {
     fn atomic_write(&self, name: &str, bytes: &[u8]) -> Result<()> {
         let tmp = self.dir.join(format!(".{name}.tmp"));
         let target = self.dir.join(name);
-        self.with_retry(|| self.fs.write(&tmp, bytes))?;
-        self.with_retry(|| self.fs.fsync(&tmp))?;
-        self.with_retry(|| self.fs.rename(&tmp, &target))?;
-        self.with_retry(|| self.fs.fsync_dir(&self.dir))?;
+        self.with_retry("store/write", || self.fs.write(&tmp, bytes))?;
+        self.with_retry("store/fsync", || self.fs.fsync(&tmp))?;
+        self.with_retry("store/rename", || self.fs.rename(&tmp, &target))?;
+        self.with_retry("store/fsync_dir", || self.fs.fsync_dir(&self.dir))?;
         Ok(())
     }
 
@@ -315,7 +381,7 @@ impl DurableStore {
     /// I/O errors other than "not found".
     pub fn remove(&self, index: CheckpointIndex) -> Result<()> {
         let path = self.path_for(index);
-        match self.with_retry(|| self.fs.remove(&path)) {
+        match self.with_retry("store/remove", || self.fs.remove(&path)) {
             Ok(()) => Ok(()),
             Err(Error::Io(e)) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
@@ -325,7 +391,7 @@ impl DurableStore {
     /// Classifies every name in the directory.
     fn scan(&self) -> Result<DirScan> {
         let mut out = DirScan::default();
-        for name in self.with_retry(|| self.fs.list(&self.dir))? {
+        for name in self.with_retry("store/list", || self.fs.list(&self.dir))? {
             if name.starts_with('.') {
                 continue; // incomplete temp file from a crash: ignored
             }
@@ -377,7 +443,7 @@ impl DurableStore {
             .into_iter()
             .map(|index| {
                 let path = self.path_for(index);
-                let bytes = self.with_retry(|| self.fs.read(&path))?;
+                let bytes = self.with_retry("store/read", || self.fs.read(&path))?;
                 let record = decode(&bytes)?;
                 if record.owner != self.owner || record.index != index {
                     return Err(Error::Corrupt("record does not match its file name"));
@@ -393,8 +459,8 @@ impl DurableStore {
         let to = self
             .dir
             .join(format!("ckpt_{}.bin.quarantined", index.value()));
-        self.with_retry(|| self.fs.rename(&from, &to))?;
-        self.with_retry(|| self.fs.fsync_dir(&self.dir))?;
+        self.with_retry("store/rename", || self.fs.rename(&from, &to))?;
+        self.with_retry("store/fsync_dir", || self.fs.fsync_dir(&self.dir))?;
         Ok(())
     }
 
@@ -713,6 +779,31 @@ mod tests {
         durable.persist(idx(1), &dv(vec![1]), 0).unwrap();
         assert_eq!(durable.transient_retries(), 2);
         assert_eq!(durable.indices().unwrap(), vec![idx(0), idx(1)]);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn profiling_records_store_phases_and_retry_counter() {
+        let dir = scratch("profiled");
+        let plan = FaultPlan::none().with_fault(3, FaultKind::TransientEio);
+        let durable =
+            DurableStore::open_with(&dir, ProcessId::new(0), Box::new(FaultFs::new(plan))).unwrap();
+        durable.set_profiling(true);
+        durable.persist(idx(0), &dv(vec![0]), 0).unwrap();
+        let report = durable.profile().expect("profiling is on");
+        for phase in [
+            "store/write",
+            "store/fsync",
+            "store/rename",
+            "store/fsync_dir",
+        ] {
+            assert_eq!(report.phase(phase).map(|p| p.count), Some(1), "{phase}");
+        }
+        assert_eq!(report.counters.get("store/transient_retries"), Some(&1));
+        // take_profile drains but keeps profiling on.
+        assert!(durable.take_profile().is_some());
+        let report = durable.profile().expect("still on");
+        assert!(report.phase("store/write").is_none());
         fs::remove_dir_all(dir).unwrap();
     }
 
