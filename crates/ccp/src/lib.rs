@@ -49,6 +49,7 @@ mod minmax;
 mod model;
 mod obsolete;
 mod paths;
+mod provenance;
 mod recovery_line;
 mod render;
 
@@ -57,4 +58,5 @@ pub use builder::CcpBuilder;
 pub use consistency::GlobalCheckpoint;
 pub use model::{Ccp, GeneralCheckpoint, LocalEvent, MessageRecord};
 pub use paths::ZigzagAnalysis;
+pub use provenance::{AmnestiedEntry, ComponentProvenance, LineExplanation, PinCause};
 pub use recovery_line::FaultySet;

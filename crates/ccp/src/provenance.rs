@@ -1,0 +1,370 @@
+//! Recovery-line provenance: *why* each component of a recovery line is
+//! where it is.
+//!
+//! [`Ccp::recovery_line`] answers "where does process `i` roll back to";
+//! [`Ccp::explain_recovery_line`] additionally records, per component,
+//! the exact dependency-vector entry — `(faulty process, incarnation,
+//! interval)` — that blocked the next-higher candidate and therefore
+//! *pins* the chosen checkpoint, plus every dead-incarnation entry the
+//! Lemma-1 scan *amnestied* (knowledge that would have blocked under the
+//! raw-interval test but belongs to an incarnation of the faulty process
+//! killed by an earlier rollback).
+//!
+//! The explanation re-runs the same downward scan as `recovery_line`, so
+//! [`LineExplanation::line`] is the recovery line by construction;
+//! [`LineExplanation::cross_check`] re-derives both facts independently
+//! (line equality against [`Ccp::recovery_line`], pin validity against
+//! the domination predicate) so `rdt explain` can gate itself against the
+//! oracle.
+
+use rdt_base::{CheckpointIndex, ProcessId};
+
+use crate::consistency::GlobalCheckpoint;
+use crate::model::{Ccp, GeneralCheckpoint};
+use crate::recovery_line::FaultySet;
+
+/// The DV entry that pins one recovery-line component: the knowledge in
+/// the lowest *rejected* candidate that ties it to a faulty process's
+/// lost execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinCause {
+    /// The faulty process whose last stable checkpoint causally precedes
+    /// the rejected candidate.
+    pub blocker: ProcessId,
+    /// The rejected candidate — one checkpoint above the chosen one.
+    pub rejected: CheckpointIndex,
+    /// Incarnation component of the rejected candidate's DV entry for
+    /// `blocker`.
+    pub incarnation: u32,
+    /// Interval component of the same entry: the rejected candidate knows
+    /// `blocker`'s execution up to (but excluding) this interval.
+    pub interval: usize,
+    /// `blocker`'s last stable checkpoint index (`α` in the
+    /// `α < DV[f]` domination test the pin is derived from).
+    pub last_stable: CheckpointIndex,
+}
+
+/// One dead-incarnation DV entry the scan amnestied: it would have
+/// blocked its candidate under the raw-interval test, but the knowledge
+/// belongs to an incarnation of the faulty process that a rollback
+/// already killed, so it does not tie the candidate to *lost* execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmnestiedEntry {
+    /// The candidate checkpoint (of the component's process) whose DV
+    /// carried the entry.
+    pub at: CheckpointIndex,
+    /// The faulty process the entry speaks about.
+    pub faulty: ProcessId,
+    /// The dead incarnation the entry belongs to.
+    pub incarnation: u32,
+    /// The raw interval that would have blocked (`last_stable < interval`).
+    pub interval: usize,
+    /// The faulty process's live incarnation (strictly newer).
+    pub live_incarnation: u32,
+}
+
+/// Provenance for one process's recovery-line component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentProvenance {
+    /// The process this component belongs to.
+    pub process: ProcessId,
+    /// The chosen component: where the process rolls back to (or keeps
+    /// running from, when `volatile_kept`).
+    pub chosen: CheckpointIndex,
+    /// The scan ceiling: the volatile index for non-faulty processes, the
+    /// last stable checkpoint for faulty ones.
+    pub ceiling: CheckpointIndex,
+    /// Whether the chosen component is the process's volatile state (no
+    /// rollback at all — only possible for non-faulty processes).
+    pub volatile_kept: bool,
+    /// Why nothing newer survives: the DV entry pinning this component.
+    /// `None` exactly when `chosen == ceiling` (nothing was rejected).
+    pub pinned_by: Option<PinCause>,
+    /// Dead-incarnation entries amnestied while scanning this process,
+    /// newest candidate first.
+    pub amnestied: Vec<AmnestiedEntry>,
+}
+
+/// A recovery line with per-component provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineExplanation {
+    /// One entry per process, in process order.
+    pub components: Vec<ComponentProvenance>,
+}
+
+impl LineExplanation {
+    /// The explained recovery line itself.
+    pub fn line(&self) -> GlobalCheckpoint {
+        GlobalCheckpoint::new(self.components.iter().map(|c| c.chosen).collect())
+    }
+
+    /// Independently re-derives everything this explanation claims:
+    /// the line must equal [`Ccp::recovery_line`], every pin's domination
+    /// must hold at the rejected candidate and fail at the chosen one, and
+    /// every amnestied entry must be a genuinely dead incarnation that the
+    /// raw-interval test would have flagged. `rdt explain` runs this and
+    /// turns a failure into a non-zero exit, which is what CI gates on.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first claim that does not hold.
+    pub fn cross_check(&self, ccp: &Ccp, faulty: &FaultySet) -> Result<(), String> {
+        let oracle = ccp.recovery_line(faulty);
+        if self.line() != oracle {
+            return Err(format!(
+                "explained line {:?} differs from the Lemma-1 oracle {:?}",
+                self.line(),
+                oracle
+            ));
+        }
+        for comp in &self.components {
+            let i = comp.process;
+            match &comp.pinned_by {
+                None => {
+                    if comp.chosen != comp.ceiling {
+                        return Err(format!(
+                            "process {i}: no pin recorded but chosen {:?} < ceiling {:?}",
+                            comp.chosen, comp.ceiling
+                        ));
+                    }
+                }
+                Some(pin) => {
+                    if pin.rejected.value() != comp.chosen.value() + 1 {
+                        return Err(format!(
+                            "process {i}: pin names candidate {:?}, expected the one \
+                             right above chosen {:?}",
+                            pin.rejected, comp.chosen
+                        ));
+                    }
+                    let rejected = GeneralCheckpoint::new(i, pin.rejected);
+                    if !ccp.last_stable_precedes_live(pin.blocker, rejected) {
+                        return Err(format!(
+                            "process {i}: pin claims {} blocks candidate {:?}, but the \
+                             domination test disagrees",
+                            pin.blocker, pin.rejected
+                        ));
+                    }
+                    // The named entry must be the candidate's actual DV entry.
+                    let dv = ccp
+                        .dv(rejected)
+                        .map_err(|e| format!("process {i}: rejected candidate has no DV: {e}"))?;
+                    let entry = dv.lineage(pin.blocker);
+                    if entry.incarnation().value() != pin.incarnation
+                        || entry.interval().value() != pin.interval
+                    {
+                        return Err(format!(
+                            "process {i}: pin names entry ({}, {}), DV holds ({}, {})",
+                            pin.incarnation,
+                            pin.interval,
+                            entry.incarnation(),
+                            entry.interval().value()
+                        ));
+                    }
+                    if ccp.last_stable(pin.blocker) != pin.last_stable {
+                        return Err(format!(
+                            "process {i}: pin records last_stable {:?} for {}, ccp says {:?}",
+                            pin.last_stable,
+                            pin.blocker,
+                            ccp.last_stable(pin.blocker)
+                        ));
+                    }
+                }
+            }
+            for a in &comp.amnestied {
+                let live = ccp.incarnation(a.faulty).value();
+                if a.incarnation >= live {
+                    return Err(format!(
+                        "process {i}: amnestied entry for {} claims dead incarnation {} \
+                         but live is {live}",
+                        a.faulty, a.incarnation
+                    ));
+                }
+                if ccp.last_stable(a.faulty).value() >= a.interval {
+                    return Err(format!(
+                        "process {i}: amnestied entry for {} (interval {}) would not have \
+                         blocked anyway",
+                        a.faulty, a.interval
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Ccp {
+    /// [`recovery_line`](Self::recovery_line) with provenance: the same
+    /// Lemma-1 downward scan, additionally recording which DV entry pinned
+    /// each chosen component and which dead-incarnation entries were
+    /// amnestied along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faulty` mentions a process outside the system, like
+    /// `recovery_line`.
+    pub fn explain_recovery_line(&self, faulty: &FaultySet) -> LineExplanation {
+        for f in faulty {
+            assert!(f.index() < self.n(), "faulty process out of range");
+        }
+        let components = self
+            .processes()
+            .map(|i| {
+                let is_faulty = faulty.contains(&i);
+                let ceiling = if is_faulty {
+                    self.last_stable(i)
+                } else {
+                    self.volatile(i).index
+                };
+                let mut amnestied = Vec::new();
+                let mut blocker_of_last_rejected: Option<PinCause> = None;
+                let mut k = ceiling;
+                let chosen = loop {
+                    let c = GeneralCheckpoint::new(i, k);
+                    let dv = self.dv(c).expect("scan candidates exist");
+                    let mut blocked = None;
+                    for &f in faulty {
+                        // A checkpoint never precedes itself, whatever
+                        // incarnation its stored copy was written in.
+                        if f == i && k == self.last_stable(f) {
+                            continue;
+                        }
+                        let entry = dv.lineage(f);
+                        let live = self.incarnation(f);
+                        let alpha = self.last_stable(f);
+                        let would_block_raw = alpha.value() < entry.interval().value();
+                        if self.last_stable_precedes_live(f, c) {
+                            if blocked.is_none() {
+                                blocked = Some(PinCause {
+                                    blocker: f,
+                                    rejected: k,
+                                    incarnation: entry.incarnation().value(),
+                                    interval: entry.interval().value(),
+                                    last_stable: alpha,
+                                });
+                            }
+                        } else if would_block_raw && entry.incarnation() < live {
+                            // Dead-incarnation knowledge: the raw-interval
+                            // test would have blocked, the live test did not.
+                            amnestied.push(AmnestiedEntry {
+                                at: k,
+                                faulty: f,
+                                incarnation: entry.incarnation().value(),
+                                interval: entry.interval().value(),
+                                live_incarnation: live.value(),
+                            });
+                        }
+                    }
+                    match blocked {
+                        None => break k,
+                        Some(pin) => {
+                            blocker_of_last_rejected = Some(pin);
+                            k = k.prev().expect(
+                                "s_i^0 is not causally preceded by anything: \
+                                 Lemma 1 is well-defined",
+                            );
+                        }
+                    }
+                };
+                ComponentProvenance {
+                    process: i,
+                    chosen,
+                    ceiling,
+                    volatile_kept: !is_faulty && chosen == self.volatile(i).index,
+                    pinned_by: blocker_of_last_rejected,
+                    amnestied,
+                }
+            })
+            .collect();
+        LineExplanation { components }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CcpBuilder;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn faulty(ids: &[usize]) -> FaultySet {
+        ids.iter().map(|&i| ProcessId::new(i)).collect()
+    }
+
+    /// p1 checkpoints, informs p2; p2 checkpoints, informs p3.
+    fn chain() -> Ccp {
+        let mut b = CcpBuilder::new(3);
+        b.checkpoint(p(0));
+        b.message(p(0), p(1));
+        b.checkpoint(p(1));
+        b.message(p(1), p(2));
+        b.build()
+    }
+
+    #[test]
+    fn explanation_line_matches_recovery_line_on_all_masks() {
+        let ccp = chain();
+        for mask in 0u32..8 {
+            let f: FaultySet = (0..3).filter(|i| mask & (1 << i) != 0).map(p).collect();
+            let exp = ccp.explain_recovery_line(&f);
+            assert_eq!(exp.line(), ccp.recovery_line(&f), "mask {mask}");
+            exp.cross_check(&ccp, &f).unwrap();
+        }
+    }
+
+    #[test]
+    fn pin_names_the_blocking_dv_entry() {
+        let ccp = chain();
+        // p0 fails: p1 rolls back from volatile (index 2 region) to s_1^0,
+        // because its newer states depend on s_0^1.
+        let exp = ccp.explain_recovery_line(&faulty(&[0]));
+        let c1 = &exp.components[1];
+        assert_eq!(c1.chosen, CheckpointIndex::new(0));
+        assert!(!c1.volatile_kept);
+        let pin = c1.pinned_by.as_ref().expect("p1 was pinned");
+        assert_eq!(pin.blocker, p(0));
+        assert_eq!(pin.rejected, CheckpointIndex::new(1));
+        assert_eq!(pin.last_stable, CheckpointIndex::new(1));
+        // s_1^1 was taken after the message from p0's interval 2, so its DV
+        // entry for p0 is (inc 0, interval 2): knowledge past s_0^1.
+        assert_eq!(pin.incarnation, 0);
+        assert_eq!(pin.interval, 2);
+
+        // p0 itself keeps its last stable: ceiling, no pin.
+        let c0 = &exp.components[0];
+        assert_eq!(c0.chosen, c0.ceiling);
+        assert!(c0.pinned_by.is_none());
+    }
+
+    #[test]
+    fn unaffected_processes_keep_volatile_unpinned() {
+        let ccp = chain();
+        let exp = ccp.explain_recovery_line(&faulty(&[2]));
+        for i in [0usize, 1] {
+            let c = &exp.components[i];
+            assert!(c.volatile_kept, "p{i} keeps running");
+            assert!(c.pinned_by.is_none());
+            assert!(c.amnestied.is_empty(), "crash-free: nothing to amnesty");
+        }
+    }
+
+    #[test]
+    fn cross_check_catches_a_forged_pin() {
+        let ccp = chain();
+        let f = faulty(&[0]);
+        let mut exp = ccp.explain_recovery_line(&f);
+        let pin = exp.components[1].pinned_by.as_mut().unwrap();
+        pin.interval += 7;
+        assert!(exp.cross_check(&ccp, &f).is_err());
+    }
+
+    #[test]
+    fn cross_check_catches_a_forged_line() {
+        let ccp = chain();
+        let f = faulty(&[0]);
+        let mut exp = ccp.explain_recovery_line(&f);
+        exp.components[2].chosen = CheckpointIndex::new(1);
+        assert!(exp.cross_check(&ccp, &f).is_err());
+    }
+}

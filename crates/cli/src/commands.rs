@@ -616,6 +616,188 @@ pub fn line(opts: &RunOpts) -> Result<(), String> {
     Ok(())
 }
 
+/// `rdt explain` — recovery-line provenance: for each failure scenario,
+/// which DV entry pins each component of the line and which entries were
+/// amnestied. Every explanation is cross-checked against the Lemma-1
+/// oracle ([`rdt_ccp::LineExplanation::cross_check`]); a mismatch is a
+/// hard error, so CI can gate on the exit code alone.
+pub fn explain(opts: &RunOpts, faulty_arg: Option<&str>) -> Result<(), String> {
+    use rdt_ccp::{FaultySet, LineExplanation};
+    if opts.spec.crash_prob > 0.0 {
+        return Err(
+            "explain needs a crash-free workload: provenance describes a \
+             single execution epoch"
+                .into(),
+        );
+    }
+    let report = run(opts, true)?;
+    let trace = report.trace.expect("trace recording requested");
+    let ccp = CcpBuilder::from_trace(opts.spec.n, &trace)
+        .map_err(|e| format!("trace replay failed: {e}"))?
+        .build();
+
+    let scenarios: Vec<FaultySet> = match faulty_arg {
+        Some(list) => {
+            let mut set = FaultySet::new();
+            for part in list.split(',') {
+                let i: usize = part
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("--faulty {part:?}: {e}"))?;
+                if i >= opts.spec.n {
+                    return Err(format!("--faulty: process {i} outside 0..{}", opts.spec.n));
+                }
+                set.insert(ProcessId::new(i));
+            }
+            vec![set]
+        }
+        None => ProcessId::all(opts.spec.n)
+            .map(|f| [f].into_iter().collect())
+            .collect(),
+    };
+
+    let mut docs = Vec::new();
+    for faulty in &scenarios {
+        let exp = ccp.explain_recovery_line(faulty);
+        // The oracle gate: re-derive the line and every pin independently.
+        exp.cross_check(&ccp, faulty)
+            .map_err(|e| format!("provenance cross-check failed: {e}"))?;
+        if opts.json {
+            docs.push(explanation_json(faulty, &exp));
+        } else {
+            print_explanation(faulty, &exp);
+        }
+    }
+    if opts.json {
+        println!("{}", Json::Arr(docs).pretty());
+    }
+    return Ok(());
+
+    fn explanation_json(faulty: &FaultySet, exp: &LineExplanation) -> Json {
+        Json::obj()
+            .field("faulty", Json::uints(faulty.iter().map(|f| f.index())))
+            .field("line", Json::uints(exp.line().to_raw()))
+            .field(
+                "components",
+                Json::Arr(
+                    exp.components
+                        .iter()
+                        .map(|c| {
+                            Json::obj()
+                                .field("process", Json::UInt(c.process.index() as u64))
+                                .field("chosen", Json::UInt(c.chosen.value() as u64))
+                                .field("ceiling", Json::UInt(c.ceiling.value() as u64))
+                                .field("volatile_kept", Json::Bool(c.volatile_kept))
+                                .maybe(
+                                    "pinned_by",
+                                    c.pinned_by.as_ref().map(|p| {
+                                        Json::obj()
+                                            .field(
+                                                "process",
+                                                Json::UInt(p.blocker.index() as u64),
+                                            )
+                                            .field(
+                                                "incarnation",
+                                                Json::UInt(u64::from(p.incarnation)),
+                                            )
+                                            .field("interval", Json::UInt(p.interval as u64))
+                                            .field(
+                                                "rejected",
+                                                Json::UInt(p.rejected.value() as u64),
+                                            )
+                                            .field(
+                                                "last_stable",
+                                                Json::UInt(p.last_stable.value() as u64),
+                                            )
+                                            .build()
+                                    }),
+                                )
+                                .field(
+                                    "amnestied",
+                                    Json::Arr(
+                                        c.amnestied
+                                            .iter()
+                                            .map(|a| {
+                                                Json::obj()
+                                                    .field(
+                                                        "at",
+                                                        Json::UInt(a.at.value() as u64),
+                                                    )
+                                                    .field(
+                                                        "process",
+                                                        Json::UInt(a.faulty.index() as u64),
+                                                    )
+                                                    .field(
+                                                        "incarnation",
+                                                        Json::UInt(u64::from(a.incarnation)),
+                                                    )
+                                                    .field(
+                                                        "interval",
+                                                        Json::UInt(a.interval as u64),
+                                                    )
+                                                    .field(
+                                                        "live_incarnation",
+                                                        Json::UInt(u64::from(
+                                                            a.live_incarnation,
+                                                        )),
+                                                    )
+                                                    .build()
+                                            })
+                                            .collect(),
+                                    ),
+                                )
+                                .build()
+                        })
+                        .collect(),
+                ),
+            )
+            .build()
+    }
+
+    fn print_explanation(faulty: &FaultySet, exp: &LineExplanation) {
+        let names: Vec<String> = faulty.iter().map(|f| f.to_string()).collect();
+        println!(
+            "failure of {{{}}} → line {:?}",
+            names.join(","),
+            exp.line().to_raw()
+        );
+        for c in &exp.components {
+            let state = if c.volatile_kept {
+                "keeps running (volatile)".to_string()
+            } else if c.chosen == c.ceiling {
+                format!("restarts from s^{} (its ceiling)", c.chosen.value())
+            } else {
+                format!("rolls back to s^{}", c.chosen.value())
+            };
+            match &c.pinned_by {
+                None => println!("  {}: {state} — unpinned", c.process),
+                Some(pin) => println!(
+                    "  {}: {state} — pinned by DV[{}] = (inc {}, interval {}) at \
+                     rejected s^{}: knowledge past {}'s last stable s^{}",
+                    c.process,
+                    pin.blocker,
+                    pin.incarnation,
+                    pin.interval,
+                    pin.rejected.value(),
+                    pin.blocker,
+                    pin.last_stable.value()
+                ),
+            }
+            for a in &c.amnestied {
+                println!(
+                    "      amnestied at s^{}: DV[{}] = (inc {}, interval {}) — dead \
+                     incarnation (live is {})",
+                    a.at.value(),
+                    a.faulty,
+                    a.incarnation,
+                    a.interval,
+                    a.live_incarnation
+                );
+            }
+        }
+    }
+}
+
 /// The `torture` subcommand: crash-point sweep + seeded corruption plans
 /// over the durable storage layer (see `rdt_storage::torture`).
 pub fn torture(m: &clap::ArgMatches) -> Result<(), String> {
@@ -702,6 +884,23 @@ pub fn torture(m: &clap::ArgMatches) -> Result<(), String> {
         if report.passed() {
             println!("every crash point recovered to the oracle line");
         }
+    }
+    // Metrics are written even for a failing sweep: the counters are most
+    // interesting exactly when a probe violated the contract.
+    if let Some(path) = m.get_one::<String>("metrics-out") {
+        let mut metrics = rdt_obs::ProfileReport::new();
+        metrics.add("torture_ops", report.total_ops);
+        metrics.add("torture_crash_points_tested", report.crash_points_tested as u64);
+        metrics.add("torture_fault_plans_tested", report.fault_plans_tested as u64);
+        metrics.add("torture_failures", report.failures.len() as u64);
+        metrics.add("restart_quarantined", report.quarantined as u64);
+        metrics.add("restart_transient_retries", report.transient_retries);
+        for r in &report.restarts {
+            metrics.add("restart_loaded", r.loaded as u64);
+            metrics.add("restart_skipped_alien", r.skipped_alien as u64);
+        }
+        std::fs::write(path, metrics.to_prometheus())
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
     }
     if report.passed() {
         Ok(())

@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+mod causal;
 mod commands;
 mod json;
 mod opts;
@@ -50,6 +51,39 @@ fn cli() -> Command {
         .subcommand(with_common_args(
             Command::new("line").about("recovery lines for every single-process failure"),
         ))
+        .subcommand(with_common_args(
+            Command::new("explain")
+                .about("recovery-line provenance: which DV entry pins each checkpoint, cross-checked against the Lemma-1 oracle")
+                .arg(
+                    clap::Arg::new("faulty")
+                        .long("faulty")
+                        .help("comma-separated failing processes (default: every single-process failure)")
+                        .value_name("list"),
+                ),
+        ))
+        .subcommand(
+            Command::new("causal")
+                .about("merge per-worker observability dumps into one happened-before-ordered trace")
+                .arg(
+                    clap::Arg::new("inputs")
+                        .help("per-worker JSONL dumps (flight-recorder or RDT_LOG_JSONL output)")
+                        .value_name("file")
+                        .action(clap::ArgAction::Append),
+                )
+                .arg(
+                    clap::Arg::new("dir")
+                        .long("dir")
+                        .help("harvest every flight_p*.jsonl under this directory")
+                        .value_name("dir"),
+                )
+                .arg(
+                    clap::Arg::new("out")
+                        .long("out")
+                        .short('o')
+                        .help("write the merged causal JSONL to this file instead of stdout")
+                        .value_name("path"),
+                ),
+        )
         .subcommand(with_common_args(
             Command::new("trace")
                 .about("replay a run and emit its global event sequence as JSONL (spans with --profile)")
@@ -117,6 +151,12 @@ fn torture_args(cmd: Command) -> Command {
                 .help("emit machine-readable JSON instead of tables")
                 .action(clap::ArgAction::SetTrue),
         )
+        .arg(
+            clap::Arg::new("metrics-out")
+                .long("metrics-out")
+                .help("write sweep and restart counters as a Prometheus textfile")
+                .value_name("path"),
+        )
 }
 
 fn main() {
@@ -128,12 +168,17 @@ fn main() {
         serve::serve(sub)
     } else if name == "__serve-worker" {
         serve::worker(sub)
+    } else if name == "causal" {
+        causal::causal(sub)
     } else {
         run_opts(sub).and_then(|opts| match name {
             "simulate" => commands::simulate(&opts, sub.get_flag("occupancy")),
             "analyze" => commands::analyze(&opts, sub.get_one::<String>("dot").map(String::as_str)),
             "audit" => commands::audit(&opts),
             "line" => commands::line(&opts),
+            "explain" => {
+                commands::explain(&opts, sub.get_one::<String>("faulty").map(String::as_str))
+            }
             "trace" => commands::trace(&opts, sub.get_one::<String>("out").map(String::as_str)),
             _ => unreachable!("clap rejects unknown subcommands"),
         })
@@ -155,7 +200,7 @@ mod tests {
 
     #[test]
     fn subcommands_share_common_args() {
-        for sub in ["simulate", "analyze", "audit", "line", "trace"] {
+        for sub in ["simulate", "analyze", "audit", "line", "explain", "trace"] {
             let m = cli()
                 .try_get_matches_from(["rdt", sub, "-n", "3", "--json"])
                 .expect("parses");

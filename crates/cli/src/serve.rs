@@ -115,6 +115,17 @@ fn prom_path(dir: &Path, rank: usize) -> PathBuf {
     dir.join(format!("metrics_p{rank}.prom"))
 }
 
+/// The worker's flight-recorder dump. A resumed worker writes to a
+/// separate file so a chaos cycle preserves the kill-point dumps for
+/// post-mortem harvesting (`rdt causal --dir`).
+fn flight_path(dir: &Path, rank: usize, resume: bool) -> PathBuf {
+    if resume {
+        dir.join(format!("flight_resume_p{rank}.jsonl"))
+    } else {
+        dir.join(format!("flight_p{rank}.jsonl"))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------------
@@ -126,6 +137,7 @@ struct WorkerStats {
     basic: u64,
     forced: u64,
     eliminated: u64,
+    restart: Option<rdt_storage::RestartReport>,
 }
 
 /// Drains every frame currently deliverable, logging each event.
@@ -194,6 +206,12 @@ fn write_prom(
     report.add("checkpoints_basic", stats.basic);
     report.add("checkpoints_forced", stats.forced);
     report.add("checkpoints_eliminated", stats.eliminated);
+    if let Some(restart) = &stats.restart {
+        report.add("restart_loaded", restart.loaded as u64);
+        report.add("restart_quarantined", restart.quarantined as u64);
+        report.add("restart_skipped_alien", restart.skipped_alien as u64);
+        report.add("restart_transient_retries", restart.transient_retries);
+    }
     std::fs::write(prom_path(dir, rank), report.to_prometheus())
         .map_err(|e| format!("metrics dump failed: {e}"))
 }
@@ -209,15 +227,22 @@ pub fn worker(m: &ArgMatches) -> Result<(), String> {
     let resume = m.get_flag("resume");
     let me = ProcessId::new(rank);
 
+    // Always-on flight recorder: the bounded ring costs nothing until
+    // frames move, periodic flushes survive a SIGKILL, and the panic hook
+    // dumps on any worker failure.
+    rdt_obs::flight::install(&flight_path(&cfg.dir, rank, resume), 0);
+
     let transport = UdsTransport::bind(&cfg.dir, rank, Duration::from_millis(1))
         .map_err(|e| format!("bind failed: {e}"))?;
     let disk = DurableStore::open(store_dir(&cfg.dir, rank), me)
         .map_err(|e| format!("durable store failed: {e}"))?;
 
+    let mut restart_report = None;
     let mut node = if resume {
-        let (store, _report) = disk
+        let (store, report) = disk
             .rebuild_reported()
             .map_err(|e| format!("rebuild failed: {e}"))?;
+        restart_report = Some(report);
         let target = store
             .indices()
             .last()
@@ -260,7 +285,10 @@ pub fn worker(m: &ArgMatches) -> Result<(), String> {
         transport,
     );
     let mut buf = vec![0u8; MAX_FRAME];
-    let mut stats = WorkerStats::default();
+    let mut stats = WorkerStats {
+        restart: restart_report,
+        ..WorkerStats::default()
+    };
     // Frame-path and socket-path profiling, plus periodic .prom dumps,
     // keyed off the same env switch as everywhere else.
     let profiling = rdt_obs::profile::env_enabled();
@@ -335,6 +363,7 @@ pub fn worker(m: &ArgMatches) -> Result<(), String> {
         return Err(format!("durable commit failed: {e}"));
     }
     write_prom(&cfg.dir, rank, &node, &prof, &stats)?;
+    rdt_obs::flight::flush();
     let retained = node.middleware().store().len();
     std::fs::write(
         summary_path(&cfg.dir, rank),
@@ -570,12 +599,16 @@ fn join_workers(children: Vec<Child>) -> Result<(), String> {
 }
 
 /// Polls until every worker's trace log shows real traffic (so a SIGKILL
-/// lands mid-flight, not before startup). Fails fast if a worker dies.
+/// lands mid-flight, not before startup) and every flight recorder has
+/// flushed at least once (so the kill leaves a harvestable dump).
+/// Fails fast if a worker dies.
 fn wait_for_traffic(cfg: &ServeConfig, children: &mut [Child]) -> Result<(), String> {
     let deadline = Instant::now() + Duration::from_secs(20);
     loop {
         let all_busy = (0..cfg.n)
-            .all(|i| std::fs::metadata(trace_path(&cfg.dir, i)).is_ok_and(|m| m.len() >= 200));
+            .all(|i| std::fs::metadata(trace_path(&cfg.dir, i)).is_ok_and(|m| m.len() >= 200))
+            && (0..cfg.n)
+                .all(|i| std::fs::metadata(flight_path(&cfg.dir, i, false)).is_ok_and(|m| m.len() > 0));
         if all_busy {
             return Ok(());
         }
@@ -597,6 +630,66 @@ fn kill_workers(children: &mut [Child]) -> Result<(), String> {
         child.wait().map_err(|e| format!("reaping p{rank}: {e}"))?;
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parent side: metrics aggregation
+// ---------------------------------------------------------------------------
+
+/// Parses every worker's `metrics_p<rank>.prom` textfile back into a
+/// [`rdt_obs::ProfileReport`] and folds them into one snapshot: per-worker
+/// series keep a `/p<rank>` suffix, and un-suffixed series carry the
+/// cluster-wide totals.
+fn merge_prom(dir: &Path, n: usize) -> Result<rdt_obs::ProfileReport, String> {
+    let mut merged = rdt_obs::ProfileReport::new();
+    for i in 0..n {
+        let path = prom_path(dir, i);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let parsed = rdt_obs::ProfileReport::from_prometheus(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        merged.merge_suffixed(&parsed, &format!("p{i}"));
+    }
+    Ok(merged)
+}
+
+/// Serves the live merged snapshot over plain HTTP/1.0 on `addr` from a
+/// detached thread — each scrape re-reads and re-merges whatever `.prom`
+/// dumps the workers have written so far. The thread dies with the
+/// process; `serve` is the only caller, so no shutdown plumbing.
+fn spawn_metrics_listener(
+    addr: &str,
+    dir: PathBuf,
+    n: usize,
+) -> Result<std::net::SocketAddr, String> {
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("--metrics-addr: {e}"))?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let mut head = [0u8; 1024];
+            let _ = std::io::Read::read(&mut stream, &mut head);
+            // A worker may be mid-rewrite of its dump; a scrape must not
+            // kill the run, so merge errors become a comment body.
+            let body = match merge_prom(&dir, n) {
+                Ok(report) => report.to_prometheus(),
+                Err(e) => format!("# merge pending: {e}\n"),
+            };
+            let response = format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let _ = stream.write_all(response.as_bytes());
+        }
+    });
+    Ok(local)
 }
 
 #[derive(Debug, Default)]
@@ -645,13 +738,26 @@ pub fn serve(m: &ArgMatches) -> Result<(), String> {
     let chaos = m.get_flag("chaos");
     let json = m.get_flag("json");
     std::fs::create_dir_all(&cfg.dir).map_err(|e| format!("run dir: {e}"))?;
+    if let Some(addr) = m.get_one::<String>("metrics-addr") {
+        let local = spawn_metrics_listener(addr, cfg.dir.clone(), cfg.n)?;
+        eprintln!("serving merged metrics on http://{local}/metrics");
+    }
 
     let outcome = run_serve(&cfg, chaos);
+    // Final aggregation: fold every worker's textfile dump into one
+    // scrape-able snapshot, kept in the run dir and optionally exported.
+    let metrics = merge_prom(&cfg.dir, cfg.n).map(|r| r.to_prometheus());
+    if let Ok(text) = &metrics {
+        let _ = std::fs::write(cfg.dir.join("metrics_merged.prom"), text);
+    }
     let summary = read_summaries(&cfg.dir, cfg.n);
     if !user_dir {
         let _ = std::fs::remove_dir_all(&cfg.dir);
     }
     let (online, offline) = outcome?;
+    if let Some(path) = m.get_one::<String>("metrics-out") {
+        std::fs::write(path, metrics?).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    }
     let agree = online == offline;
 
     if json {
@@ -766,6 +872,18 @@ pub fn serve_args(cmd: clap::Command) -> clap::Command {
                 .long("json")
                 .help("emit machine-readable JSON instead of text")
                 .action(clap::ArgAction::SetTrue),
+        )
+        .arg(
+            clap::Arg::new("metrics-out")
+                .long("metrics-out")
+                .help("write the merged cluster-wide Prometheus snapshot to this file")
+                .value_name("path"),
+        )
+        .arg(
+            clap::Arg::new("metrics-addr")
+                .long("metrics-addr")
+                .help("serve the live merged snapshot over HTTP on this address (e.g. 127.0.0.1:9464)")
+                .value_name("addr"),
         )
 }
 

@@ -1,0 +1,128 @@
+//! End-to-end smoke tests for the observability subcommands: `rdt
+//! explain` provenance against the oracle, and the serve → flight dump →
+//! `rdt causal` merge pipeline.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rdt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rdt"))
+}
+
+fn stdout_of(output: &std::process::Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdt_obs_smoke_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn explain_cross_checks_against_the_oracle() {
+    let output = rdt()
+        .args(["explain", "-n", "3", "-s", "200", "-S", "11", "--json"])
+        .output()
+        .expect("spawning rdt");
+    let stdout = stdout_of(&output);
+    assert!(
+        output.status.success(),
+        "explain failed: {stdout}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // One document per single-process failure, each carrying the line and
+    // per-component provenance.
+    assert!(stdout.contains("\"faulty\""), "no scenarios in {stdout}");
+    assert!(stdout.contains("\"line\""));
+    assert!(stdout.contains("\"amnestied\""));
+}
+
+#[test]
+fn explain_rejects_crashy_workloads() {
+    let output = rdt()
+        .args(["explain", "-n", "3", "-s", "100", "--crash-prob", "0.1"])
+        .output()
+        .expect("spawning rdt");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("crash-free"));
+}
+
+#[test]
+fn serve_flight_dumps_merge_into_a_causal_trace() {
+    let dir = temp_dir("causal");
+    let serve = rdt()
+        .args(["serve", "-n", "3", "--ops", "60", "-S", "42", "--json"])
+        .arg("--dir")
+        .arg(&dir)
+        .output()
+        .expect("spawning rdt serve");
+    assert!(
+        serve.status.success(),
+        "serve failed: {}\n{}",
+        stdout_of(&serve),
+        String::from_utf8_lossy(&serve.stderr)
+    );
+    for rank in 0..3 {
+        assert!(
+            dir.join(format!("flight_p{rank}.jsonl")).exists(),
+            "worker {rank} left no flight dump"
+        );
+    }
+    assert!(
+        dir.join("metrics_merged.prom").exists(),
+        "coordinator wrote no merged metrics snapshot"
+    );
+
+    let merged = dir.join("causal.jsonl");
+    let causal = rdt()
+        .arg("causal")
+        .arg("--dir")
+        .arg(&dir)
+        .arg("-o")
+        .arg(&merged)
+        .output()
+        .expect("spawning rdt causal");
+    assert!(
+        causal.status.success(),
+        "causal merge failed: {}",
+        String::from_utf8_lossy(&causal.stderr)
+    );
+
+    // Happened-before sanity on the merged trace itself: no recv before
+    // the send of the same (origin, seq) frame.
+    let body = std::fs::read_to_string(&merged).unwrap();
+    let mut seen_send = std::collections::BTreeSet::new();
+    let mut events = 0usize;
+    for line in body.lines() {
+        rdt_obs::check::check_jsonl_line(line).unwrap();
+        let v = rdt_obs::json::parse(line).unwrap();
+        let kind = v.get("kind").unwrap().as_str().unwrap().to_string();
+        let process = v.get("process").unwrap().as_u64().unwrap();
+        let peer = v.get("peer").unwrap().as_u64().unwrap();
+        let seq = v.get("seq").unwrap().as_u64().unwrap();
+        match kind.as_str() {
+            "send" | "synthetic_send" => {
+                seen_send.insert((process, seq));
+            }
+            "recv" | "apply" => {
+                assert!(
+                    seen_send.contains(&(peer, seq)),
+                    "{kind} of ({peer}, {seq}) precedes its send"
+                );
+            }
+            other => panic!("unexpected kind {other}"),
+        }
+        events += 1;
+    }
+    assert!(events > 0, "empty causal trace");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn causal_requires_inputs() {
+    let output = rdt().arg("causal").output().expect("spawning rdt");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("no inputs"));
+}

@@ -6,25 +6,40 @@
 //! what `Middleware::receive` needs — the sender, the per-sender message
 //! sequence number, the sender's current checkpoint index and the full
 //! dependency vector as `(incarnation, interval)` lineage pairs — plus a
-//! magic tag and an FNV-1a checksum so a torn or alien datagram is
-//! rejected instead of parsed.
+//! compact trace context (the sender's causal parent, i.e. the last frame
+//! it applied before this send) for cross-process happened-before
+//! reconstruction, a magic tag and an FNV-1a checksum so a torn or alien
+//! datagram is rejected instead of parsed.
 //!
-//! All integers are little-endian. Layout:
+//! All integers are little-endian. Current (v2) layout:
 //!
 //! ```text
-//! magic   u32   0x7074_4452 ("RDTp")
-//! sender  u32
-//! seq     u64
-//! index   u64
-//! n       u32
+//! magic          u32   0x7174_4452 ("RDTq")
+//! sender         u32
+//! seq            u64
+//! index          u64
+//! parent_origin  u32   u32::MAX when the send has no causal parent
+//! parent_seq     u64
+//! n              u32
 //! n × (incarnation u32, interval u64)
-//! fnv     u64   checksum over everything above
+//! fnv            u64   checksum over everything above
 //! ```
+//!
+//! The v1 layout (`"RDTp"`, no `parent_*` fields) is still decoded —
+//! frames persisted before the trace-context bump, or sent by an older
+//! peer, parse with `parent = None`. Encoding always emits v2.
 
 use rdt_base::ProcessId;
 
-/// Frame magic: `b"RDTp"` read as a little-endian u32.
-const MAGIC: u32 = u32::from_le_bytes(*b"RDTp");
+/// Current frame magic: `b"RDTq"` read as a little-endian u32 (v2, with
+/// trace context).
+const MAGIC_V2: u32 = u32::from_le_bytes(*b"RDTq");
+
+/// Legacy frame magic: `b"RDTp"` (v1, no trace context). Decode-only.
+const MAGIC_V1: u32 = u32::from_le_bytes(*b"RDTp");
+
+/// `parent_origin` sentinel marking a frame without a causal parent.
+const NO_PARENT: u32 = u32::MAX;
 
 /// One application message on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +50,11 @@ pub struct WireFrame {
     pub seq: u64,
     /// The piggybacked checkpoint index (`Piggyback::index`).
     pub index: u64,
+    /// Causal parent: the `(origin, seq)` identity of the last frame the
+    /// sender applied before this send, `None` for a root send. Purely
+    /// observational — the protocol layer ignores it; `rdt causal` uses it
+    /// to stitch per-process traces into one happened-before order.
+    pub parent: Option<(u32, u64)>,
     /// The sender's dependency vector as raw `(incarnation, interval)`
     /// lineages, one per process.
     pub lineages: Vec<(u32, usize)>,
@@ -52,13 +72,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 impl WireFrame {
-    /// Serializes the frame, appending the checksum.
+    /// Serializes the frame (v2 layout), appending the checksum.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + 4 + 8 + 8 + 4 + self.lineages.len() * 12 + 8);
-        out.extend_from_slice(&MAGIC.to_le_bytes());
+        let mut out = Vec::with_capacity(4 + 4 + 8 + 8 + 4 + 8 + 4 + self.lineages.len() * 12 + 8);
+        out.extend_from_slice(&MAGIC_V2.to_le_bytes());
         out.extend_from_slice(&(self.sender.index() as u32).to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.index.to_le_bytes());
+        let (parent_origin, parent_seq) = self.parent.unwrap_or((NO_PARENT, 0));
+        out.extend_from_slice(&parent_origin.to_le_bytes());
+        out.extend_from_slice(&parent_seq.to_le_bytes());
         out.extend_from_slice(&(self.lineages.len() as u32).to_le_bytes());
         for &(inc, interval) in &self.lineages {
             out.extend_from_slice(&inc.to_le_bytes());
@@ -69,8 +92,10 @@ impl WireFrame {
         out
     }
 
-    /// Parses and checksums a frame. `None` for anything malformed:
-    /// wrong magic, truncation, trailing bytes or checksum mismatch.
+    /// Parses and checksums a frame, accepting both the current v2 layout
+    /// and the legacy v1 layout (which parses with `parent = None`).
+    /// `None` for anything malformed: unknown magic, truncation, trailing
+    /// bytes or checksum mismatch.
     pub fn decode(bytes: &[u8]) -> Option<Self> {
         struct Cursor<'a> {
             bytes: &'a [u8],
@@ -90,12 +115,30 @@ impl WireFrame {
         }
         let mut cur = Cursor { bytes, at: 0 };
 
-        if cur.u32()? != MAGIC {
-            return None;
-        }
+        let versioned = match cur.u32()? {
+            MAGIC_V2 => true,
+            MAGIC_V1 => false,
+            _ => return None,
+        };
         let sender = cur.u32()? as usize;
         let seq = cur.u64()?;
         let index = cur.u64()?;
+        let parent = if versioned {
+            let parent_origin = cur.u32()?;
+            let parent_seq = cur.u64()?;
+            if parent_origin == NO_PARENT {
+                // The sentinel must carry a zero seq; anything else is a
+                // malformed (likely torn) frame, not a valid "no parent".
+                if parent_seq != 0 {
+                    return None;
+                }
+                None
+            } else {
+                Some((parent_origin, parent_seq))
+            }
+        } else {
+            None
+        };
         let n = cur.u32()? as usize;
         // Bound n by what the buffer can actually hold before allocating.
         if bytes.len() < cur.at + n * 12 + 8 {
@@ -116,6 +159,7 @@ impl WireFrame {
             sender: ProcessId::new(sender),
             seq,
             index,
+            parent,
             lineages,
         })
     }
@@ -130,8 +174,26 @@ mod tests {
             sender: ProcessId::new(2),
             seq: 41,
             index: 7,
+            parent: Some((0, 40)),
             lineages: vec![(0, 3), (1, 0), (0, 9)],
         }
+    }
+
+    /// Hand-encodes the same logical frame in the legacy v1 layout.
+    fn v1_bytes(f: &WireFrame) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC_V1.to_le_bytes());
+        out.extend_from_slice(&(f.sender.index() as u32).to_le_bytes());
+        out.extend_from_slice(&f.seq.to_le_bytes());
+        out.extend_from_slice(&f.index.to_le_bytes());
+        out.extend_from_slice(&(f.lineages.len() as u32).to_le_bytes());
+        for &(inc, interval) in &f.lineages {
+            out.extend_from_slice(&inc.to_le_bytes());
+            out.extend_from_slice(&(interval as u64).to_le_bytes());
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
     }
 
     #[test]
@@ -142,11 +204,47 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_without_parent() {
+        let f = WireFrame {
+            parent: None,
+            ..frame()
+        };
+        let bytes = f.encode();
+        assert_eq!(WireFrame::decode(&bytes), Some(f));
+    }
+
+    #[test]
+    fn legacy_v1_frames_decode_with_no_parent() {
+        let f = frame();
+        let decoded = WireFrame::decode(&v1_bytes(&f)).expect("v1 frame parses");
+        assert_eq!(decoded.parent, None);
+        assert_eq!(
+            decoded,
+            WireFrame {
+                parent: None,
+                ..f
+            }
+        );
+    }
+
+    #[test]
     fn corruption_is_rejected() {
-        let mut bytes = frame().encode();
+        for f in [frame(), WireFrame { parent: None, ..frame() }] {
+            let mut bytes = f.encode();
+            for i in 0..bytes.len() {
+                bytes[i] ^= 0x40;
+                assert_eq!(WireFrame::decode(&bytes), None, "flipped byte {i} parsed");
+                bytes[i] ^= 0x40;
+            }
+        }
+    }
+
+    #[test]
+    fn v1_corruption_is_rejected() {
+        let mut bytes = v1_bytes(&frame());
         for i in 0..bytes.len() {
             bytes[i] ^= 0x40;
-            assert_eq!(WireFrame::decode(&bytes), None, "flipped byte {i} parsed");
+            assert_eq!(WireFrame::decode(&bytes), None, "flipped v1 byte {i} parsed");
             bytes[i] ^= 0x40;
         }
     }

@@ -1,203 +1,71 @@
-//! `obs_check`: schema validator for the JSONL streams this stack emits —
-//! `rdt trace` span files and `RDT_LOG_JSONL` structured-log files.
+//! `obs_check`: schema validator for the files this stack emits — `rdt
+//! trace` span files, `RDT_LOG_JSONL` structured-log files, flight-recorder
+//! dumps, merged causal traces, and `.prom` metric textfiles.
 //!
-//! Every line must be one complete JSON object of a known shape:
+//! Validation logic lives in [`rdt_obs::check`]; this binary only handles
+//! file I/O and exit codes. Files ending in `.prom` are validated as
+//! Prometheus textfiles; everything else line-by-line as JSONL.
 //!
-//! - **trace lines** carry a `type` discriminator:
-//!   `run` (header: n/steps/seed/protocol/gc/shards),
-//!   `event` (i/kind + kind-specific fields),
-//!   `span` (phase/count/total_ns), `counter` (name/value);
-//! - **log lines** carry the sink envelope `level`/`target`/`event`/`msg`.
-//!
-//! Usage: `obs_check <file.jsonl>...` — exits 0 iff every line of every file
-//! validates, printing a per-file summary; violations print as
-//! `file:line: message` and flip the exit code to 1.
+//! Usage: `obs_check <file>...` — exits 0 iff every file validates,
+//! printing a per-file summary; violations print as `file:line: message`
+//! and flip the exit code to 1.
 
 use std::process::ExitCode;
 
-use rdt_obs::json::{self, JsonValue};
+use rdt_obs::check::{check_jsonl_line, check_prom_text};
 
 fn main() -> ExitCode {
     let files: Vec<String> = std::env::args().skip(1).collect();
     if files.is_empty() {
-        eprintln!("usage: obs_check <file.jsonl>...");
+        eprintln!("usage: obs_check <file.jsonl|file.prom>...");
         return ExitCode::from(2);
     }
     let mut ok = true;
     for path in &files {
-        match std::fs::read_to_string(path) {
-            Ok(body) => {
-                let mut lines = 0usize;
-                let mut errors = 0usize;
-                for (i, line) in body.lines().enumerate() {
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    lines += 1;
-                    if let Err(msg) = check_line(line) {
-                        eprintln!("{path}:{}: {msg}", i + 1);
-                        errors += 1;
-                    }
-                }
-                if lines == 0 {
-                    eprintln!("{path}: no JSONL lines found");
-                    ok = false;
-                } else if errors == 0 {
-                    println!("{path}: {lines} lines ok");
-                } else {
-                    ok = false;
-                }
-            }
+        let body = match std::fs::read_to_string(path) {
+            Ok(body) => body,
             Err(err) => {
                 eprintln!("{path}: {err}");
                 ok = false;
+                continue;
             }
+        };
+        if path.ends_with(".prom") {
+            match check_prom_text(&body) {
+                Ok((phases, counters)) => {
+                    println!("{path}: {phases} phases, {counters} counters ok");
+                }
+                Err(msg) => {
+                    eprintln!("{path}: {msg}");
+                    ok = false;
+                }
+            }
+            continue;
+        }
+        let mut lines = 0usize;
+        let mut errors = 0usize;
+        for (i, line) in body.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            lines += 1;
+            if let Err(msg) = check_jsonl_line(line) {
+                eprintln!("{path}:{}: {msg}", i + 1);
+                errors += 1;
+            }
+        }
+        if lines == 0 {
+            eprintln!("{path}: no JSONL lines found");
+            ok = false;
+        } else if errors == 0 {
+            println!("{path}: {lines} lines ok");
+        } else {
+            ok = false;
         }
     }
     if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
-    }
-}
-
-/// Validates one JSONL line against the known shapes.
-fn check_line(line: &str) -> Result<(), String> {
-    let value = json::parse(line)?;
-    if !matches!(value, JsonValue::Obj(_)) {
-        return Err("line is not a JSON object".into());
-    }
-    if let Some(ty) = value.get("type") {
-        let ty = ty.as_str().ok_or("\"type\" is not a string")?;
-        return check_trace_line(ty, &value);
-    }
-    if value.get("level").is_some() {
-        return check_log_line(&value);
-    }
-    Err("object has neither a \"type\" (trace) nor a \"level\" (log) key".into())
-}
-
-fn require_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
-    v.get(key)
-        .ok_or_else(|| format!("missing key {key:?}"))?
-        .as_u64()
-        .ok_or_else(|| format!("key {key:?} is not an unsigned integer"))
-}
-
-fn require_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
-    v.get(key)
-        .ok_or_else(|| format!("missing key {key:?}"))?
-        .as_str()
-        .ok_or_else(|| format!("key {key:?} is not a string"))
-}
-
-fn require_bool(v: &JsonValue, key: &str) -> Result<(), String> {
-    match v.get(key) {
-        Some(JsonValue::Bool(_)) => Ok(()),
-        Some(_) => Err(format!("key {key:?} is not a boolean")),
-        None => Err(format!("missing key {key:?}")),
-    }
-}
-
-fn check_trace_line(ty: &str, v: &JsonValue) -> Result<(), String> {
-    match ty {
-        "run" => {
-            require_u64(v, "n")?;
-            require_u64(v, "steps")?;
-            require_u64(v, "seed")?;
-            require_u64(v, "shards")?;
-            require_str(v, "protocol")?;
-            require_str(v, "gc")?;
-            Ok(())
-        }
-        "event" => {
-            require_u64(v, "i")?;
-            let kind = require_str(v, "kind")?;
-            match kind {
-                "send" => {
-                    require_u64(v, "from")?;
-                    require_u64(v, "seq")?;
-                    require_u64(v, "to")?;
-                    Ok(())
-                }
-                "deliver" | "drop" => {
-                    require_u64(v, "from")?;
-                    require_u64(v, "seq")?;
-                    Ok(())
-                }
-                "ckpt" => {
-                    require_u64(v, "process")?;
-                    require_bool(v, "forced")?;
-                    Ok(())
-                }
-                "collect" => {
-                    require_u64(v, "process")?;
-                    require_u64(v, "index")?;
-                    Ok(())
-                }
-                "crash" => {
-                    require_u64(v, "process")?;
-                    Ok(())
-                }
-                "restore" => {
-                    require_u64(v, "process")?;
-                    require_u64(v, "to")?;
-                    Ok(())
-                }
-                other => Err(format!("unknown event kind {other:?}")),
-            }
-        }
-        "span" => {
-            require_str(v, "phase")?;
-            require_u64(v, "count")?;
-            require_u64(v, "total_ns")?;
-            Ok(())
-        }
-        "counter" => {
-            require_str(v, "name")?;
-            require_u64(v, "value")?;
-            Ok(())
-        }
-        other => Err(format!("unknown line type {other:?}")),
-    }
-}
-
-fn check_log_line(v: &JsonValue) -> Result<(), String> {
-    let level = require_str(v, "level")?;
-    if rdt_obs::Level::parse(level).is_none() {
-        return Err(format!("unknown level {level:?}"));
-    }
-    require_str(v, "target")?;
-    require_str(v, "event")?;
-    require_str(v, "msg")?;
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn accepts_known_shapes() {
-        check_line(
-            r#"{"type":"run","n":4,"steps":100,"seed":7,"shards":2,"protocol":"rdt-lgc","gc":"rdt"}"#,
-        )
-        .unwrap();
-        check_line(r#"{"type":"event","i":0,"kind":"send","from":1,"seq":0,"to":2}"#).unwrap();
-        check_line(r#"{"type":"event","i":1,"kind":"ckpt","process":0,"forced":true}"#).unwrap();
-        check_line(r#"{"type":"span","phase":"engine/drain","count":10,"total_ns":1234}"#).unwrap();
-        check_line(r#"{"type":"counter","name":"events","value":3}"#).unwrap();
-        check_line(r#"{"level":"warn","target":"t","event":"e","msg":"m","extra":1}"#).unwrap();
-    }
-
-    #[test]
-    fn rejects_malformed_lines() {
-        assert!(check_line("not json").is_err());
-        assert!(check_line("[1,2]").is_err());
-        assert!(check_line(r#"{"type":"mystery"}"#).is_err());
-        assert!(check_line(r#"{"type":"event","i":0,"kind":"send","from":1}"#).is_err());
-        assert!(check_line(r#"{"type":"span","phase":"p","count":-1,"total_ns":0}"#).is_err());
-        assert!(check_line(r#"{"level":"loud","target":"t","event":"e","msg":"m"}"#).is_err());
-        assert!(check_line(r#"{"no":"discriminator"}"#).is_err());
     }
 }

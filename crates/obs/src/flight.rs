@@ -1,0 +1,213 @@
+//! Always-on bounded flight recorder: the last N events, flushed to disk
+//! on panic and periodically, so post-mortem traces survive `kill -9`.
+//!
+//! The recorder is process-wide and off until [`install`]ed (serve workers
+//! install one per rank). Recording bypasses the level filter — call sites
+//! hand fully-built [`Event`]s to [`record`] unconditionally — so the dump
+//! always holds the most recent history even when the sink threshold is
+//! `warn`. The ring is bounded: once full, the oldest line is evicted.
+//!
+//! Durability model: SIGKILL cannot be caught, so in addition to the panic
+//! hook the ring is rewritten to disk every [`FLUSH_EVERY`] records via an
+//! atomic tmp-file-and-rename, leaving at most the last `FLUSH_EVERY - 1`
+//! events unrecorded after a hard kill and never a torn file.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::event::Event;
+
+/// Records between automatic disk flushes.
+pub const FLUSH_EVERY: usize = 64;
+
+/// Default ring capacity (events retained).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct Recorder {
+    path: PathBuf,
+    capacity: usize,
+    ring: VecDeque<String>,
+    since_flush: usize,
+}
+
+impl Recorder {
+    fn push(&mut self, line: String) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(line);
+        self.since_flush += 1;
+        if self.since_flush >= FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    /// Rewrites the whole ring atomically (tmp file + rename), so a kill
+    /// mid-flush leaves the previous complete dump in place. I/O errors are
+    /// swallowed: the recorder must never take the process down.
+    fn flush(&mut self) {
+        self.since_flush = 0;
+        let tmp = self.path.with_extension("tmp");
+        let mut body = String::new();
+        for line in &self.ring {
+            body.push_str(line);
+            body.push('\n');
+        }
+        let ok = std::fs::File::create(&tmp)
+            .and_then(|mut f| {
+                f.write_all(body.as_bytes())?;
+                f.sync_all()
+            })
+            .and_then(|()| std::fs::rename(&tmp, &self.path));
+        let _ = ok;
+    }
+}
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+fn cell() -> &'static Mutex<Option<Recorder>> {
+    static CELL: OnceLock<Mutex<Option<Recorder>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+fn with_recorder(f: impl FnOnce(&mut Recorder)) {
+    if let Some(rec) = cell().lock().unwrap_or_else(|e| e.into_inner()).as_mut() {
+        f(rec);
+    }
+}
+
+/// Installs the process-wide flight recorder writing to `path`, keeping at
+/// most `capacity` events (0 means [`DEFAULT_CAPACITY`]). Replaces any
+/// previously installed recorder (flushing it first). Also registers a
+/// panic hook, once, that flushes the ring before unwinding continues.
+pub fn install(path: impl AsRef<Path>, capacity: usize) {
+    let capacity = if capacity == 0 {
+        DEFAULT_CAPACITY
+    } else {
+        capacity
+    };
+    let mut guard = cell().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(old) = guard.as_mut() {
+        old.flush();
+    }
+    *guard = Some(Recorder {
+        path: path.as_ref().to_path_buf(),
+        capacity,
+        ring: VecDeque::with_capacity(capacity),
+        since_flush: 0,
+    });
+    drop(guard);
+    INSTALLED.store(true, Ordering::Release);
+
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            with_recorder(Recorder::flush);
+            previous(info);
+        }));
+    });
+}
+
+/// Whether a recorder is installed (one relaxed atomic load — the fast
+/// path for call sites that build an [`Event`] only to record it).
+#[inline]
+pub fn enabled() -> bool {
+    INSTALLED.load(Ordering::Acquire)
+}
+
+/// Records one event into the ring (no-op when not installed). Bypasses
+/// the sink level filter by design.
+pub fn record(event: &Event) {
+    if !enabled() {
+        return;
+    }
+    let line = event.to_json().to_string();
+    with_recorder(|rec| rec.push(line));
+}
+
+/// Forces the ring to disk now (no-op when not installed). Serve workers
+/// call this on clean shutdown so the dump covers the whole run tail.
+pub fn flush() {
+    if enabled() {
+        with_recorder(Recorder::flush);
+    }
+}
+
+/// Removes the recorder after a final flush, returning its dump path.
+/// Mainly for tests; production workers stay installed until exit.
+pub fn uninstall() -> Option<PathBuf> {
+    let mut guard = cell().lock().unwrap_or_else(|e| e.into_inner());
+    let rec = guard.take();
+    INSTALLED.store(false, Ordering::Release);
+    rec.map(|mut rec| {
+        rec.flush();
+        rec.path
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Level, Value};
+
+    fn sample(i: u64) -> Event {
+        Event {
+            level: Level::Debug,
+            target: "rdt_obs::flight_tests",
+            name: "tick",
+            message: String::new(),
+            fields: vec![("i", Value::U64(i))],
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rdt_flight_{}_{name}.jsonl", std::process::id()))
+    }
+
+    // The recorder is process-global, so the scenarios run as one test to
+    // avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn ring_bounds_flushes_and_survives_reinstall() {
+        // Below-threshold events are still recorded (bypass the filter).
+        crate::set_level(Some(Level::Error));
+
+        let path = temp_path("ring");
+        install(&path, 8);
+        assert!(enabled());
+        for i in 0..100 {
+            record(&sample(i));
+        }
+        // 100 records with FLUSH_EVERY=64: one automatic flush happened, so
+        // a dump exists on disk even without an explicit flush.
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(!body.is_empty());
+
+        flush();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 8, "ring keeps only the last 8 events");
+        let first = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("i").unwrap().as_u64(), Some(92));
+        let last = crate::json::parse(lines[7]).unwrap();
+        assert_eq!(last.get("i").unwrap().as_u64(), Some(99));
+
+        // Reinstall flushes the old ring and starts a fresh one.
+        let path2 = temp_path("ring2");
+        install(&path2, 0);
+        record(&sample(7));
+        flush();
+        let body2 = std::fs::read_to_string(&path2).unwrap();
+        assert_eq!(body2.lines().count(), 1);
+
+        assert_eq!(uninstall(), Some(path2.clone()));
+        assert!(!enabled());
+        record(&sample(1)); // no-op, must not panic
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+    }
+}

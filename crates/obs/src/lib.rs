@@ -15,13 +15,21 @@
 //!   observe around the deterministic core without touching RNG or event
 //!   order, so replay goldens stay byte-identical with profiling on.
 //! - **Exposition**: [`ProfileReport::to_json`] for run summaries,
-//!   [`ProfileReport::to_prometheus`] for scrape-file dumps, and the
-//!   `obs_check` binary validating JSONL streams in CI.
+//!   [`ProfileReport::to_prometheus`] / [`ProfileReport::from_prometheus`]
+//!   for scrape-file dumps and coordinator-side re-aggregation, and the
+//!   `obs_check` binary (backed by the [`check`] module) validating JSONL
+//!   streams and `.prom` textfiles in CI.
+//!
+//! Plus a crash-surviving [`flight`] recorder: a bounded ring of the most
+//! recent events, periodically flushed to disk and harvested post-mortem.
+//! See `crates/obs/OBSERVABILITY.md` for the operator-facing knobs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod profile;
 pub mod sink;

@@ -173,13 +173,18 @@ impl ProfileReport {
 
     /// Folds `other` in with `/{suffix}` appended to every key — how the
     /// coordinator namespaces per-shard worker reports (`shard/drain` from
-    /// worker 2 lands as `shard/drain/2`).
+    /// worker 2 lands as `shard/drain/2`) — and *also* into the un-suffixed
+    /// key, so `shard/drain` on the coordinator is the global total across
+    /// workers. Without the global fold, worker series whose names collide
+    /// with coordinator-side series were silently dropped from the totals.
     pub fn merge_suffixed(&mut self, other: &ProfileReport, suffix: &str) {
         for (name, stats) in &other.phases {
             self.phase_mut(&format!("{name}/{suffix}")).merge(stats);
+            self.phase_mut(name).merge(stats);
         }
         for (name, delta) in &other.counters {
             self.add(&format!("{name}/{suffix}"), *delta);
+            self.add(name, *delta);
         }
     }
 
@@ -206,28 +211,35 @@ impl ProfileReport {
     /// become `rdt_phase_ns_total` / `rdt_phase_count_total` series labelled
     /// by phase path; counters become `rdt_counter_total` labelled by name;
     /// histograms become cumulative `rdt_phase_latency_ns_bucket` series
-    /// with power-of-two `le` bounds.
+    /// with power-of-two `le` bounds. Label values are escaped per the
+    /// exposition format (`\\`, `\"`, `\n`).
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        out.push_str("# HELP rdt_phase_ns_total Total wall-clock time spent in each phase.\n");
         out.push_str("# TYPE rdt_phase_ns_total counter\n");
         for (name, stats) in &self.phases {
             let _ = writeln!(
                 out,
-                "rdt_phase_ns_total{{phase=\"{name}\"}} {}",
+                "rdt_phase_ns_total{{phase=\"{}\"}} {}",
+                escape_label_value(name),
                 stats.total_ns
             );
         }
+        out.push_str("# HELP rdt_phase_count_total Number of recorded intervals per phase.\n");
         out.push_str("# TYPE rdt_phase_count_total counter\n");
         for (name, stats) in &self.phases {
             let _ = writeln!(
                 out,
-                "rdt_phase_count_total{{phase=\"{name}\"}} {}",
+                "rdt_phase_count_total{{phase=\"{}\"}} {}",
+                escape_label_value(name),
                 stats.count
             );
         }
+        out.push_str("# HELP rdt_phase_latency_ns Per-phase latency, power-of-two buckets.\n");
         out.push_str("# TYPE rdt_phase_latency_ns histogram\n");
         for (name, stats) in &self.phases {
+            let name = escape_label_value(name);
             let mut cumulative = 0u64;
             for (i, n) in stats.buckets.iter().enumerate() {
                 if *n == 0 {
@@ -256,12 +268,241 @@ impl ProfileReport {
                 stats.count
             );
         }
+        out.push_str("# HELP rdt_counter_total Monotonic event counters.\n");
         out.push_str("# TYPE rdt_counter_total counter\n");
         for (name, v) in &self.counters {
-            let _ = writeln!(out, "rdt_counter_total{{name=\"{name}\"}} {v}");
+            let _ = writeln!(
+                out,
+                "rdt_counter_total{{name=\"{}\"}} {v}",
+                escape_label_value(name)
+            );
         }
         out
     }
+
+    /// Parses a report back out of the exposition text written by
+    /// [`to_prometheus`](Self::to_prometheus) — how the serve coordinator
+    /// re-aggregates worker `.prom` dumps and how `obs_check` validates
+    /// them. Histogram buckets are reconstructed from the cumulative
+    /// `_bucket` series; per-phase `min_ns`/`max_ns` are not carried by the
+    /// exposition format and come back as the empty-accumulator defaults.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed line, unknown
+    /// metric family, mis-aligned bucket bound, or cumulative-count
+    /// inconsistency.
+    pub fn from_prometheus(text: &str) -> Result<ProfileReport, String> {
+        let mut report = ProfileReport::new();
+        // phase -> (cumulative count so far, expected final count, total)
+        let mut hist_done: BTreeMap<String, u64> = BTreeMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim_end();
+            let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                let mut words = comment.split_whitespace();
+                match words.next() {
+                    Some("HELP") | Some("TYPE") => {
+                        if words.next().is_none() {
+                            return Err(err("comment names no metric"));
+                        }
+                    }
+                    _ => {} // free-form comment
+                }
+                continue;
+            }
+            let (metric, labels, value) = split_sample(line).ok_or_else(|| err("bad sample"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| err("sample value is not a u64"))?;
+            match metric {
+                "rdt_phase_ns_total" => {
+                    let phase = single_label(labels, "phase").ok_or_else(|| err("bad labels"))?;
+                    report.phase_mut(&phase).total_ns = value;
+                }
+                "rdt_phase_count_total" => {
+                    let phase = single_label(labels, "phase").ok_or_else(|| err("bad labels"))?;
+                    report.phase_mut(&phase).count = value;
+                }
+                "rdt_phase_latency_ns_bucket" => {
+                    let (phase, le) =
+                        pair_labels(labels, "phase", "le").ok_or_else(|| err("bad labels"))?;
+                    let idx = if le == "+Inf" {
+                        HIST_BUCKETS - 1
+                    } else {
+                        let bound: u64 =
+                            le.parse().map_err(|_| err("le bound is not a number"))?;
+                        let idx = bucket_of(bound);
+                        if bucket_upper_ns(idx) != bound {
+                            return Err(err("le bound is not a bucket upper bound"));
+                        }
+                        idx
+                    };
+                    let prior = hist_done.get(&phase).copied().unwrap_or(0);
+                    let n = value
+                        .checked_sub(prior)
+                        .ok_or_else(|| err("bucket series is not cumulative"))?;
+                    report.phase_mut(&phase).buckets[idx] += n;
+                    hist_done.insert(phase, value);
+                }
+                "rdt_phase_latency_ns_sum" => {
+                    let phase = single_label(labels, "phase").ok_or_else(|| err("bad labels"))?;
+                    let stats = report.phase_mut(&phase);
+                    if stats.total_ns != 0 && stats.total_ns != value {
+                        return Err(err("histogram sum disagrees with rdt_phase_ns_total"));
+                    }
+                    stats.total_ns = value;
+                }
+                "rdt_phase_latency_ns_count" => {
+                    let phase = single_label(labels, "phase").ok_or_else(|| err("bad labels"))?;
+                    let stats = report.phase_mut(&phase);
+                    if stats.count != 0 && stats.count != value {
+                        return Err(err("histogram count disagrees with rdt_phase_count_total"));
+                    }
+                    stats.count = value;
+                }
+                "rdt_counter_total" => {
+                    let name = single_label(labels, "name").ok_or_else(|| err("bad labels"))?;
+                    report.add(&name, value);
+                }
+                other => return Err(format!("line {}: unknown metric {other}", lineno + 1)),
+            }
+        }
+        for (phase, stats) in &report.phases {
+            let in_buckets: u64 = stats.buckets.iter().sum();
+            if in_buckets != stats.count {
+                return Err(format!(
+                    "phase {phase}: buckets hold {in_buckets} samples but count is {}",
+                    stats.count
+                ));
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_label_value`]. `None` on a dangling or unknown escape.
+fn unescape_label_value(value: &str) -> Option<String> {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            '"' => out.push('"'),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Splits one sample line into `(metric, label_body, value)`. The label
+/// body is the text between `{` and the matching un-escaped `}`.
+fn split_sample(line: &str) -> Option<(&str, &str, &str)> {
+    let brace = line.find('{')?;
+    let metric = &line[..brace];
+    let rest = &line[brace + 1..];
+    // Find the closing brace outside any quoted label value.
+    let mut in_quotes = false;
+    let mut escaped = false;
+    let mut close = None;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => {
+                close = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let close = close?;
+    let labels = &rest[..close];
+    let value = rest[close + 1..].trim();
+    if metric.is_empty() || value.is_empty() {
+        return None;
+    }
+    Some((metric, labels, value))
+}
+
+/// Parses `name="value"` label pairs (escaped values allowed).
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].strip_prefix('"')?;
+        // Scan to the closing un-escaped quote.
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in after.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end?;
+        let value = unescape_label_value(&after[..end])?;
+        out.push((key, value));
+        rest = after[end + 1..].trim_start_matches(',').trim_start();
+    }
+    Some(out)
+}
+
+/// The value of the single expected label, or `None` on any other shape.
+fn single_label(body: &str, key: &str) -> Option<String> {
+    let labels = parse_labels(body)?;
+    match labels.as_slice() {
+        [(k, v)] if k == key => Some(v.clone()),
+        _ => None,
+    }
+}
+
+/// The values of exactly the two expected labels, in either order.
+fn pair_labels(body: &str, first: &str, second: &str) -> Option<(String, String)> {
+    let labels = parse_labels(body)?;
+    if labels.len() != 2 {
+        return None;
+    }
+    let a = labels.iter().find(|(k, _)| k == first)?.1.clone();
+    let b = labels.iter().find(|(k, _)| k == second)?.1.clone();
+    Some((a, b))
 }
 
 /// Whether the `RDT_PROFILE` environment variable requests profiling
@@ -404,7 +645,32 @@ mod tests {
         merged.merge_suffixed(&worker, "2");
         assert_eq!(merged.phase("shard/drain/2").unwrap().count, 1);
         assert_eq!(merged.counters["events/2"], 7);
-        assert!(merged.phase("shard/drain").is_none());
+        // The un-suffixed keys carry the global totals.
+        assert_eq!(merged.phase("shard/drain").unwrap().count, 1);
+        assert_eq!(merged.counters["events"], 7);
+    }
+
+    #[test]
+    fn merge_suffixed_folds_colliding_worker_series_into_global_totals() {
+        // Regression: the coordinator already holds a series under the same
+        // name as a worker series; the worker's contribution must land in
+        // the global total rather than being visible only under its suffix.
+        let mut merged = ProfileReport::new();
+        merged.phase_mut("store/write").record(100);
+        merged.add("frames_sent", 10);
+        for (rank, delta) in [(0u32, 3u64), (1, 4)] {
+            let mut worker = ProfileReport::new();
+            worker.phase_mut("store/write").record(50);
+            worker.add("frames_sent", delta);
+            merged.merge_suffixed(&worker, &rank.to_string());
+        }
+        assert_eq!(merged.counters["frames_sent"], 17);
+        assert_eq!(merged.counters["frames_sent/0"], 3);
+        assert_eq!(merged.counters["frames_sent/1"], 4);
+        let global = merged.phase("store/write").unwrap();
+        assert_eq!(global.count, 3);
+        assert_eq!(global.total_ns, 200);
+        assert_eq!(merged.phase("store/write/1").unwrap().count, 1);
     }
 
     #[test]
@@ -455,5 +721,86 @@ mod tests {
         assert!(prom.contains("rdt_phase_count_total{phase=\"engine/drain\"} 2"));
         assert!(prom.contains("le=\"+Inf\"}"));
         assert!(prom.contains("rdt_counter_total{name=\"frames_sent\"} 42"));
+        assert!(prom.contains("# HELP rdt_phase_ns_total "));
+        assert!(prom.contains("# HELP rdt_counter_total "));
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_unescaped() {
+        let mut r = ProfileReport::new();
+        r.phase_mut("weird\"phase\\with\nnewline").record(5);
+        r.add("plain", 1);
+        let prom = r.to_prometheus();
+        assert!(prom.contains(r#"phase="weird\"phase\\with\nnewline""#));
+        let back = ProfileReport::from_prometheus(&prom).unwrap();
+        assert_eq!(back.phase("weird\"phase\\with\nnewline").unwrap().count, 1);
+    }
+
+    #[test]
+    fn prometheus_round_trips_counts_totals_and_buckets() {
+        let mut r = ProfileReport::new();
+        r.phase_mut("engine/drain").record(100);
+        r.phase_mut("engine/drain").record(130);
+        r.phase_mut("engine/drain").record(3_000_000_000);
+        r.phase_mut("live/encode").record(0);
+        r.add("frames_sent", 42);
+        r.add("frames_received", 17);
+        let back = ProfileReport::from_prometheus(&r.to_prometheus()).unwrap();
+        assert_eq!(back.counters, r.counters);
+        for (name, stats) in &r.phases {
+            let b = back.phase(name).unwrap();
+            assert_eq!(b.count, stats.count, "{name} count");
+            assert_eq!(b.total_ns, stats.total_ns, "{name} total");
+            assert_eq!(b.buckets, stats.buckets, "{name} buckets");
+        }
+        // min/max are lossy through the exposition format by design.
+    }
+
+    #[test]
+    fn from_prometheus_rejects_malformed_input() {
+        assert!(ProfileReport::from_prometheus("rdt_counter_total{name=\"x\"}").is_err());
+        assert!(ProfileReport::from_prometheus("bogus_metric{name=\"x\"} 1").is_err());
+        assert!(
+            ProfileReport::from_prometheus("rdt_counter_total{phase=\"x\"} 1").is_err(),
+            "wrong label name"
+        );
+        assert!(
+            ProfileReport::from_prometheus(
+                "rdt_phase_latency_ns_bucket{phase=\"p\",le=\"12\"} 1\n\
+                 rdt_phase_latency_ns_count{phase=\"p\"} 1"
+            )
+            .is_err(),
+            "le bound off the bucket grid"
+        );
+        assert!(
+            ProfileReport::from_prometheus(
+                "rdt_phase_latency_ns_bucket{phase=\"p\",le=\"1\"} 2\n\
+                 rdt_phase_latency_ns_bucket{phase=\"p\",le=\"3\"} 1\n\
+                 rdt_phase_latency_ns_count{phase=\"p\"} 2"
+            )
+            .is_err(),
+            "non-cumulative bucket series"
+        );
+        assert!(
+            ProfileReport::from_prometheus("rdt_phase_count_total{phase=\"p\"} 3").is_err(),
+            "count without matching bucket samples"
+        );
+    }
+
+    #[test]
+    fn from_prometheus_merges_cleanly_for_aggregation() {
+        // The serve coordinator parses worker dumps and merge_suffixed-es
+        // them; totals must add up across the round trip.
+        let mut merged = ProfileReport::new();
+        for rank in 0..3u32 {
+            let mut w = ProfileReport::new();
+            w.phase_mut("live/encode").record(64 + u64::from(rank));
+            w.add("frames_sent", 5);
+            let parsed = ProfileReport::from_prometheus(&w.to_prometheus()).unwrap();
+            merged.merge_suffixed(&parsed, &format!("p{rank}"));
+        }
+        assert_eq!(merged.counters["frames_sent"], 15);
+        assert_eq!(merged.counters["frames_sent/p1"], 5);
+        assert_eq!(merged.phase("live/encode").unwrap().count, 3);
     }
 }

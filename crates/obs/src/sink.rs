@@ -171,6 +171,16 @@ pub fn set_sink(sink: Arc<dyn Sink>) -> Arc<dyn Sink> {
     std::mem::replace(&mut *guard, sink)
 }
 
+/// Dispatches a pre-built [`Event`] through the level filter to the sink.
+/// For call sites that construct events directly (e.g. to also hand them
+/// to the flight recorder, which bypasses the filter); builder-based call
+/// sites go through [`EventBuilder::emit`](crate::EventBuilder::emit).
+pub fn emit(event: &Event) {
+    if enabled(event.level) {
+        dispatch(event);
+    }
+}
+
 pub(crate) fn dispatch(event: &Event) {
     let cell = sink_cell();
     let sink = cell.read().unwrap_or_else(|e| e.into_inner()).clone();

@@ -1,0 +1,111 @@
+//! Property tests for the exposition codecs: arbitrary field strings and
+//! non-finite floats through the JSONL writer and back through the
+//! `obs_check` validator, and Prometheus textfile round-trips with hostile
+//! label values.
+
+use proptest::prelude::*;
+use rdt_obs::json::{self, JsonValue};
+use rdt_obs::{Event, Level, ProfileReport, Value};
+
+/// Arbitrary unicode strings seasoned with the characters the escapers
+/// must handle: quotes, backslashes, newlines, tabs, control bytes and
+/// non-ASCII codepoints.
+fn string_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x11_0000u32, 0..24).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                if i % 5 == 0 {
+                    Some(['"', '\\', '\n', '\r', '\t', '\u{1}', 'é', '∎'][(c % 8) as usize])
+                } else {
+                    char::from_u32(c)
+                }
+            })
+            .collect()
+    })
+}
+
+fn render_event(message: String, field: Value) -> String {
+    let event = Event {
+        level: Level::Info,
+        target: "props::json",
+        name: "roundtrip",
+        message,
+        fields: vec![("payload", field)],
+    };
+    let mut line = String::new();
+    event.to_json().render(&mut line);
+    line
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any string survives the JSONL writer byte-for-byte, the emitted
+    /// line is one line, and the validator accepts it.
+    #[test]
+    fn strings_roundtrip_through_the_jsonl_writer(s in string_strategy(), msg in string_strategy()) {
+        let line = render_event(msg.clone(), Value::Str(s.clone()));
+        prop_assert!(!line.contains('\n'), "embedded newline leaked: {line:?}");
+        if let Err(e) = rdt_obs::check::check_jsonl_line(&line) {
+            panic!("validator rejected {line:?}: {e}");
+        }
+        let parsed = json::parse(&line).unwrap_or_else(|e| panic!("reparse of {line:?}: {e}"));
+        prop_assert_eq!(parsed.get("msg").and_then(JsonValue::as_str), Some(msg.as_str()));
+        prop_assert_eq!(parsed.get("payload").and_then(JsonValue::as_str), Some(s.as_str()));
+    }
+
+    /// Finite floats keep a numeric rendering; NaN and ±inf degrade to
+    /// JSON `null` (there is no other valid JSON rendering) without
+    /// breaking the line or the validator.
+    #[test]
+    fn floats_render_as_valid_json(bits in 0u64..u64::MAX) {
+        let f = f64::from_bits(bits);
+        let line = render_event(String::new(), Value::F64(f));
+        if let Err(e) = rdt_obs::check::check_jsonl_line(&line) {
+            panic!("validator rejected {line:?}: {e}");
+        }
+        let parsed = json::parse(&line).unwrap_or_else(|e| panic!("reparse of {line:?}: {e}"));
+        match parsed.get("payload") {
+            Some(JsonValue::Null) => prop_assert!(!f.is_finite()),
+            Some(JsonValue::Num(_) | JsonValue::UInt(_) | JsonValue::Int(_)) => {
+                prop_assert!(f.is_finite())
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    /// The three non-finite shapes explicitly, so random bit patterns
+    /// cannot under-sample them.
+    #[test]
+    fn non_finite_floats_degrade_to_null(which in 0usize..3) {
+        let f = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][which];
+        let line = render_event(String::new(), Value::F64(f));
+        let parsed = json::parse(&line).unwrap();
+        prop_assert_eq!(parsed.get("payload"), Some(&JsonValue::Null));
+    }
+
+    /// A Prometheus textfile round-trip is a fixpoint: parsing the
+    /// emitted text and re-emitting it reproduces the bytes, even with
+    /// quotes, backslashes and newlines in phase and counter names.
+    #[test]
+    fn prom_textfiles_roundtrip(
+        phases in prop::collection::vec((string_strategy(), prop::collection::vec(0u64..10_000_000_000, 1..8)), 0..4),
+        counters in prop::collection::vec((string_strategy(), 0u64..1_000_000), 0..4),
+    ) {
+        let mut report = ProfileReport::new();
+        for (name, observations) in &phases {
+            let stats = report.phase_mut(name);
+            for &ns in observations {
+                stats.record(ns);
+            }
+        }
+        for (name, delta) in &counters {
+            report.add(name, *delta);
+        }
+        let text = report.to_prometheus();
+        let reparsed = ProfileReport::from_prometheus(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(reparsed.to_prometheus(), text);
+    }
+}

@@ -9,11 +9,38 @@
 //! panicking. The threaded runtime and the `rdt serve` workers both drive
 //! this type, so the protocol-side handling of a message exists exactly
 //! once.
+//!
+//! Every frame movement also emits a causal span event (`frame_send` /
+//! `frame_recv` / `frame_apply`, target `rdt_sim::live`): sends are
+//! stamped with the node's causal parent — the identity of the last frame
+//! it applied — which travels on the wire in the [`WireFrame`] trace
+//! context, and `rdt causal` later stitches the per-process dumps into one
+//! happened-before order. The events flow into the process flight recorder
+//! unconditionally (when one is installed) and through the normal sink at
+//! `debug`; when neither is active the fields are never materialized, so
+//! the hot path stays cheap and the deterministic engine is untouched.
 
 use rdt_base::{CheckpointIndex, DependencyVector, ProcessId, Result, SharedDv};
 use rdt_core::GcKind;
 use rdt_env::{Storage, Volatile, WireFrame};
+use rdt_obs::{Event, Level, Value};
 use rdt_protocols::{Middleware, Piggyback, ProtocolKind, ReceiveReport};
+
+/// Target for causal span events.
+const OBS_TARGET: &str = "rdt_sim::live";
+
+/// Whether causal span events would go anywhere right now.
+#[inline]
+fn obs_active() -> bool {
+    rdt_obs::flight::enabled() || rdt_obs::sink::enabled(Level::Debug)
+}
+
+/// Hands one pre-built event to the flight recorder (unfiltered) and the
+/// process sink (level-filtered).
+fn obs_record(event: &Event) {
+    rdt_obs::flight::record(event);
+    rdt_obs::sink::emit(event);
+}
 
 /// What a delivered frame did to the local middleware.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +65,10 @@ pub struct LiveNode<S: Storage = Volatile> {
     /// Sender-local sequence of the next outgoing message — the wire
     /// identity peers see; volatile, like the middleware's own counter.
     next_seq: u64,
+    /// Causal parent for the next send: the `(origin, seq)` of the last
+    /// frame this node applied. Volatile — after a crash the first send
+    /// is a causal root again, which is exactly right post-rollback.
+    last_applied: Option<(u32, u64)>,
     /// Frame encode/decode timings (`live/encode`, `live/decode`);
     /// disabled by default — see [`set_profiling`](Self::set_profiling).
     prof: rdt_obs::Profiler,
@@ -58,6 +89,7 @@ impl<S: Storage> LiveNode<S> {
             mw,
             scratch: ReceiveReport::default(),
             next_seq: 0,
+            last_applied: None,
             prof: rdt_obs::Profiler::disabled(),
         }
     }
@@ -115,7 +147,6 @@ impl<S: Storage> LiveNode<S> {
     ///
     /// Panics while crashed, like [`Middleware::send`].
     pub fn send_frame(&mut self, to: ProcessId) -> (WireFrame, Option<CheckpointIndex>) {
-        let _ = to; // routing is the transport's business; kept for symmetry
         let t = self.prof.start();
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -124,9 +155,32 @@ impl<S: Storage> LiveNode<S> {
             sender: self.mw.owner(),
             seq,
             index: pb.index,
+            parent: self.last_applied,
             lineages: pb.dv.to_raw_lineages(),
         };
         self.prof.stop("live/encode", t);
+        if obs_active() {
+            let owner = self.mw.owner();
+            let own = self.mw.dv().lineage(owner);
+            let mut fields = vec![
+                ("process", Value::U64(owner.index() as u64)),
+                ("to", Value::U64(to.index() as u64)),
+                ("seq", Value::U64(seq)),
+                ("inc", Value::U64(u64::from(own.incarnation().value()))),
+                ("interval", Value::U64(own.interval().value() as u64)),
+            ];
+            if let Some((po, ps)) = frame.parent {
+                fields.push(("parent_process", Value::U64(u64::from(po))));
+                fields.push(("parent_seq", Value::U64(ps)));
+            }
+            obs_record(&Event {
+                level: Level::Debug,
+                target: OBS_TARGET,
+                name: "frame_send",
+                message: String::new(),
+                fields,
+            });
+        }
         (frame, forced.map(|report| report.stored))
     }
 
@@ -156,12 +210,89 @@ impl<S: Storage> LiveNode<S> {
             return Ok(None);
         };
         let pb = Piggyback::new(SharedDv::new(dv), frame.index);
+        let active = obs_active();
+        if active {
+            let mut fields = vec![
+                ("process", Value::U64(self.mw.owner().index() as u64)),
+                ("from", Value::U64(frame.sender.index() as u64)),
+                ("seq", Value::U64(frame.seq)),
+            ];
+            if let Some((po, ps)) = frame.parent {
+                fields.push(("parent_process", Value::U64(u64::from(po))));
+                fields.push(("parent_seq", Value::U64(ps)));
+            }
+            obs_record(&Event {
+                level: Level::Debug,
+                target: OBS_TARGET,
+                name: "frame_recv",
+                message: String::new(),
+                fields,
+            });
+        }
         self.mw.receive_piggyback_into(&pb, &mut self.scratch)?;
+        self.last_applied = Some((frame.sender.index() as u32, frame.seq));
+        let eliminated = self.scratch.eliminated.len();
+        if active {
+            // The learned entry for the sender after the merge — must
+            // dominate (≥, lexicographic on incarnation then interval)
+            // what the frame carried; `rdt causal` checks exactly that.
+            let learned = self.mw.dv().lineage(frame.sender);
+            obs_record(&Event {
+                level: Level::Debug,
+                target: OBS_TARGET,
+                name: "frame_apply",
+                message: String::new(),
+                fields: vec![
+                    ("process", Value::U64(self.mw.owner().index() as u64)),
+                    ("from", Value::U64(frame.sender.index() as u64)),
+                    ("seq", Value::U64(frame.seq)),
+                    ("inc", Value::U64(u64::from(learned.incarnation().value()))),
+                    ("interval", Value::U64(learned.interval().value() as u64)),
+                    ("forced", Value::Bool(self.scratch.forced.is_some())),
+                    ("eliminated", Value::U64(eliminated as u64)),
+                ],
+            });
+        }
+        if eliminated > 0 && (active || rdt_obs::sink::enabled(Level::Info)) {
+            // Typed live-GC provenance: which checkpoints went, and which
+            // peer entries still pin the survivors (the uc view).
+            let mut fields = vec![
+                ("process", Value::U64(self.mw.owner().index() as u64)),
+                ("from", Value::U64(frame.sender.index() as u64)),
+                ("eliminated", Value::U64(eliminated as u64)),
+                (
+                    "collected",
+                    Value::Str(
+                        self.scratch
+                            .eliminated
+                            .iter()
+                            .map(|c| c.value().to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    ),
+                ),
+            ];
+            if let Some(uc) = self.mw.uc_snapshot() {
+                let pins: Vec<String> = uc
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(q, c)| c.map(|c| format!("{q}:{}", c.value())))
+                    .collect();
+                fields.push(("pins", Value::Str(pins.join(","))));
+            }
+            obs_record(&Event {
+                level: Level::Info,
+                target: OBS_TARGET,
+                name: "gc_collect",
+                message: String::new(),
+                fields,
+            });
+        }
         Ok(Some(DeliverOutcome {
             sender: frame.sender,
             seq: frame.seq,
             forced: self.scratch.forced,
-            eliminated: self.scratch.eliminated.len(),
+            eliminated,
         }))
     }
 }
@@ -182,6 +313,7 @@ mod tests {
         let (frame, forced) = b.send_frame(p(0));
         assert!(forced.is_none(), "FDAS never forces on send");
         assert_eq!(frame.seq, 0);
+        assert_eq!(frame.parent, None, "first send is a causal root");
         let outcome = a
             .deliver_frame(&frame.encode())
             .unwrap()
@@ -226,9 +358,27 @@ mod tests {
             sender: p(2),
             seq: 0,
             index: 0,
+            parent: None,
             lineages: vec![(0, 1), (0, 0), (0, 0)],
         };
         assert_eq!(a.deliver_frame(&alien.encode()).unwrap(), None);
+    }
+
+    #[test]
+    fn causal_parent_is_the_last_applied_frame() {
+        let mut a = LiveNode::new(p(0), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        let mut b = LiveNode::new(p(1), 2, ProtocolKind::Fdas, GcKind::RdtLgc);
+        let (f0, _) = b.send_frame(p(0));
+        let (f1, _) = b.send_frame(p(0));
+        assert_eq!(f1.parent, None, "sends without any applied frame stay roots");
+        a.deliver_frame(&f0.encode()).unwrap().unwrap();
+        let (fa, _) = a.send_frame(p(1));
+        assert_eq!(fa.parent, Some((1, 0)), "parent is b's frame seq 0");
+        a.deliver_frame(&f1.encode()).unwrap().unwrap();
+        let (fa2, _) = a.send_frame(p(1));
+        assert_eq!(fa2.parent, Some((1, 1)), "parent advances with each apply");
+        // The parent survives the wire.
+        assert_eq!(WireFrame::decode(&fa2.encode()).unwrap().parent, Some((1, 1)));
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub enum ArgAction {
     Set,
     /// Boolean flag, no value.
     SetTrue,
+    /// Takes a value each time it appears; all occurrences are kept.
+    /// Arguments with neither `long` nor `short` are positional and
+    /// collect bare tokens.
+    Append,
 }
 
 /// One named argument.
@@ -320,7 +324,7 @@ impl Command {
                     ArgAction::SetTrue => {
                         matches.flags.insert(arg.name.clone());
                     }
-                    ArgAction::Set => {
+                    ArgAction::Set | ArgAction::Append => {
                         let value = match inline_value {
                             Some(v) => v,
                             None => {
@@ -331,7 +335,11 @@ impl Command {
                                 })?
                             }
                         };
-                        matches.values.insert(arg.name.clone(), value);
+                        if arg.action == ArgAction::Append {
+                            matches.multi.entry(arg.name.clone()).or_default().push(value);
+                        } else {
+                            matches.values.insert(arg.name.clone(), value);
+                        }
                     }
                 }
                 i += 1;
@@ -342,6 +350,21 @@ impl Command {
                 let sub_matches = sub.parse(&input[i + 1..])?;
                 matches.subcommand = Some((sub.name.clone(), Box::new(sub_matches)));
                 return Ok(matches);
+            }
+            // Otherwise a positional argument, if the command declares one
+            // (an `Append` arg with neither a long nor a short name).
+            if let Some(arg) = self
+                .args
+                .iter()
+                .find(|a| a.long.is_none() && a.short.is_none() && a.action == ArgAction::Append)
+            {
+                matches
+                    .multi
+                    .entry(arg.name.clone())
+                    .or_default()
+                    .push(token.clone());
+                i += 1;
+                continue;
             }
             return Err(Error {
                 message: format!("unexpected argument '{token}'\n\n{}", self.usage()),
@@ -375,6 +398,7 @@ impl Command {
 #[derive(Debug, Clone, Default)]
 pub struct ArgMatches {
     values: BTreeMap<String, String>,
+    multi: BTreeMap<String, Vec<String>>,
     flags: std::collections::BTreeSet<String>,
     subcommand: Option<(String, Box<ArgMatches>)>,
 }
@@ -384,6 +408,15 @@ impl ArgMatches {
     /// supported by the shim.
     pub fn get_one<T: FromArgValue>(&self, name: &str) -> Option<&T> {
         self.values.get(name).map(T::from_stored)
+    }
+
+    /// All values of an `Append` argument, in occurrence order; `None`
+    /// when it never appeared.
+    pub fn get_many<'a, T: FromArgValue + 'a>(
+        &'a self,
+        name: &str,
+    ) -> Option<impl Iterator<Item = &'a T>> {
+        self.multi.get(name).map(|v| v.iter().map(T::from_stored))
     }
 
     /// Whether a `SetTrue` flag was given.
